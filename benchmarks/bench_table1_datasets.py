@@ -1,0 +1,34 @@
+"""Table I — structure of the benchmark datasets.
+
+Benchmarks dataset generation and regenerates the structure table
+(#samples, #relations, #tuples, #attributes per dataset).
+"""
+
+from conftest import DATASET_SCALE, write_result
+
+from repro.datasets import dataset_structure_rows, format_table_i, load_dataset
+from repro.datasets.registry import PAPER_DATASETS
+
+
+def test_table1_dataset_structure(benchmark, datasets):
+    def generate_all():
+        return [load_dataset(name, scale=DATASET_SCALE, seed=0) for name in PAPER_DATASETS]
+
+    generated = benchmark.pedantic(generate_all, rounds=1, iterations=1)
+    rows = dataset_structure_rows(generated)
+    table = format_table_i(rows)
+    write_result("table1_dataset_structure", table)
+
+    by_name = {row["dataset"]: row for row in rows}
+    # The structural shape of Table I: relation counts are exact, the
+    # prediction relation/attribute match, Mondial has by far the most
+    # relations and Genes the most classes.
+    assert by_name["hepatitis"]["relations"] == 7
+    assert by_name["genes"]["relations"] == 3
+    assert by_name["mutagenesis"]["relations"] == 3
+    assert by_name["world"]["relations"] == 3
+    assert by_name["mondial"]["relations"] == 40
+    assert by_name["genes"]["classes"] <= 15
+    assert by_name["mondial"]["classes"] == 2
+    for row in rows:
+        assert row["tuples"] > row["samples"]

@@ -1,0 +1,35 @@
+"""Table V — execution time to compute static embeddings.
+
+Times the static phase of both methods on each benchmark dataset.  The
+paper's qualitative claim: Node2Vec's static training is faster than
+FoRWaRD's on every dataset (FoRWaRD pays for computing walk-destination
+distributions); absolute seconds differ from the paper because the paper
+trains on a GPU with PyTorch while this reproduction is CPU NumPy.
+"""
+
+import pytest
+from conftest import forward_method, node2vec_method, write_result
+
+_TIMINGS: dict[tuple[str, str], float] = {}
+
+
+@pytest.mark.parametrize("dataset_name", ["genes", "hepatitis", "world"])
+@pytest.mark.parametrize("method_name", ["forward", "node2vec"])
+def test_table5_static_embedding_time(benchmark, datasets, dataset_name, method_name):
+    if dataset_name not in datasets:
+        pytest.skip(f"{dataset_name} not in the current benchmark profile")
+    dataset = datasets[dataset_name]
+    method = forward_method() if method_name == "forward" else node2vec_method()
+    db = dataset.masked_database()
+
+    def fit():
+        return method.fit(db, dataset.prediction_relation, rng=0)
+
+    model = benchmark.pedantic(fit, rounds=1, iterations=1)
+    assert model is not None
+    _TIMINGS[(dataset_name, method_name)] = benchmark.stats["mean"]
+
+    lines = [f"{'Task':<14}{'Method':<12}{'seconds':>10}", "-" * 36]
+    for (task, name), seconds in sorted(_TIMINGS.items()):
+        lines.append(f"{task:<14}{name:<12}{seconds:>10.2f}")
+    write_result("table5_static_times", "\n".join(lines))

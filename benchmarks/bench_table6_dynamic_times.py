@@ -1,0 +1,42 @@
+"""Table VI — average time to embed a newly arrived tuple.
+
+Measures the per-new-tuple embedding time in both insertion modes.  The
+paper's qualitative claim reproduced here: in the one-by-one setting
+FoRWaRD is markedly faster than Node2Vec, because FoRWaRD only solves a
+small linear system per tuple whereas Node2Vec must run gradient-descent
+continuation training for every arrival.
+"""
+
+import pytest
+from conftest import N_RUNS, forward_method, node2vec_method, write_result
+
+from repro.evaluation import format_timing_table, run_dynamic_experiment
+
+_ALL_RESULTS = []
+
+
+@pytest.mark.parametrize("mode", ["all_at_once", "one_by_one"])
+def test_table6_seconds_per_new_tuple(benchmark, datasets, mode):
+    dataset = datasets["genes"]
+    methods = {"forward": forward_method(), "node2vec": node2vec_method()}
+
+    def run():
+        return {
+            name: run_dynamic_experiment(
+                dataset, method, ratio_new=0.1, mode=mode, n_runs=max(1, N_RUNS // 2), rng=2
+            )
+            for name, method in methods.items()
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    _ALL_RESULTS.extend(results.values())
+    write_result("table6_dynamic_times", format_timing_table(_ALL_RESULTS, per_tuple=True))
+
+    for result in results.values():
+        assert result.seconds_per_new_tuple_mean > 0
+    if mode == "one_by_one":
+        # FoRWaRD's linear-system extension beats Node2Vec's continuation training.
+        assert (
+            results["forward"].seconds_per_new_tuple_mean
+            < results["node2vec"].seconds_per_new_tuple_mean
+        )

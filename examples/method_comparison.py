@@ -1,0 +1,58 @@
+"""Compare FoRWaRD and the Node2Vec adaptation on a geographical workload.
+
+Reproduces a single row of Table III (static accuracy) and of Table IV
+(dynamic accuracy at 10% new data) on the synthetic World dataset, at a
+reduced scale so the script finishes in a couple of minutes on a laptop.
+
+Run with::
+
+    python examples/method_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import ForwardConfig, Node2VecConfig
+from repro.datasets import load_dataset
+from repro.evaluation import (
+    ForwardMethod,
+    Node2VecMethod,
+    format_dynamic_table,
+    format_static_table,
+    run_dynamic_experiment,
+    run_static_experiment,
+)
+
+
+def main() -> None:
+    dataset = load_dataset("world", scale=0.3, seed=0)
+    print("Dataset:", dataset)
+
+    forward = ForwardMethod(ForwardConfig(
+        dimension=32, n_samples=1000, batch_size=2048, max_walk_length=2, epochs=12,
+        learning_rate=0.01, n_new_samples=100,
+    ))
+    node2vec = Node2VecMethod(Node2VecConfig(
+        dimension=32, walks_per_node=10, walk_length=15, window_size=4,
+        negatives_per_positive=8, batch_size=8192, epochs=4, dynamic_epochs=3,
+        dynamic_walks_per_node=10,
+    ))
+
+    print("\n=== Static experiment (Table III style) ===")
+    static = run_static_experiment(
+        dataset, [forward, node2vec], n_splits=5, fresh_embedding_per_fold=False, rng=0
+    )
+    print(format_static_table(static))
+
+    print("\n=== Dynamic experiment at 10% new data (Table IV style) ===")
+    dynamic = [
+        run_dynamic_experiment(dataset, method, ratio_new=0.1, mode=mode, n_runs=2, rng=1)
+        for method in (forward, node2vec)
+        for mode in ("all_at_once", "one_by_one")
+    ]
+    print(format_dynamic_table(dynamic))
+    print("\nAll runs kept existing embeddings perfectly stable:",
+          all(run.max_drift == 0.0 for result in dynamic for run in result.runs))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""repro — Stable Tuple Embeddings for Dynamic Databases.
+
+A reproduction of "Stable Tuple Embeddings for Dynamic Databases"
+(Toenshoff, Friedman, Grohe, Kimelfeld): the FoRWaRD algorithm and a
+Node2Vec adaptation for embedding the tuples of a relational database, with
+dynamic extensions that embed newly inserted tuples without changing the
+embeddings of existing ones.
+
+Quickstart::
+
+    from repro import load_dataset, ForwardEmbedder, ForwardDynamicExtender
+
+    dataset = load_dataset("genes", scale=0.1, seed=0)
+    db = dataset.masked_database()
+    model = ForwardEmbedder(db, dataset.prediction_relation).fit()
+    embedding = model.embedding()           # γ : facts -> R^d
+
+See the ``examples/`` directory for end-to-end scripts and ``DESIGN.md`` /
+``EXPERIMENTS.md`` for the reproduction details.
+"""
+
+from repro.core import (
+    ForwardConfig,
+    ForwardDynamicExtender,
+    ForwardEmbedder,
+    ForwardModel,
+    Node2VecConfig,
+    Node2VecDynamicExtender,
+    Node2VecEmbedder,
+    Node2VecModel,
+    TupleEmbedding,
+    embedding_drift,
+    is_stable_extension,
+)
+from repro.datasets import Dataset, list_datasets, load_dataset
+from repro.db import Database, Fact, ForeignKey, RelationSchema, Schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core algorithms
+    "ForwardConfig",
+    "ForwardEmbedder",
+    "ForwardModel",
+    "ForwardDynamicExtender",
+    "Node2VecConfig",
+    "Node2VecEmbedder",
+    "Node2VecModel",
+    "Node2VecDynamicExtender",
+    "TupleEmbedding",
+    "embedding_drift",
+    "is_stable_extension",
+    # data model
+    "Database",
+    "Fact",
+    "Schema",
+    "RelationSchema",
+    "ForeignKey",
+    # datasets
+    "Dataset",
+    "load_dataset",
+    "list_datasets",
+]

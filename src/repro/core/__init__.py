@@ -1,0 +1,49 @@
+"""Core contribution of the paper: stable tuple embedding algorithms.
+
+Static phase
+    :class:`ForwardEmbedder` (the FoRWaRD algorithm, Section V) and
+    :class:`Node2VecEmbedder` (the Node2Vec adaptation, Section IV) compute a
+    tuple embedding ``γ : D → R^k``.
+
+Dynamic phase
+    :class:`ForwardDynamicExtender` and :class:`Node2VecDynamicExtender`
+    extend an existing embedding to newly inserted facts *without changing*
+    the embedding of existing facts (the stability requirement of Section
+    III).  :mod:`repro.core.stability` verifies that requirement.
+"""
+
+from repro.core.config import ForwardConfig, Node2VecConfig
+from repro.core.base import TupleEmbedding
+from repro.core.forward import ForwardEmbedder, ForwardModel
+from repro.core.forward_dynamic import ForwardDynamicExtender
+from repro.core.node2vec import Node2VecEmbedder, Node2VecModel
+from repro.core.node2vec_dynamic import Node2VecDynamicExtender
+from repro.core.stability import embedding_drift, is_stable_extension
+from repro.core.persistence import (
+    load_embedding,
+    load_forward_model,
+    save_embedding,
+    save_forward_model,
+)
+from repro.core.similarity import cosine_similarity, most_similar, pairwise_cosine_matrix
+
+__all__ = [
+    "ForwardConfig",
+    "Node2VecConfig",
+    "TupleEmbedding",
+    "ForwardEmbedder",
+    "ForwardModel",
+    "ForwardDynamicExtender",
+    "Node2VecEmbedder",
+    "Node2VecModel",
+    "Node2VecDynamicExtender",
+    "embedding_drift",
+    "is_stable_extension",
+    "save_embedding",
+    "load_embedding",
+    "save_forward_model",
+    "load_forward_model",
+    "cosine_similarity",
+    "most_similar",
+    "pairwise_cosine_matrix",
+]

@@ -1,0 +1,97 @@
+"""The tuple-embedding result type shared by both algorithms."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+from repro.db.database import Fact
+
+
+class TupleEmbedding:
+    """A mapping ``γ`` from facts to vectors in ``R^k``.
+
+    Facts are keyed by their ``fact_id`` so the embedding survives deletion
+    and re-insertion of the underlying :class:`~repro.db.database.Fact`
+    objects during the dynamic experiments.
+    """
+
+    def __init__(self, dimension: int, vectors: Mapping[int, np.ndarray] | None = None):
+        if dimension <= 0:
+            raise ValueError("dimension must be positive")
+        self.dimension = int(dimension)
+        self._vectors: dict[int, np.ndarray] = {}
+        if vectors:
+            for fact_id, vector in vectors.items():
+                self.set(fact_id, vector)
+
+    # ------------------------------------------------------------ mutation
+
+    def set(self, fact: Fact | int, vector: np.ndarray) -> None:
+        """Assign (or overwrite) the embedding of a fact."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.dimension,):
+            raise ValueError(
+                f"expected a vector of dimension {self.dimension}, got shape {vector.shape}"
+            )
+        self._vectors[self._key(fact)] = vector.copy()
+
+    def remove(self, fact: Fact | int) -> None:
+        """Drop a fact's embedding (tuple deletion is trivial in the paper)."""
+        self._vectors.pop(self._key(fact), None)
+
+    # -------------------------------------------------------------- lookup
+
+    @staticmethod
+    def _key(fact: Fact | int) -> int:
+        return fact.fact_id if isinstance(fact, Fact) else int(fact)
+
+    def vector(self, fact: Fact | int) -> np.ndarray:
+        """The embedding ``γ(fact)``."""
+        return self._vectors[self._key(fact)].copy()
+
+    def __contains__(self, fact: Fact | int) -> bool:
+        return self._key(fact) in self._vectors
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._vectors)
+
+    @property
+    def fact_ids(self) -> tuple[int, ...]:
+        return tuple(self._vectors.keys())
+
+    def matrix(self, facts: Iterable[Fact | int]) -> np.ndarray:
+        """Stack the embeddings of ``facts`` into a ``(n, dimension)`` matrix."""
+        rows = [self._vectors[self._key(f)] for f in facts]
+        if not rows:
+            return np.zeros((0, self.dimension))
+        return np.vstack(rows)
+
+    # ---------------------------------------------------------------- misc
+
+    def copy(self) -> "TupleEmbedding":
+        return TupleEmbedding(self.dimension, self._vectors)
+
+    def merge(self, other: "TupleEmbedding") -> "TupleEmbedding":
+        """A new embedding containing both mappings (``other`` wins on clashes)."""
+        if other.dimension != self.dimension:
+            raise ValueError("cannot merge embeddings of different dimensions")
+        merged = self.copy()
+        for fact_id in other:
+            merged.set(fact_id, other.vector(fact_id))
+        return merged
+
+    def restrict(self, facts: Iterable[Fact | int]) -> "TupleEmbedding":
+        """A new embedding containing only the given facts."""
+        keys = {self._key(f) for f in facts}
+        return TupleEmbedding(
+            self.dimension,
+            {k: v for k, v in self._vectors.items() if k in keys},
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"TupleEmbedding(dimension={self.dimension}, facts={len(self)})"

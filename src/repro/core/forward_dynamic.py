@@ -1,0 +1,144 @@
+"""The FoRWaRD algorithm — dynamic phase (Section V-E of the paper).
+
+A newly inserted ``R``-fact ``f_new`` is embedded without touching the
+existing embeddings by solving the over-determined linear system of
+Equation (9): each sampled triple ``(f_old, s, A)`` contributes one equation
+
+    φ(f_new)ᵀ · ψ(s, A) · φ(f_old) = KD(d_{s,f_old}[A], d_{s,f_new}[A]),
+
+i.e. a row ``C_i = ψ(s, A)·φ(f_old)`` and right-hand side ``b_i``; the
+minimum-norm least-squares solution (Equation (10)) is ``φ(f_new)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.base import TupleEmbedding
+from repro.core.forward import ForwardModel, WalkTarget
+from repro.db.database import Database, Fact
+from repro.utils.linalg import solve_least_squares
+from repro.utils.rng import ensure_rng
+from repro.walks.random_walks import AttributeDistribution, RandomWalker
+
+
+class ForwardDynamicExtender:
+    """Extends a trained :class:`ForwardModel` to newly inserted facts.
+
+    Parameters
+    ----------
+    model:
+        The static-phase model (its ``φ``, ``ψ`` and walk targets are reused
+        and never modified — stability by construction).
+    db:
+        The *current* database, i.e. the training database with the new
+        facts (and their referenced facts) already inserted.
+    recompute_old_paths:
+        When true, destination distributions of *old* facts are recomputed on
+        the current database (the paper's all-at-once setting); when false
+        the training-time distributions are reused (the one-by-one setting,
+        where recomputing for every arrival would be too slow).
+    """
+
+    def __init__(
+        self,
+        model: ForwardModel,
+        db: Database,
+        recompute_old_paths: bool = False,
+        rng: int | np.random.Generator | None = None,
+    ):
+        self.model = model
+        self.db = db
+        self.recompute_old_paths = recompute_old_paths
+        self.rng = ensure_rng(rng)
+        self._walker = RandomWalker(db, self.rng)
+        self._old_cache: dict[tuple[int, int], AttributeDistribution | None] = {}
+
+    # ----------------------------------------------------------------- API
+
+    def extend(self, new_facts: Iterable[Fact]) -> TupleEmbedding:
+        """Embed every new fact of the model's relation; returns only the new vectors.
+
+        Facts from other relations are ignored (FoRWaRD embeds the prediction
+        relation only); facts that already have an embedding are skipped.
+        The model is updated in place via :meth:`ForwardModel.add_extended`.
+        """
+        result = TupleEmbedding(self.model.dimension)
+        for fact in new_facts:
+            if fact.relation != self.model.relation or self.model.has_fact(fact):
+                continue
+            vector = self.embed_fact(fact)
+            self.model.add_extended(fact, vector)
+            result.set(fact, vector)
+        return result
+
+    def notify_inserted(self, facts: Iterable[Fact]) -> None:
+        """Invalidate walker caches after facts were inserted into ``db``.
+
+        Call this between one-by-one insertion steps so that distributions of
+        *new* facts always see the current database.  Old facts' cached
+        training-time distributions are unaffected (they are only recomputed
+        when ``recompute_old_paths`` is set).
+        """
+        del facts  # the whole cache is dropped; argument kept for symmetry
+        self._walker.clear_cache()
+        if self.recompute_old_paths:
+            self._old_cache.clear()
+
+    # ------------------------------------------------------------ internals
+
+    def _old_distribution(
+        self, fact_id: int, target: WalkTarget
+    ) -> AttributeDistribution | None:
+        if not self.recompute_old_paths:
+            return self.model.distribution(fact_id, target.index)
+        key = (fact_id, target.index)
+        if key not in self._old_cache:
+            fact = self.db.fact(fact_id)
+            self._old_cache[key] = self._walker.attribute_distribution(
+                fact, target.scheme, target.attribute
+            )
+        return self._old_cache[key]
+
+    def embed_fact(self, fact: Fact) -> np.ndarray:
+        """Compute ``φ(f_new)`` for one new fact (does not modify the model)."""
+        rows: list[np.ndarray] = []
+        rhs: list[float] = []
+        n_per_target = self.model.config.n_new_samples
+        for target in self.model.targets:
+            new_dist = self._walker.attribute_distribution(fact, target.scheme, target.attribute)
+            if new_dist is None:
+                continue
+            candidates = [
+                fid
+                for fid in self.model.fact_ids
+                if self._old_distribution(fid, target) is not None
+            ]
+            if not candidates:
+                continue
+            chosen = self._choose_candidates(candidates, n_per_target)
+            matrix = self.model.psi[target.index]
+            for old_id in chosen:
+                old_dist = self._old_distribution(old_id, target)
+                kd = target.kernel.expected_similarity(
+                    old_dist.values,
+                    old_dist.probabilities,
+                    new_dist.values,
+                    new_dist.probabilities,
+                )
+                rows.append(matrix @ self.model.phi[self.model.fact_row[old_id]])
+                rhs.append(kd)
+        if not rows:
+            # A fact with no completable walk to any kernelized attribute gives
+            # an empty system; fall back to the centroid of the trained facts
+            # so downstream consumers still receive a usable vector.
+            return self.model.phi.mean(axis=0)
+        return solve_least_squares(np.vstack(rows), np.asarray(rhs))
+
+    def _choose_candidates(self, candidates: Sequence[int], count: int) -> list[int]:
+        if len(candidates) <= count:
+            return list(candidates)
+        picked = self.rng.choice(len(candidates), size=count, replace=False)
+        return [candidates[int(i)] for i in picked]

@@ -1,0 +1,120 @@
+"""Saving and loading embeddings and trained FoRWaRD models.
+
+Downstream applications (record similarity, entity resolution, column
+prediction) consume the embedding long after training; these helpers persist
+a :class:`TupleEmbedding` to ``.npz`` and a :class:`ForwardModel`'s
+parameters (φ, ψ, walk-target metadata) to a directory so the dynamic
+extension can be resumed in a later process against the same database.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.base import TupleEmbedding
+from repro.core.config import ForwardConfig
+from repro.core.forward import ForwardModel
+
+
+def save_embedding(embedding: TupleEmbedding, path: str | Path) -> None:
+    """Write a tuple embedding to a ``.npz`` file (fact ids + matrix)."""
+    fact_ids = np.array(embedding.fact_ids, dtype=np.int64)
+    matrix = embedding.matrix(fact_ids) if len(fact_ids) else np.zeros((0, embedding.dimension))
+    np.savez_compressed(
+        Path(path), fact_ids=fact_ids, vectors=matrix, dimension=np.array([embedding.dimension])
+    )
+
+
+def load_embedding(path: str | Path) -> TupleEmbedding:
+    """Load a tuple embedding previously written by :func:`save_embedding`."""
+    data = np.load(Path(path))
+    embedding = TupleEmbedding(int(data["dimension"][0]))
+    for fact_id, vector in zip(data["fact_ids"], data["vectors"]):
+        embedding.set(int(fact_id), vector)
+    return embedding
+
+
+def save_forward_model(model: ForwardModel, directory: str | Path) -> None:
+    """Persist a trained FoRWaRD model's parameters and metadata.
+
+    The walk-target destination-distribution cache is *not* persisted (it is
+    a function of the training database and can be recomputed); a model
+    loaded from disk therefore extends new tuples with
+    ``recompute_old_paths=True``.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        directory / "parameters.npz",
+        phi=model.phi,
+        psi=model.psi,
+        fact_ids=np.array(model.fact_ids, dtype=np.int64),
+        extended_ids=np.array(model.extended_fact_ids, dtype=np.int64),
+        extended_vectors=(
+            np.vstack([model.vector(fid) for fid in model.extended_fact_ids])
+            if model.extended_fact_ids
+            else np.zeros((0, model.dimension))
+        ),
+    )
+    config = model.config
+    metadata = {
+        "relation": model.relation,
+        "loss_history": list(model.loss_history),
+        "config": {
+            "dimension": config.dimension,
+            "n_samples": config.n_samples,
+            "batch_size": config.batch_size,
+            "max_walk_length": config.max_walk_length,
+            "epochs": config.epochs,
+            "learning_rate": config.learning_rate,
+            "n_new_samples": config.n_new_samples,
+            "init_scale": config.init_scale,
+        },
+        "targets": [
+            {"index": t.index, "attribute": t.attribute, "scheme": str(t.scheme)}
+            for t in model.targets
+        ],
+    }
+    (directory / "model.json").write_text(json.dumps(metadata, indent=2))
+
+
+def load_forward_model(directory: str | Path, db) -> ForwardModel:
+    """Load a FoRWaRD model saved by :func:`save_forward_model`.
+
+    ``db`` must be (structurally) the training database: walk targets are
+    re-enumerated from its schema and matched against the stored target list
+    to guarantee the ψ matrices line up.
+    """
+    from repro.core.forward import ForwardEmbedder
+
+    directory = Path(directory)
+    metadata = json.loads((directory / "model.json").read_text())
+    arrays = np.load(directory / "parameters.npz")
+    config = ForwardConfig(**metadata["config"])
+    embedder = ForwardEmbedder(db, metadata["relation"], config)
+    targets = embedder.build_targets()
+    stored = metadata["targets"]
+    if len(targets) != len(stored) or any(
+        t.attribute != s["attribute"] or str(t.scheme) != s["scheme"]
+        for t, s in zip(targets, stored)
+    ):
+        raise ValueError(
+            "walk targets derived from the given database do not match the saved model; "
+            "was the schema changed since training?"
+        )
+    model = ForwardModel(
+        metadata["relation"],
+        config,
+        targets,
+        [int(fid) for fid in arrays["fact_ids"]],
+        arrays["phi"],
+        arrays["psi"],
+        distributions={},
+        loss_history=metadata["loss_history"],
+    )
+    for fact_id, vector in zip(arrays["extended_ids"], arrays["extended_vectors"]):
+        model.add_extended(int(fact_id), vector)
+    return model

@@ -1,0 +1,64 @@
+"""Similarity queries over tuple embeddings.
+
+Record-similarity search is one of the downstream applications motivating
+database embeddings in the paper's introduction; these helpers answer
+"which facts are most similar to this one?" directly from a
+:class:`TupleEmbedding`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.base import TupleEmbedding
+from repro.db.database import Fact
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray, epsilon: float = 1e-12) -> float:
+    """Cosine similarity of two vectors (0 when either is the zero vector)."""
+    norm = float(np.linalg.norm(a) * np.linalg.norm(b))
+    if norm < epsilon:
+        return 0.0
+    return float(a @ b / norm)
+
+
+def most_similar(
+    embedding: TupleEmbedding,
+    query: Fact | int | np.ndarray,
+    top_k: int = 5,
+    candidates: Sequence[Fact | int] | None = None,
+) -> list[tuple[int, float]]:
+    """The ``top_k`` facts most similar to ``query`` by cosine similarity.
+
+    ``query`` may be a fact (its embedding is looked up) or a raw vector.
+    ``candidates`` restricts the search space (default: every embedded fact);
+    the query fact itself is excluded from the result.  Returns
+    ``(fact_id, similarity)`` pairs, best first.
+    """
+    if top_k <= 0:
+        raise ValueError("top_k must be positive")
+    if isinstance(query, np.ndarray):
+        query_vector = np.asarray(query, dtype=np.float64)
+        query_id = None
+    else:
+        query_id = query.fact_id if isinstance(query, Fact) else int(query)
+        query_vector = embedding.vector(query_id)
+    pool = list(candidates) if candidates is not None else list(embedding.fact_ids)
+    scored: list[tuple[int, float]] = []
+    for candidate in pool:
+        fact_id = candidate.fact_id if isinstance(candidate, Fact) else int(candidate)
+        if fact_id == query_id or fact_id not in embedding:
+            continue
+        scored.append((fact_id, cosine_similarity(query_vector, embedding.vector(fact_id))))
+    scored.sort(key=lambda pair: pair[1], reverse=True)
+    return scored[:top_k]
+
+
+def pairwise_cosine_matrix(embedding: TupleEmbedding, facts: Sequence[Fact | int]) -> np.ndarray:
+    """The full cosine-similarity matrix of the given facts (in order)."""
+    matrix = embedding.matrix(facts)
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    normalized = matrix / np.maximum(norms, 1e-12)
+    return normalized @ normalized.T

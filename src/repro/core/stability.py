@@ -1,0 +1,50 @@
+"""Stability checking for dynamic embedding extensions.
+
+The defining requirement of the stable database embedding problem (Section
+III) is ``γ'(f) == γ(f)`` for every old fact ``f``.  These helpers quantify
+and assert that property; they are used by the test suite and can be used by
+downstream applications as a runtime guard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.base import TupleEmbedding
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Per-fact drift statistics between two embeddings."""
+
+    shared_facts: int
+    max_drift: float
+    mean_drift: float
+
+    @property
+    def is_zero(self) -> bool:
+        return self.max_drift == 0.0
+
+
+def embedding_drift(before: TupleEmbedding, after: TupleEmbedding) -> DriftReport:
+    """L2 drift of every fact present in both embeddings."""
+    shared = [fid for fid in before if fid in after]
+    if not shared:
+        return DriftReport(0, 0.0, 0.0)
+    drifts = np.array(
+        [float(np.linalg.norm(after.vector(fid) - before.vector(fid))) for fid in shared]
+    )
+    return DriftReport(len(shared), float(drifts.max()), float(drifts.mean()))
+
+
+def is_stable_extension(
+    before: TupleEmbedding, after: TupleEmbedding, tolerance: float = 0.0
+) -> bool:
+    """True when every old fact's embedding is unchanged (within ``tolerance``)
+    and the new embedding covers at least the old facts."""
+    for fact_id in before:
+        if fact_id not in after:
+            return False
+    return embedding_drift(before, after).max_drift <= tolerance

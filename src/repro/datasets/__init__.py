@@ -1,0 +1,36 @@
+"""Benchmark datasets.
+
+The paper evaluates on five public multi-relational datasets (Hepatitis,
+Mondial, Genes, Mutagenesis, World; Table I) plus a running movie example
+(Figure 2).  The public datasets are not available offline, so this package
+generates *synthetic* databases that reproduce each dataset's schema shape
+(relation count, foreign-key topology, attribute counts and types, tuple
+counts, class balance) and plant the class signal in attributes that are
+reachable only through foreign-key walks — the property the paper's
+experiments rely on.  See DESIGN.md for the substitution rationale.
+"""
+
+from repro.datasets.base import Dataset
+from repro.datasets.movies import make_movies
+from repro.datasets.hepatitis import make_hepatitis
+from repro.datasets.genes import make_genes
+from repro.datasets.mutagenesis import make_mutagenesis
+from repro.datasets.world import make_world
+from repro.datasets.mondial import make_mondial
+from repro.datasets.registry import DATASET_BUILDERS, list_datasets, load_dataset
+from repro.datasets.summary import dataset_structure_rows, format_table_i
+
+__all__ = [
+    "Dataset",
+    "make_movies",
+    "make_hepatitis",
+    "make_genes",
+    "make_mutagenesis",
+    "make_world",
+    "make_mondial",
+    "DATASET_BUILDERS",
+    "list_datasets",
+    "load_dataset",
+    "dataset_structure_rows",
+    "format_table_i",
+]

@@ -1,0 +1,82 @@
+"""The dataset container used by the evaluation harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.db.database import Database, Fact
+
+
+@dataclass
+class Dataset:
+    """A database together with its downstream column-prediction task.
+
+    ``prediction_relation``/``prediction_attribute`` identify the column the
+    downstream task predicts (the paper's "prediction relation").  The
+    embedding algorithms must not see that column; :meth:`masked_database`
+    provides the database with the column nulled out, preserving fact ids so
+    labels can be joined back by ``fact_id``.
+    """
+
+    name: str
+    db: Database
+    prediction_relation: str
+    prediction_attribute: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        self.db.schema.relation(self.prediction_relation).attribute(self.prediction_attribute)
+
+    # -------------------------------------------------------------- labels
+
+    def prediction_facts(self) -> tuple[Fact, ...]:
+        """The facts of the prediction relation, i.e. the labelled samples."""
+        return self.db.facts(self.prediction_relation)
+
+    def labels(self) -> dict[int, Any]:
+        """Mapping from fact id to class label (nulls are skipped)."""
+        return {
+            fact.fact_id: fact[self.prediction_attribute]
+            for fact in self.prediction_facts()
+            if fact[self.prediction_attribute] is not None
+        }
+
+    def label_of(self, fact: Fact | int) -> Any:
+        fact_id = fact.fact_id if isinstance(fact, Fact) else int(fact)
+        return self.labels()[fact_id]
+
+    def class_distribution(self) -> dict[Any, int]:
+        """Number of samples per class."""
+        counts: dict[Any, int] = {}
+        for label in self.labels().values():
+            counts[label] = counts.get(label, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------ databases
+
+    def masked_database(self) -> Database:
+        """The database with the prediction attribute hidden (set to null)."""
+        return self.db.mask_attribute(self.prediction_relation, self.prediction_attribute)
+
+    # -------------------------------------------------------------- summary
+
+    def structure_summary(self) -> dict[str, int]:
+        """A Table-I style structure row for this dataset."""
+        summary = self.db.structure_summary()
+        summary["samples"] = len(self.labels())
+        return summary
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        summary = self.structure_summary()
+        return (
+            f"Dataset({self.name!r}, samples={summary['samples']}, "
+            f"relations={summary['relations']}, tuples={summary['tuples']})"
+        )
+
+
+def scaled(count: int, scale: float, minimum: int = 2) -> int:
+    """Scale a tuple count, never dropping below ``minimum``."""
+    return max(int(round(count * scale)), minimum)

@@ -1,0 +1,197 @@
+"""Synthetic Hepatitis dataset (ECML/PKDD 2002 Discovery Challenge shape).
+
+Paper shape (Table I): 7 relations, 12 927 tuples, 26 attributes, 500
+samples, binary ``type`` label (Hepatitis B vs. C, roughly 30/70),
+prediction relation DISPAT.
+
+Signal placement: the hepatitis type correlates with the biopsy findings
+(BIO: fibrosis and activity grades) and with laboratory measurements (INDIS:
+GOT/GPT/albumin/bilirubin), both reachable from DISPAT only through backward
+foreign-key steps, plus the bridge relations REL11/REL12/REL13 that connect
+examinations to each other — mirroring the original database's structure of
+patient-linked examination tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset, scaled
+from repro.db.database import Database
+from repro.db.schema import Attribute, AttributeType, ForeignKey, RelationSchema, Schema
+from repro.utils.rng import ensure_rng
+
+SEXES = ["male", "female"]
+FIBROSIS_GRADES = ["F0", "F1", "F2", "F3", "F4"]
+ACTIVITY_GRADES = ["A0", "A1", "A2", "A3"]
+DURATION_BUCKETS = ["0-5y", "5-10y", "10-20y", "20y+"]
+
+
+def hepatitis_schema() -> Schema:
+    dispat = RelationSchema(
+        "DISPAT",
+        [
+            Attribute("m_id", AttributeType.IDENTIFIER),
+            Attribute("sex", AttributeType.CATEGORICAL),
+            Attribute("age_group", AttributeType.CATEGORICAL),
+            Attribute("type", AttributeType.CATEGORICAL),
+        ],
+        key=["m_id"],
+    )
+    indis = RelationSchema(
+        "INDIS",
+        [
+            Attribute("in_id", AttributeType.IDENTIFIER),
+            Attribute("m_id", AttributeType.IDENTIFIER),
+            Attribute("got", AttributeType.NUMERIC),
+            Attribute("gpt", AttributeType.NUMERIC),
+            Attribute("alb", AttributeType.NUMERIC),
+            Attribute("tbil", AttributeType.NUMERIC),
+            Attribute("che", AttributeType.NUMERIC),
+        ],
+        key=["in_id"],
+    )
+    inf = RelationSchema(
+        "INF",
+        [
+            Attribute("a_id", AttributeType.IDENTIFIER),
+            Attribute("m_id", AttributeType.IDENTIFIER),
+            Attribute("duration", AttributeType.CATEGORICAL),
+        ],
+        key=["a_id"],
+    )
+    bio = RelationSchema(
+        "BIO",
+        [
+            Attribute("b_id", AttributeType.IDENTIFIER),
+            Attribute("m_id", AttributeType.IDENTIFIER),
+            Attribute("fibros", AttributeType.CATEGORICAL),
+            Attribute("activity", AttributeType.CATEGORICAL),
+        ],
+        key=["b_id"],
+    )
+    rel11 = RelationSchema(
+        "REL11",
+        [
+            Attribute("r_id", AttributeType.IDENTIFIER),
+            Attribute("b_id", AttributeType.IDENTIFIER),
+            Attribute("in_id", AttributeType.IDENTIFIER),
+        ],
+        key=["r_id"],
+    )
+    rel12 = RelationSchema(
+        "REL12",
+        [
+            Attribute("r_id", AttributeType.IDENTIFIER),
+            Attribute("in_id", AttributeType.IDENTIFIER),
+            Attribute("a_id", AttributeType.IDENTIFIER),
+        ],
+        key=["r_id"],
+    )
+    rel13 = RelationSchema(
+        "REL13",
+        [
+            Attribute("r_id", AttributeType.IDENTIFIER),
+            Attribute("b_id", AttributeType.IDENTIFIER),
+            Attribute("a_id", AttributeType.IDENTIFIER),
+        ],
+        key=["r_id"],
+    )
+    return Schema(
+        [dispat, indis, inf, bio, rel11, rel12, rel13],
+        [
+            ForeignKey("INDIS", ("m_id",), "DISPAT", ("m_id",)),
+            ForeignKey("INF", ("m_id",), "DISPAT", ("m_id",)),
+            ForeignKey("BIO", ("m_id",), "DISPAT", ("m_id",)),
+            ForeignKey("REL11", ("b_id",), "BIO", ("b_id",)),
+            ForeignKey("REL11", ("in_id",), "INDIS", ("in_id",)),
+            ForeignKey("REL12", ("in_id",), "INDIS", ("in_id",)),
+            ForeignKey("REL12", ("a_id",), "INF", ("a_id",)),
+            ForeignKey("REL13", ("b_id",), "BIO", ("b_id",)),
+            ForeignKey("REL13", ("a_id",), "INF", ("a_id",)),
+        ],
+    )
+
+
+def make_hepatitis(scale: float = 1.0, seed: int | None = 0) -> Dataset:
+    """Generate the synthetic Hepatitis dataset at the given scale."""
+    rng = ensure_rng(seed)
+    num_patients = scaled(500, scale, minimum=30)
+    labs_per_patient = 14 if scale >= 1.0 else max(2, int(14 * min(scale * 2, 1.0)))
+
+    db = Database(hepatitis_schema())
+    lab_counter = 0
+    inf_counter = 0
+    bio_counter = 0
+    rel_counter = 0
+
+    for i in range(num_patients):
+        m_id = f"p{i:05d}"
+        hepatitis_type = "B" if rng.random() < 206 / 690 else "C"
+        db.insert(
+            "DISPAT",
+            {
+                "m_id": m_id,
+                "sex": SEXES[int(rng.integers(2))],
+                "age_group": f"{10 * int(rng.integers(2, 8))}s",
+                "type": hepatitis_type,
+            },
+        )
+        # Biopsy: type B tends to lower fibrosis grades, C to higher.
+        if hepatitis_type == "B":
+            fibros = FIBROSIS_GRADES[int(np.clip(rng.normal(1.0, 1.0), 0, 4))]
+            activity = ACTIVITY_GRADES[int(np.clip(rng.normal(1.0, 0.8), 0, 3))]
+            got_mean, gpt_mean = 55.0, 60.0
+        else:
+            fibros = FIBROSIS_GRADES[int(np.clip(rng.normal(2.8, 1.0), 0, 4))]
+            activity = ACTIVITY_GRADES[int(np.clip(rng.normal(2.0, 0.8), 0, 3))]
+            got_mean, gpt_mean = 95.0, 110.0
+        b_id = f"b{bio_counter:05d}"
+        bio_counter += 1
+        db.insert("BIO", {"b_id": b_id, "m_id": m_id, "fibros": fibros, "activity": activity})
+
+        a_id = f"a{inf_counter:05d}"
+        inf_counter += 1
+        db.insert(
+            "INF",
+            {
+                "a_id": a_id,
+                "m_id": m_id,
+                "duration": DURATION_BUCKETS[int(rng.integers(len(DURATION_BUCKETS)))],
+            },
+        )
+
+        patient_labs: list[str] = []
+        for _ in range(labs_per_patient):
+            in_id = f"l{lab_counter:06d}"
+            lab_counter += 1
+            db.insert(
+                "INDIS",
+                {
+                    "in_id": in_id,
+                    "m_id": m_id,
+                    "got": round(float(max(rng.normal(got_mean, 20), 5.0)), 1),
+                    "gpt": round(float(max(rng.normal(gpt_mean, 25), 5.0)), 1),
+                    "alb": round(float(np.clip(rng.normal(4.0, 0.5), 2.0, 5.5)), 2),
+                    "tbil": round(float(max(rng.normal(1.0, 0.4), 0.1)), 2),
+                    "che": round(float(max(rng.normal(220, 60), 30.0)), 1),
+                },
+            )
+            patient_labs.append(in_id)
+
+        # Bridge relations connect the patient's examinations to each other.
+        first_lab = patient_labs[0]
+        db.insert("REL11", {"r_id": f"r{rel_counter:06d}", "b_id": b_id, "in_id": first_lab})
+        rel_counter += 1
+        db.insert("REL12", {"r_id": f"r{rel_counter:06d}", "in_id": first_lab, "a_id": a_id})
+        rel_counter += 1
+        db.insert("REL13", {"r_id": f"r{rel_counter:06d}", "b_id": b_id, "a_id": a_id})
+        rel_counter += 1
+
+    return Dataset(
+        name="hepatitis",
+        db=db,
+        prediction_relation="DISPAT",
+        prediction_attribute="type",
+        description="Synthetic Hepatitis dataset; predict hepatitis type B vs. C.",
+    )

@@ -1,0 +1,414 @@
+"""Synthetic Mondial dataset (May 1999 geographical database shape).
+
+Paper shape (Table I): 40 relations, 21 497 tuples, 167 attributes, 206
+samples, binary ``target`` label (Christian majority vs. not), prediction
+relation TARGET which contains *only* the country identifier and the class.
+
+Because the prediction relation has no informative attributes of its own,
+every bit of signal must flow through foreign-key walks — which is exactly
+why the paper includes this dataset.  The synthetic generator produces a
+core of hand-designed relations (country, religion, language, ethnic group,
+city, province, economy, population, borders, organizations, membership)
+plus a family of small per-country indicator relations to reach the
+40-relation / 167-attribute shape of the original.
+
+Signal placement: the target is determined by the dominant religion family
+recorded in the RELIGION relation (with noise), and correlates with the
+language families in LANGUAGE.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset, scaled
+from repro.db.database import Database
+from repro.db.schema import Attribute, AttributeType, ForeignKey, RelationSchema, Schema
+from repro.utils.rng import ensure_rng
+
+NUM_INDICATOR_RELATIONS = 28
+CHRISTIAN_RELIGIONS = ["Roman Catholic", "Protestant", "Orthodox", "Anglican"]
+OTHER_RELIGIONS = ["Muslim", "Buddhist", "Hindu", "Jewish", "Folk", "None"]
+CHRISTIAN_LANGUAGES = ["Spanish", "English", "Portuguese", "Italian", "Polish"]
+OTHER_LANGUAGES = ["Arabic", "Mandarin", "Hindi", "Japanese", "Turkish"]
+CONTINENTS = ["Europe", "Asia", "Africa", "America", "Oceania"]
+GOVERNMENTS = ["republic", "monarchy", "federal republic", "territory"]
+ORG_NAMES = [f"ORG{i:02d}" for i in range(25)]
+
+
+def _indicator_relation(index: int) -> RelationSchema:
+    """One of the small per-country auxiliary relations (no class signal)."""
+    return RelationSchema(
+        f"INDICATOR_{index:02d}",
+        [
+            Attribute("ind_id", AttributeType.IDENTIFIER),
+            Attribute("country", AttributeType.IDENTIFIER),
+            Attribute("value", AttributeType.NUMERIC),
+            Attribute("category", AttributeType.CATEGORICAL),
+        ],
+        key=["ind_id"],
+    )
+
+
+def mondial_schema() -> Schema:
+    target = RelationSchema(
+        "TARGET",
+        [
+            Attribute("country", AttributeType.IDENTIFIER),
+            Attribute("target", AttributeType.CATEGORICAL),
+        ],
+        key=["country"],
+    )
+    country = RelationSchema(
+        "COUNTRY",
+        [
+            Attribute("code", AttributeType.IDENTIFIER),
+            Attribute("name", AttributeType.TEXT),
+            Attribute("capital", AttributeType.TEXT),
+            Attribute("area", AttributeType.NUMERIC),
+            Attribute("population", AttributeType.NUMERIC),
+            Attribute("government", AttributeType.CATEGORICAL),
+        ],
+        key=["code"],
+    )
+    continent_of = RelationSchema(
+        "ENCOMPASSES",
+        [
+            Attribute("e_id", AttributeType.IDENTIFIER),
+            Attribute("country", AttributeType.IDENTIFIER),
+            Attribute("continent", AttributeType.CATEGORICAL),
+            Attribute("percentage", AttributeType.NUMERIC),
+        ],
+        key=["e_id"],
+    )
+    religion = RelationSchema(
+        "RELIGION",
+        [
+            Attribute("rel_id", AttributeType.IDENTIFIER),
+            Attribute("country", AttributeType.IDENTIFIER),
+            Attribute("name", AttributeType.CATEGORICAL),
+            Attribute("percentage", AttributeType.NUMERIC),
+        ],
+        key=["rel_id"],
+    )
+    language = RelationSchema(
+        "LANGUAGE",
+        [
+            Attribute("lang_id", AttributeType.IDENTIFIER),
+            Attribute("country", AttributeType.IDENTIFIER),
+            Attribute("name", AttributeType.CATEGORICAL),
+            Attribute("percentage", AttributeType.NUMERIC),
+        ],
+        key=["lang_id"],
+    )
+    ethnic = RelationSchema(
+        "ETHNIC_GROUP",
+        [
+            Attribute("eg_id", AttributeType.IDENTIFIER),
+            Attribute("country", AttributeType.IDENTIFIER),
+            Attribute("name", AttributeType.CATEGORICAL),
+            Attribute("percentage", AttributeType.NUMERIC),
+        ],
+        key=["eg_id"],
+    )
+    city = RelationSchema(
+        "CITY",
+        [
+            Attribute("city_id", AttributeType.IDENTIFIER),
+            Attribute("country", AttributeType.IDENTIFIER),
+            Attribute("name", AttributeType.TEXT),
+            Attribute("population", AttributeType.NUMERIC),
+        ],
+        key=["city_id"],
+    )
+    province = RelationSchema(
+        "PROVINCE",
+        [
+            Attribute("prov_id", AttributeType.IDENTIFIER),
+            Attribute("country", AttributeType.IDENTIFIER),
+            Attribute("name", AttributeType.TEXT),
+            Attribute("area", AttributeType.NUMERIC),
+        ],
+        key=["prov_id"],
+    )
+    economy = RelationSchema(
+        "ECONOMY",
+        [
+            Attribute("eco_id", AttributeType.IDENTIFIER),
+            Attribute("country", AttributeType.IDENTIFIER),
+            Attribute("gdp", AttributeType.NUMERIC),
+            Attribute("inflation", AttributeType.NUMERIC),
+            Attribute("agriculture", AttributeType.NUMERIC),
+        ],
+        key=["eco_id"],
+    )
+    population = RelationSchema(
+        "POPULATION",
+        [
+            Attribute("pop_id", AttributeType.IDENTIFIER),
+            Attribute("country", AttributeType.IDENTIFIER),
+            Attribute("growth", AttributeType.NUMERIC),
+            Attribute("infant_mortality", AttributeType.NUMERIC),
+        ],
+        key=["pop_id"],
+    )
+    borders = RelationSchema(
+        "BORDERS",
+        [
+            Attribute("border_id", AttributeType.IDENTIFIER),
+            Attribute("country1", AttributeType.IDENTIFIER),
+            Attribute("country2", AttributeType.IDENTIFIER),
+            Attribute("length", AttributeType.NUMERIC),
+        ],
+        key=["border_id"],
+    )
+    organization = RelationSchema(
+        "ORGANIZATION",
+        [
+            Attribute("org_id", AttributeType.IDENTIFIER),
+            Attribute("name", AttributeType.CATEGORICAL),
+            Attribute("established", AttributeType.NUMERIC),
+        ],
+        key=["org_id"],
+    )
+    is_member = RelationSchema(
+        "IS_MEMBER",
+        [
+            Attribute("mem_id", AttributeType.IDENTIFIER),
+            Attribute("country", AttributeType.IDENTIFIER),
+            Attribute("organization", AttributeType.IDENTIFIER),
+            Attribute("membership_type", AttributeType.CATEGORICAL),
+        ],
+        key=["mem_id"],
+    )
+    relations = [
+        target,
+        country,
+        continent_of,
+        religion,
+        language,
+        ethnic,
+        city,
+        province,
+        economy,
+        population,
+        borders,
+        organization,
+        is_member,
+    ]
+    foreign_keys = [
+        ForeignKey("TARGET", ("country",), "COUNTRY", ("code",)),
+        ForeignKey("ENCOMPASSES", ("country",), "COUNTRY", ("code",)),
+        ForeignKey("RELIGION", ("country",), "COUNTRY", ("code",)),
+        ForeignKey("LANGUAGE", ("country",), "COUNTRY", ("code",)),
+        ForeignKey("ETHNIC_GROUP", ("country",), "COUNTRY", ("code",)),
+        ForeignKey("CITY", ("country",), "COUNTRY", ("code",)),
+        ForeignKey("PROVINCE", ("country",), "COUNTRY", ("code",)),
+        ForeignKey("ECONOMY", ("country",), "COUNTRY", ("code",)),
+        ForeignKey("POPULATION", ("country",), "COUNTRY", ("code",)),
+        ForeignKey("BORDERS", ("country1",), "COUNTRY", ("code",)),
+        ForeignKey("BORDERS", ("country2",), "COUNTRY", ("code",)),
+        ForeignKey("IS_MEMBER", ("country",), "COUNTRY", ("code",)),
+        ForeignKey("IS_MEMBER", ("organization",), "ORGANIZATION", ("org_id",)),
+    ]
+    for index in range(1, NUM_INDICATOR_RELATIONS):
+        relation = _indicator_relation(index)
+        relations.append(relation)
+        foreign_keys.append(ForeignKey(relation.name, ("country",), "COUNTRY", ("code",)))
+    return Schema(relations, foreign_keys)
+
+
+def make_mondial(scale: float = 1.0, seed: int | None = 0) -> Dataset:
+    """Generate the synthetic Mondial dataset at the given scale."""
+    rng = ensure_rng(seed)
+    num_countries = scaled(206, scale, minimum=26)
+    cities_per_country = 12 if scale >= 1.0 else 3
+    provinces_per_country = 8 if scale >= 1.0 else 2
+
+    db = Database(mondial_schema())
+    counters = {"rel": 0, "lang": 0, "eg": 0, "city": 0, "prov": 0, "border": 0, "mem": 0, "enc": 0}
+
+    for org_index, org_name in enumerate(ORG_NAMES):
+        db.insert(
+            "ORGANIZATION",
+            {"org_id": f"org{org_index:03d}", "name": org_name, "established": int(rng.integers(1860, 2000))},
+        )
+
+    country_codes: list[str] = []
+    is_christian: dict[str, bool] = {}
+    for i in range(num_countries):
+        code = f"CT{i:03d}"
+        country_codes.append(code)
+        christian = rng.random() < 114 / 185
+        is_christian[code] = christian
+        db.insert(
+            "COUNTRY",
+            {
+                "code": code,
+                "name": f"Nation {i}",
+                "capital": f"Capital {i}",
+                "area": round(float(rng.lognormal(11.5, 1.2)), 1),
+                "population": int(rng.lognormal(15.5, 1.4)),
+                "government": GOVERNMENTS[int(rng.integers(len(GOVERNMENTS)))],
+            },
+        )
+        db.insert(
+            "TARGET",
+            {"country": code, "target": "christian" if christian else "non_christian"},
+        )
+        db.insert(
+            "ENCOMPASSES",
+            {
+                "e_id": f"e{counters['enc']:05d}",
+                "country": code,
+                "continent": CONTINENTS[int(rng.integers(len(CONTINENTS)))],
+                "percentage": 100.0,
+            },
+        )
+        counters["enc"] += 1
+
+        # Religions: the dominant religion carries the class signal (90%).
+        dominant_pool = CHRISTIAN_RELIGIONS if christian else OTHER_RELIGIONS
+        if rng.random() < 0.1:
+            dominant_pool = OTHER_RELIGIONS if christian else CHRISTIAN_RELIGIONS
+        dominant = dominant_pool[int(rng.integers(len(dominant_pool)))]
+        db.insert(
+            "RELIGION",
+            {
+                "rel_id": f"rl{counters['rel']:05d}",
+                "country": code,
+                "name": dominant,
+                "percentage": round(float(rng.uniform(50, 95)), 1),
+            },
+        )
+        counters["rel"] += 1
+        for _ in range(2):
+            minority = (CHRISTIAN_RELIGIONS + OTHER_RELIGIONS)[int(rng.integers(10))]
+            db.insert(
+                "RELIGION",
+                {
+                    "rel_id": f"rl{counters['rel']:05d}",
+                    "country": code,
+                    "name": minority,
+                    "percentage": round(float(rng.uniform(1, 25)), 1),
+                },
+            )
+            counters["rel"] += 1
+
+        language_pool = CHRISTIAN_LANGUAGES if christian else OTHER_LANGUAGES
+        if rng.random() < 0.2:
+            language_pool = OTHER_LANGUAGES if christian else CHRISTIAN_LANGUAGES
+        for j in range(2):
+            db.insert(
+                "LANGUAGE",
+                {
+                    "lang_id": f"lg{counters['lang']:05d}",
+                    "country": code,
+                    "name": language_pool[int(rng.integers(len(language_pool)))],
+                    "percentage": round(float(rng.uniform(5, 95)), 1),
+                },
+            )
+            counters["lang"] += 1
+
+        for _ in range(2):
+            db.insert(
+                "ETHNIC_GROUP",
+                {
+                    "eg_id": f"eg{counters['eg']:05d}",
+                    "country": code,
+                    "name": f"Group {int(rng.integers(30))}",
+                    "percentage": round(float(rng.uniform(1, 80)), 1),
+                },
+            )
+            counters["eg"] += 1
+
+        for _ in range(cities_per_country):
+            db.insert(
+                "CITY",
+                {
+                    "city_id": f"ci{counters['city']:06d}",
+                    "country": code,
+                    "name": f"Town {counters['city']}",
+                    "population": int(rng.lognormal(11, 1.2)),
+                },
+            )
+            counters["city"] += 1
+        for _ in range(provinces_per_country):
+            db.insert(
+                "PROVINCE",
+                {
+                    "prov_id": f"pr{counters['prov']:05d}",
+                    "country": code,
+                    "name": f"Province {counters['prov']}",
+                    "area": round(float(rng.lognormal(9, 1.0)), 1),
+                },
+            )
+            counters["prov"] += 1
+
+        db.insert(
+            "ECONOMY",
+            {
+                "eco_id": f"ec{i:05d}",
+                "country": code,
+                "gdp": round(float(rng.lognormal(10, 1.3)), 1),
+                "inflation": round(float(max(rng.normal(4, 3), 0.0)), 2),
+                "agriculture": round(float(rng.uniform(1, 60)), 1),
+            },
+        )
+        db.insert(
+            "POPULATION",
+            {
+                "pop_id": f"pp{i:05d}",
+                "country": code,
+                "growth": round(float(rng.normal(1.2, 0.8)), 2),
+                "infant_mortality": round(float(max(rng.normal(25, 15), 1.0)), 1),
+            },
+        )
+        for _ in range(3):
+            db.insert(
+                "IS_MEMBER",
+                {
+                    "mem_id": f"mb{counters['mem']:06d}",
+                    "country": code,
+                    "organization": f"org{int(rng.integers(len(ORG_NAMES))):03d}",
+                    "membership_type": "member" if rng.random() < 0.8 else "observer",
+                },
+            )
+            counters["mem"] += 1
+
+    for _ in range(num_countries * 2):
+        first, second = rng.choice(len(country_codes), size=2, replace=False)
+        db.insert(
+            "BORDERS",
+            {
+                "border_id": f"bd{counters['border']:05d}",
+                "country1": country_codes[int(first)],
+                "country2": country_codes[int(second)],
+                "length": round(float(rng.lognormal(6, 1.0)), 1),
+            },
+        )
+        counters["border"] += 1
+
+    # The small indicator relations fill out the 40-relation structure.
+    for index in range(1, NUM_INDICATOR_RELATIONS):
+        relation_name = f"INDICATOR_{index:02d}"
+        for j, code in enumerate(country_codes):
+            if rng.random() < 0.4:
+                continue
+            db.insert(
+                relation_name,
+                {
+                    "ind_id": f"in{index:02d}_{j:04d}",
+                    "country": code,
+                    "value": round(float(rng.normal(0, 1)), 3),
+                    "category": f"cat{int(rng.integers(5))}",
+                },
+            )
+
+    return Dataset(
+        name="mondial",
+        db=db,
+        prediction_relation="TARGET",
+        prediction_attribute="target",
+        description="Synthetic Mondial dataset; predict Christian vs. non-Christian majority.",
+    )

@@ -1,0 +1,122 @@
+"""The running movie-database example of Figure 2 of the paper.
+
+Used throughout the tests and the documentation examples; the database is
+reproduced value-for-value (including the null genre of Godzilla).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import Dataset
+from repro.db.database import Database
+from repro.db.schema import Attribute, AttributeType, ForeignKey, RelationSchema, Schema
+
+
+def movies_schema() -> Schema:
+    """The schema of Figure 2: MOVIES, ACTORS, STUDIOS, COLLABORATIONS."""
+    movies = RelationSchema(
+        "MOVIES",
+        [
+            Attribute("mid", AttributeType.IDENTIFIER),
+            Attribute("studio", AttributeType.IDENTIFIER),
+            Attribute("title", AttributeType.TEXT),
+            Attribute("genre", AttributeType.CATEGORICAL),
+            Attribute("budget", AttributeType.NUMERIC),
+        ],
+        key=["mid"],
+    )
+    actors = RelationSchema(
+        "ACTORS",
+        [
+            Attribute("aid", AttributeType.IDENTIFIER),
+            Attribute("name", AttributeType.TEXT),
+            Attribute("worth", AttributeType.NUMERIC),
+        ],
+        key=["aid"],
+    )
+    studios = RelationSchema(
+        "STUDIOS",
+        [
+            Attribute("sid", AttributeType.IDENTIFIER),
+            Attribute("name", AttributeType.TEXT),
+            Attribute("loc", AttributeType.CATEGORICAL),
+        ],
+        key=["sid"],
+    )
+    collaborations = RelationSchema(
+        "COLLABORATIONS",
+        [
+            Attribute("actor1", AttributeType.IDENTIFIER),
+            Attribute("actor2", AttributeType.IDENTIFIER),
+            Attribute("movie", AttributeType.IDENTIFIER),
+        ],
+        key=["actor1", "actor2", "movie"],
+    )
+    return Schema(
+        [movies, actors, studios, collaborations],
+        [
+            ForeignKey("MOVIES", ("studio",), "STUDIOS", ("sid",)),
+            ForeignKey("COLLABORATIONS", ("actor1",), "ACTORS", ("aid",)),
+            ForeignKey("COLLABORATIONS", ("actor2",), "ACTORS", ("aid",)),
+            ForeignKey("COLLABORATIONS", ("movie",), "MOVIES", ("mid",)),
+        ],
+    )
+
+
+def movies_database() -> Database:
+    """The database instance of Figure 2 (budgets and worth in millions)."""
+    db = Database(movies_schema())
+    db.insert_many(
+        "STUDIOS",
+        [
+            {"sid": "s01", "name": "Warner Bros.", "loc": "LA"},
+            {"sid": "s02", "name": "Universal", "loc": "LA"},
+            {"sid": "s03", "name": "Paramount", "loc": "LA"},
+        ],
+    )
+    db.insert_many(
+        "MOVIES",
+        [
+            {"mid": "m01", "studio": "s03", "title": "Titanic", "genre": "Drama", "budget": 200},
+            {"mid": "m02", "studio": "s01", "title": "Inception", "genre": "SciFi", "budget": 160},
+            {"mid": "m03", "studio": "s01", "title": "Godzilla", "genre": None, "budget": 150},
+            {"mid": "m04", "studio": "s03", "title": "Interstellar", "genre": "SciFi", "budget": 160},
+            {"mid": "m05", "studio": "s02", "title": "Tropic Thunder", "genre": "Action", "budget": 90},
+            {"mid": "m06", "studio": "s01", "title": "Wolf of Wall St.", "genre": "Bio", "budget": 100},
+        ],
+    )
+    db.insert_many(
+        "ACTORS",
+        [
+            {"aid": "a01", "name": "DiCaprio", "worth": 230},
+            {"aid": "a02", "name": "Watanabe", "worth": 40},
+            {"aid": "a03", "name": "Cruise", "worth": 600},
+            {"aid": "a04", "name": "McConaughey", "worth": 140},
+            {"aid": "a05", "name": "Damon", "worth": 170},
+        ],
+    )
+    db.insert_many(
+        "COLLABORATIONS",
+        [
+            {"actor1": "a01", "actor2": "a02", "movie": "m03"},
+            {"actor1": "a04", "actor2": "a05", "movie": "m04"},
+            {"actor1": "a04", "actor2": "a03", "movie": "m05"},
+            {"actor1": "a01", "actor2": "a04", "movie": "m06"},
+        ],
+    )
+    return db
+
+
+def make_movies(scale: float = 1.0, seed: int | None = None) -> Dataset:
+    """The Figure-2 example as a Dataset (predicting the movie genre).
+
+    ``scale`` and ``seed`` are accepted for interface uniformity with the
+    other builders but ignored: the example is a fixed literal database.
+    """
+    del scale, seed
+    return Dataset(
+        name="movies",
+        db=movies_database(),
+        prediction_relation="MOVIES",
+        prediction_attribute="genre",
+        description="Running example of Figure 2 (predicting a movie's genre).",
+    )

@@ -1,0 +1,143 @@
+"""Synthetic Mutagenesis dataset (Debnath et al. 1991 shape).
+
+Paper shape (Table I): 3 relations, 10 324 tuples, 14 attributes, 188
+samples, binary ``mutagenic`` label (122 positive / 63 negative),
+prediction relation MOLECULE.
+
+Signal placement: mutagenicity depends on two numeric chemistry attributes
+of the molecule (logp, lumo) and on the element composition of its atoms
+(nitro-group-like patterns), so both direct attributes and FK-reachable
+atom/bond structure carry signal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset, scaled
+from repro.db.database import Database
+from repro.db.schema import Attribute, AttributeType, ForeignKey, RelationSchema, Schema
+from repro.utils.rng import ensure_rng
+
+ELEMENTS = ["c", "h", "o", "n", "cl", "f"]
+ATOM_TYPES = [str(t) for t in (1, 3, 10, 14, 22, 27, 35, 40)]
+BOND_TYPES = ["1", "2", "3", "7"]
+
+
+def mutagenesis_schema() -> Schema:
+    molecule = RelationSchema(
+        "MOLECULE",
+        [
+            Attribute("molecule_id", AttributeType.IDENTIFIER),
+            Attribute("mutagenic", AttributeType.CATEGORICAL),
+            Attribute("ind1", AttributeType.CATEGORICAL),
+            Attribute("inda", AttributeType.CATEGORICAL),
+            Attribute("logp", AttributeType.NUMERIC),
+            Attribute("lumo", AttributeType.NUMERIC),
+        ],
+        key=["molecule_id"],
+    )
+    atom = RelationSchema(
+        "ATOM",
+        [
+            Attribute("atom_id", AttributeType.IDENTIFIER),
+            Attribute("molecule_id", AttributeType.IDENTIFIER),
+            Attribute("element", AttributeType.CATEGORICAL),
+            Attribute("atom_type", AttributeType.CATEGORICAL),
+            Attribute("charge", AttributeType.NUMERIC),
+        ],
+        key=["atom_id"],
+    )
+    bond = RelationSchema(
+        "BOND",
+        [
+            Attribute("bond_id", AttributeType.IDENTIFIER),
+            Attribute("atom1", AttributeType.IDENTIFIER),
+            Attribute("atom2", AttributeType.IDENTIFIER),
+            Attribute("bond_type", AttributeType.CATEGORICAL),
+        ],
+        key=["bond_id"],
+    )
+    return Schema(
+        [molecule, atom, bond],
+        [
+            ForeignKey("ATOM", ("molecule_id",), "MOLECULE", ("molecule_id",)),
+            ForeignKey("BOND", ("atom1",), "ATOM", ("atom_id",)),
+            ForeignKey("BOND", ("atom2",), "ATOM", ("atom_id",)),
+        ],
+    )
+
+
+def make_mutagenesis(scale: float = 1.0, seed: int | None = 0) -> Dataset:
+    """Generate the synthetic Mutagenesis dataset at the given scale."""
+    rng = ensure_rng(seed)
+    num_molecules = scaled(188, scale, minimum=24)
+    atoms_per_molecule = 26 if scale >= 1.0 else max(6, int(26 * min(scale * 2, 1.0)))
+
+    db = Database(mutagenesis_schema())
+    atom_counter = 0
+    bond_counter = 0
+    for i in range(num_molecules):
+        molecule_id = f"d{i:04d}"
+        mutagenic = "yes" if rng.random() < 122 / 185 else "no"
+        # Chemistry attributes correlate with the label.
+        if mutagenic == "yes":
+            logp = float(rng.normal(3.2, 0.8))
+            lumo = float(rng.normal(-1.9, 0.4))
+            nitrogen_fraction = 0.25
+        else:
+            logp = float(rng.normal(1.8, 0.8))
+            lumo = float(rng.normal(-1.1, 0.4))
+            nitrogen_fraction = 0.08
+        db.insert(
+            "MOLECULE",
+            {
+                "molecule_id": molecule_id,
+                "mutagenic": mutagenic,
+                "ind1": "1" if rng.random() < 0.5 else "0",
+                "inda": "1" if rng.random() < 0.2 else "0",
+                "logp": round(logp, 3),
+                "lumo": round(lumo, 3),
+            },
+        )
+        molecule_atoms: list[str] = []
+        for _ in range(atoms_per_molecule):
+            atom_id = f"a{atom_counter:06d}"
+            atom_counter += 1
+            if rng.random() < nitrogen_fraction:
+                element = "n"
+            else:
+                element = ELEMENTS[int(rng.integers(len(ELEMENTS)))]
+            db.insert(
+                "ATOM",
+                {
+                    "atom_id": atom_id,
+                    "molecule_id": molecule_id,
+                    "element": element,
+                    "atom_type": ATOM_TYPES[int(rng.integers(len(ATOM_TYPES)))],
+                    "charge": round(float(rng.normal(0.0, 0.15)), 3),
+                },
+            )
+            molecule_atoms.append(atom_id)
+        # A ring-like bond structure within the molecule plus a few chords.
+        for j in range(len(molecule_atoms)):
+            first = molecule_atoms[j]
+            second = molecule_atoms[(j + 1) % len(molecule_atoms)]
+            db.insert(
+                "BOND",
+                {
+                    "bond_id": f"b{bond_counter:06d}",
+                    "atom1": first,
+                    "atom2": second,
+                    "bond_type": BOND_TYPES[int(rng.integers(len(BOND_TYPES)))],
+                },
+            )
+            bond_counter += 1
+
+    return Dataset(
+        name="mutagenesis",
+        db=db,
+        prediction_relation="MOLECULE",
+        prediction_attribute="mutagenic",
+        description="Synthetic Mutagenesis dataset; predict molecule mutagenicity.",
+    )

@@ -1,0 +1,48 @@
+"""Dataset registry: name-based access to all benchmark builders."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.datasets.base import Dataset
+from repro.datasets.genes import make_genes
+from repro.datasets.hepatitis import make_hepatitis
+from repro.datasets.mondial import make_mondial
+from repro.datasets.movies import make_movies
+from repro.datasets.mutagenesis import make_mutagenesis
+from repro.datasets.world import make_world
+
+DatasetBuilder = Callable[..., Dataset]
+
+DATASET_BUILDERS: dict[str, DatasetBuilder] = {
+    "movies": make_movies,
+    "hepatitis": make_hepatitis,
+    "genes": make_genes,
+    "mutagenesis": make_mutagenesis,
+    "world": make_world,
+    "mondial": make_mondial,
+}
+
+PAPER_DATASETS = ("hepatitis", "genes", "mutagenesis", "world", "mondial")
+"""The five datasets of Table I, in the paper's order."""
+
+
+def list_datasets() -> tuple[str, ...]:
+    """Names of all available datasets."""
+    return tuple(DATASET_BUILDERS.keys())
+
+
+def load_dataset(name: str, scale: float = 1.0, seed: int | None = 0) -> Dataset:
+    """Build a dataset by name.
+
+    ``scale`` shrinks (or grows) the number of generated tuples, which the
+    benchmark harness uses to keep CPU runtimes reasonable; ``seed`` makes
+    generation reproducible.
+    """
+    try:
+        builder = DATASET_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {', '.join(DATASET_BUILDERS)}"
+        ) from None
+    return builder(scale=scale, seed=seed)

@@ -1,0 +1,43 @@
+"""Dataset structure summaries in the style of Table I."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.datasets.base import Dataset
+
+
+def dataset_structure_rows(datasets: Iterable[Dataset]) -> list[dict]:
+    """One Table-I row per dataset: prediction column, counts, class count."""
+    rows = []
+    for dataset in datasets:
+        summary = dataset.structure_summary()
+        rows.append(
+            {
+                "dataset": dataset.name,
+                "prediction_relation": dataset.prediction_relation,
+                "prediction_attribute": dataset.prediction_attribute,
+                "samples": summary["samples"],
+                "relations": summary["relations"],
+                "tuples": summary["tuples"],
+                "attributes": summary["attributes"],
+                "classes": len(dataset.class_distribution()),
+            }
+        )
+    return rows
+
+
+def format_table_i(rows: Sequence[dict]) -> str:
+    """Render structure rows as an ASCII table matching Table I's columns."""
+    header = (
+        f"{'Dataset':<12} {'Prediction Rel.':<16} {'Prediction Attr.':<17} "
+        f"{'#Samples':>8} {'#Relations':>10} {'#Tuples':>8} {'#Attributes':>11}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['dataset']:<12} {row['prediction_relation']:<16} "
+            f"{row['prediction_attribute']:<17} {row['samples']:>8} "
+            f"{row['relations']:>10} {row['tuples']:>8} {row['attributes']:>11}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Synthetic World dataset (MySQL "world" sample database shape).
+
+Paper shape (Table I): 3 relations, 5 411 tuples, 24 attributes, 239
+samples, 7 continent classes, prediction relation COUNTRY with attribute
+``continent``.
+
+Signal placement: the continent correlates with the country's region, its
+demographic/economic numbers, and the languages spoken in it (reachable
+through the backward FK from COUNTRY_LANGUAGE).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset, scaled
+from repro.db.database import Database
+from repro.db.schema import Attribute, AttributeType, ForeignKey, RelationSchema, Schema
+from repro.utils.rng import ensure_rng
+
+CONTINENTS = [
+    "Asia",
+    "Europe",
+    "North America",
+    "Africa",
+    "Oceania",
+    "Antarctica",
+    "South America",
+]
+
+# Regions and language families associated with each continent (signal).
+REGIONS = {continent: [f"{continent} Region {i}" for i in range(1, 5)] for continent in CONTINENTS}
+LANGUAGE_FAMILIES = {
+    continent: [f"{continent.split()[0]}Lang{i}" for i in range(1, 7)] for continent in CONTINENTS
+}
+GOVERNMENT_FORMS = ["Republic", "Monarchy", "Federation", "Territory", "Commonwealth"]
+
+
+def world_schema() -> Schema:
+    country = RelationSchema(
+        "COUNTRY",
+        [
+            Attribute("code", AttributeType.IDENTIFIER),
+            Attribute("name", AttributeType.TEXT),
+            Attribute("continent", AttributeType.CATEGORICAL),
+            Attribute("region", AttributeType.CATEGORICAL),
+            Attribute("surface_area", AttributeType.NUMERIC),
+            Attribute("population", AttributeType.NUMERIC),
+            Attribute("gnp", AttributeType.NUMERIC),
+            Attribute("life_expectancy", AttributeType.NUMERIC),
+            Attribute("government_form", AttributeType.CATEGORICAL),
+        ],
+        key=["code"],
+    )
+    city = RelationSchema(
+        "CITY",
+        [
+            Attribute("city_id", AttributeType.IDENTIFIER),
+            Attribute("country_code", AttributeType.IDENTIFIER),
+            Attribute("name", AttributeType.TEXT),
+            Attribute("district", AttributeType.CATEGORICAL),
+            Attribute("population", AttributeType.NUMERIC),
+        ],
+        key=["city_id"],
+    )
+    country_language = RelationSchema(
+        "COUNTRY_LANGUAGE",
+        [
+            Attribute("cl_id", AttributeType.IDENTIFIER),
+            Attribute("country_code", AttributeType.IDENTIFIER),
+            Attribute("language", AttributeType.CATEGORICAL),
+            Attribute("is_official", AttributeType.CATEGORICAL),
+            Attribute("percentage", AttributeType.NUMERIC),
+        ],
+        key=["cl_id"],
+    )
+    return Schema(
+        [country, city, country_language],
+        [
+            ForeignKey("CITY", ("country_code",), "COUNTRY", ("code",)),
+            ForeignKey("COUNTRY_LANGUAGE", ("country_code",), "COUNTRY", ("code",)),
+        ],
+    )
+
+
+def make_world(scale: float = 1.0, seed: int | None = 0) -> Dataset:
+    """Generate the synthetic World dataset at the given scale."""
+    rng = ensure_rng(seed)
+    num_countries = scaled(239, scale, minimum=28)
+    cities_per_country = 17 if scale >= 1.0 else max(3, int(17 * min(scale * 2, 1.0)))
+    languages_per_country = 4 if scale >= 1.0 else 2
+
+    db = Database(world_schema())
+    city_counter = 0
+    language_counter = 0
+    # Keep Antarctica rare, like the original dataset.
+    continent_weights = np.array([0.22, 0.22, 0.16, 0.24, 0.10, 0.01, 0.05])
+    continent_weights = continent_weights / continent_weights.sum()
+
+    for i in range(num_countries):
+        code = f"C{i:03d}"
+        continent = CONTINENTS[int(rng.choice(len(CONTINENTS), p=continent_weights))]
+        index = CONTINENTS.index(continent)
+        region = (
+            REGIONS[continent][int(rng.integers(len(REGIONS[continent])))]
+            if rng.random() < 0.9
+            else REGIONS[CONTINENTS[int(rng.integers(len(CONTINENTS)))]][0]
+        )
+        db.insert(
+            "COUNTRY",
+            {
+                "code": code,
+                "name": f"Country {i}",
+                "continent": continent,
+                "region": region,
+                "surface_area": round(float(rng.lognormal(11 + 0.2 * index, 1.0)), 1),
+                "population": int(rng.lognormal(15 + 0.1 * index, 1.2)),
+                "gnp": round(float(rng.lognormal(9 + 0.3 * (index % 3), 1.0)), 1),
+                "life_expectancy": round(float(np.clip(rng.normal(62 + 3 * index % 20, 5), 40, 85)), 1),
+                "government_form": GOVERNMENT_FORMS[int(rng.integers(len(GOVERNMENT_FORMS)))],
+            },
+        )
+        for _ in range(cities_per_country):
+            db.insert(
+                "CITY",
+                {
+                    "city_id": f"ct{city_counter:05d}",
+                    "country_code": code,
+                    "name": f"City {city_counter}",
+                    "district": f"{continent} District {int(rng.integers(6))}",
+                    "population": int(rng.lognormal(11, 1.3)),
+                },
+            )
+            city_counter += 1
+        families = LANGUAGE_FAMILIES[continent]
+        for j in range(languages_per_country):
+            if rng.random() < 0.85:
+                language = families[int(rng.integers(len(families)))]
+            else:
+                other = LANGUAGE_FAMILIES[CONTINENTS[int(rng.integers(len(CONTINENTS)))]]
+                language = other[int(rng.integers(len(other)))]
+            db.insert(
+                "COUNTRY_LANGUAGE",
+                {
+                    "cl_id": f"cl{language_counter:05d}",
+                    "country_code": code,
+                    "language": language,
+                    "is_official": "T" if j == 0 else ("T" if rng.random() < 0.2 else "F"),
+                    "percentage": round(float(rng.uniform(1, 100)), 1),
+                },
+            )
+            language_counter += 1
+
+    return Dataset(
+        name="world",
+        db=db,
+        prediction_relation="COUNTRY",
+        prediction_attribute="continent",
+        description="Synthetic World dataset; predict a country's continent.",
+    )

@@ -1,0 +1,62 @@
+"""Relational database substrate.
+
+This package implements the formal data model of Section II of the paper:
+schemas with key and foreign-key constraints, facts over those schemas,
+databases as finite sets of facts, constraint validation, foreign-key
+indexes used by the random-walk machinery, cascading deletion (used by the
+dynamic-experiment partitioning protocol of Section VI-E), and persistence.
+"""
+
+from repro.db.schema import (
+    Attribute,
+    AttributeType,
+    ForeignKey,
+    RelationSchema,
+    Schema,
+)
+from repro.db.database import Database, Fact
+from repro.db.errors import (
+    ConstraintViolation,
+    ForeignKeyViolation,
+    KeyViolation,
+    SchemaError,
+    UnknownAttributeError,
+    UnknownRelationError,
+)
+from repro.db.validation import validate_database, validate_fact
+from repro.db.serialization import (
+    database_from_dict,
+    database_to_dict,
+    load_database_json,
+    save_database_json,
+    load_database_csv_dir,
+    save_database_csv_dir,
+)
+
+NULL = None
+"""The distinguished null value ``⊥`` of the paper is represented by ``None``."""
+
+__all__ = [
+    "Attribute",
+    "AttributeType",
+    "ForeignKey",
+    "RelationSchema",
+    "Schema",
+    "Database",
+    "Fact",
+    "NULL",
+    "ConstraintViolation",
+    "ForeignKeyViolation",
+    "KeyViolation",
+    "SchemaError",
+    "UnknownAttributeError",
+    "UnknownRelationError",
+    "validate_database",
+    "validate_fact",
+    "database_from_dict",
+    "database_to_dict",
+    "load_database_json",
+    "save_database_json",
+    "load_database_csv_dir",
+    "save_database_csv_dir",
+]

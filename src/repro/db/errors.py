@@ -1,0 +1,40 @@
+"""Exception hierarchy for the relational substrate."""
+
+
+class SchemaError(ValueError):
+    """Raised when a schema definition is internally inconsistent."""
+
+
+class UnknownRelationError(KeyError):
+    """Raised when a relation name is not part of the schema."""
+
+    def __init__(self, relation: str):
+        super().__init__(relation)
+        self.relation = relation
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"unknown relation {self.relation!r}"
+
+
+class UnknownAttributeError(KeyError):
+    """Raised when an attribute name is not part of a relation schema."""
+
+    def __init__(self, relation: str, attribute: str):
+        super().__init__((relation, attribute))
+        self.relation = relation
+        self.attribute = attribute
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"relation {self.relation!r} has no attribute {self.attribute!r}"
+
+
+class ConstraintViolation(ValueError):
+    """Base class for key and foreign-key constraint violations."""
+
+
+class KeyViolation(ConstraintViolation):
+    """Raised when two facts share the same key, or a key contains a null."""
+
+
+class ForeignKeyViolation(ConstraintViolation):
+    """Raised when a referencing tuple has no referenced tuple."""

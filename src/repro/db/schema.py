@@ -1,0 +1,273 @@
+"""Schema model: relations, attributes, keys, and foreign keys.
+
+This follows Section II of the paper.  A schema ``σ`` is a finite collection
+of relation schemas ``R(A1, ..., Ak)``; each relation has a unique key
+``key(R) ⊆ {A1, ..., Ak}``; a foreign key is an inclusion dependency
+``R[B1..Bl] ⊆ S[C1..Cl]`` where ``{C1..Cl} = key(S)``.
+
+For simplicity the paper assumes attribute names of distinct relations are
+disjoint.  We do not require that globally; instead attributes are always
+addressed as ``(relation, attribute)`` pairs internally, and the
+``Schema.qualified`` helper produces the paper-style ``R.A`` name.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.db.errors import SchemaError, UnknownAttributeError, UnknownRelationError
+
+
+class AttributeType(enum.Enum):
+    """Coarse data type of an attribute.
+
+    The type determines the default domain kernel (Section V-B): numeric
+    attributes default to a Gaussian kernel, all others to the equality
+    kernel.  ``IDENTIFIER`` marks surrogate keys / foreign-key columns whose
+    values have no semantic meaning of their own.
+    """
+
+    NUMERIC = "numeric"
+    CATEGORICAL = "categorical"
+    TEXT = "text"
+    IDENTIFIER = "identifier"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single attribute (column) of a relation schema."""
+
+    name: str
+    type: AttributeType = AttributeType.CATEGORICAL
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """An inclusion dependency ``source[source_attrs] ⊆ target[target_attrs]``.
+
+    ``target_attrs`` must be exactly the key of the target relation (checked
+    by :class:`Schema`).  A fact whose referencing attributes contain a null
+    does not participate in the constraint (the paper's convention).
+    """
+
+    source: str
+    source_attrs: tuple[str, ...]
+    target: str
+    target_attrs: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "source_attrs", tuple(self.source_attrs))
+        object.__setattr__(self, "target_attrs", tuple(self.target_attrs))
+        if len(self.source_attrs) != len(self.target_attrs):
+            raise SchemaError(
+                f"foreign key {self.source}->{self.target}: attribute lists "
+                f"have different lengths"
+            )
+        if not self.source_attrs:
+            raise SchemaError("foreign key must reference at least one attribute")
+        if len(set(self.source_attrs)) != len(self.source_attrs):
+            raise SchemaError("foreign key source attributes must be distinct")
+        if len(set(self.target_attrs)) != len(self.target_attrs):
+            raise SchemaError("foreign key target attributes must be distinct")
+
+    @property
+    def name(self) -> str:
+        """A readable identifier, e.g. ``MOVIES[studio]->STUDIOS[sid]``."""
+        src = ",".join(self.source_attrs)
+        tgt = ",".join(self.target_attrs)
+        return f"{self.source}[{src}]->{self.target}[{tgt}]"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """A relation schema ``R(A1, ..., Ak)`` with key ``key(R)``."""
+
+    name: str
+    attributes: tuple[Attribute, ...]
+    key: tuple[str, ...]
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Sequence[Attribute | tuple[str, AttributeType] | str],
+        key: Sequence[str],
+    ):
+        if not name:
+            raise SchemaError("relation name must be non-empty")
+        normalized: list[Attribute] = []
+        for attr in attributes:
+            if isinstance(attr, Attribute):
+                normalized.append(attr)
+            elif isinstance(attr, tuple):
+                normalized.append(Attribute(attr[0], attr[1]))
+            else:
+                normalized.append(Attribute(attr))
+        names = [a.name for a in normalized]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"relation {name!r}: duplicate attribute names")
+        key_tuple = tuple(key)
+        if not key_tuple:
+            raise SchemaError(f"relation {name!r}: key must be non-empty")
+        for k in key_tuple:
+            if k not in names:
+                raise SchemaError(f"relation {name!r}: key attribute {k!r} not in attributes")
+        if len(set(key_tuple)) != len(key_tuple):
+            raise SchemaError(f"relation {name!r}: key attributes must be distinct")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "attributes", tuple(normalized))
+        object.__setattr__(self, "key", key_tuple)
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        for a in self.attributes:
+            if a.name == name:
+                return a
+        raise UnknownAttributeError(self.name, name)
+
+    def has_attribute(self, name: str) -> bool:
+        return any(a.name == name for a in self.attributes)
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        cols = ", ".join(a.name for a in self.attributes)
+        return f"{self.name}({cols})"
+
+
+class Schema:
+    """A database schema: relation schemas plus foreign-key constraints."""
+
+    def __init__(
+        self,
+        relations: Iterable[RelationSchema],
+        foreign_keys: Iterable[ForeignKey] = (),
+    ):
+        self._relations: dict[str, RelationSchema] = {}
+        for rel in relations:
+            if rel.name in self._relations:
+                raise SchemaError(f"duplicate relation name {rel.name!r}")
+            self._relations[rel.name] = rel
+        self._foreign_keys: list[ForeignKey] = []
+        for fk in foreign_keys:
+            self.add_foreign_key(fk)
+
+    # -- construction -----------------------------------------------------
+
+    def add_foreign_key(self, fk: ForeignKey) -> None:
+        """Add a foreign key, validating it against the relation schemas."""
+        if fk.source not in self._relations:
+            raise UnknownRelationError(fk.source)
+        if fk.target not in self._relations:
+            raise UnknownRelationError(fk.target)
+        source_rel = self._relations[fk.source]
+        target_rel = self._relations[fk.target]
+        for attr in fk.source_attrs:
+            if not source_rel.has_attribute(attr):
+                raise UnknownAttributeError(fk.source, attr)
+        for attr in fk.target_attrs:
+            if not target_rel.has_attribute(attr):
+                raise UnknownAttributeError(fk.target, attr)
+        if set(fk.target_attrs) != set(target_rel.key):
+            raise SchemaError(
+                f"foreign key {fk.name}: target attributes must equal key({fk.target})"
+            )
+        self._foreign_keys.append(fk)
+
+    # -- lookup ------------------------------------------------------------
+
+    @property
+    def relations(self) -> tuple[RelationSchema, ...]:
+        return tuple(self._relations.values())
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(self._relations.keys())
+
+    @property
+    def foreign_keys(self) -> tuple[ForeignKey, ...]:
+        return tuple(self._foreign_keys)
+
+    def relation(self, name: str) -> RelationSchema:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(name) from None
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._relations
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def qualified(self, relation: str, attribute: str) -> str:
+        """The paper-style qualified attribute name ``R.A``."""
+        self.relation(relation).attribute(attribute)
+        return f"{relation}.{attribute}"
+
+    # -- foreign-key helpers ----------------------------------------------
+
+    def foreign_keys_from(self, relation: str) -> tuple[ForeignKey, ...]:
+        """All FKs whose *source* (referencing side) is ``relation``."""
+        return tuple(fk for fk in self._foreign_keys if fk.source == relation)
+
+    def foreign_keys_to(self, relation: str) -> tuple[ForeignKey, ...]:
+        """All FKs whose *target* (referenced side) is ``relation``."""
+        return tuple(fk for fk in self._foreign_keys if fk.target == relation)
+
+    def fk_attributes(self, relation: str) -> frozenset[str]:
+        """Attributes of ``relation`` involved in any FK (either side).
+
+        FoRWaRD only models walk destinations on attributes *not* involved in
+        foreign keys (the set ``T(R, ℓmax)`` of Section V-C); this helper
+        identifies which attributes to exclude.
+        """
+        involved: set[str] = set()
+        for fk in self._foreign_keys:
+            if fk.source == relation:
+                involved.update(fk.source_attrs)
+            if fk.target == relation:
+                involved.update(fk.target_attrs)
+        return frozenset(involved)
+
+    def non_fk_attributes(self, relation: str) -> tuple[Attribute, ...]:
+        """Attributes of ``relation`` not involved in any foreign key."""
+        involved = self.fk_attributes(relation)
+        return tuple(a for a in self.relation(relation).attributes if a.name not in involved)
+
+    def attribute_type(self, relation: str, attribute: str) -> AttributeType:
+        return self.relation(relation).attribute(attribute).type
+
+    # -- misc ----------------------------------------------------------------
+
+    def summary(self) -> Mapping[str, int]:
+        """Structure counts in the style of Table I (per schema, not data)."""
+        return {
+            "relations": len(self._relations),
+            "attributes": sum(r.arity for r in self._relations.values()),
+            "foreign_keys": len(self._foreign_keys),
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        lines = [str(rel) for rel in self._relations.values()]
+        lines += [f"  FK {fk}" for fk in self._foreign_keys]
+        return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""Persistence of schemas and databases (JSON documents and CSV directories).
+
+The JSON format stores the schema and all facts in one document and
+round-trips exactly (including nulls and numeric types).  The CSV-directory
+format writes one ``<relation>.csv`` per relation plus a ``schema.json`` and
+is convenient for inspecting synthetic datasets or importing external ones.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.db.database import Database
+from repro.db.schema import Attribute, AttributeType, ForeignKey, RelationSchema, Schema
+
+_NULL_TOKEN = "\\N"
+
+
+# --------------------------------------------------------------------- schema
+
+
+def schema_to_dict(schema: Schema) -> dict[str, Any]:
+    return {
+        "relations": [
+            {
+                "name": rel.name,
+                "attributes": [
+                    {"name": a.name, "type": a.type.value} for a in rel.attributes
+                ],
+                "key": list(rel.key),
+            }
+            for rel in schema
+        ],
+        "foreign_keys": [
+            {
+                "source": fk.source,
+                "source_attrs": list(fk.source_attrs),
+                "target": fk.target,
+                "target_attrs": list(fk.target_attrs),
+            }
+            for fk in schema.foreign_keys
+        ],
+    }
+
+
+def schema_from_dict(data: Mapping[str, Any]) -> Schema:
+    relations = [
+        RelationSchema(
+            rel["name"],
+            [Attribute(a["name"], AttributeType(a["type"])) for a in rel["attributes"]],
+            rel["key"],
+        )
+        for rel in data["relations"]
+    ]
+    foreign_keys = [
+        ForeignKey(
+            fk["source"], tuple(fk["source_attrs"]), fk["target"], tuple(fk["target_attrs"])
+        )
+        for fk in data.get("foreign_keys", [])
+    ]
+    return Schema(relations, foreign_keys)
+
+
+# ------------------------------------------------------------------- database
+
+
+def database_to_dict(db: Database) -> dict[str, Any]:
+    return {
+        "schema": schema_to_dict(db.schema),
+        "facts": {
+            relation: [list(f.values) for f in db.facts(relation)]
+            for relation in db.relations
+        },
+    }
+
+
+def database_from_dict(data: Mapping[str, Any]) -> Database:
+    schema = schema_from_dict(data["schema"])
+    db = Database(schema)
+    for relation, rows in data.get("facts", {}).items():
+        for row in rows:
+            db.insert(relation, [None if v is None else v for v in row])
+    return db
+
+
+def save_database_json(db: Database, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(database_to_dict(db), indent=2, default=str))
+
+
+def load_database_json(path: str | Path) -> Database:
+    return database_from_dict(json.loads(Path(path).read_text()))
+
+
+# ---------------------------------------------------------------- CSV support
+
+
+def _encode_csv_value(value: Any) -> str:
+    if value is None:
+        return _NULL_TOKEN
+    return str(value)
+
+
+def _decode_csv_value(text: str, attr_type: AttributeType) -> Any:
+    if text == _NULL_TOKEN:
+        return None
+    if attr_type is AttributeType.NUMERIC:
+        try:
+            as_float = float(text)
+        except ValueError:
+            return text
+        return int(as_float) if as_float.is_integer() else as_float
+    return text
+
+
+def save_database_csv_dir(db: Database, directory: str | Path) -> None:
+    """Write one CSV per relation and a ``schema.json`` into ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / "schema.json").write_text(json.dumps(schema_to_dict(db.schema), indent=2))
+    for relation in db.relations:
+        rel_schema = db.schema.relation(relation)
+        with open(directory / f"{relation}.csv", "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(rel_schema.attribute_names)
+            for fact in db.facts(relation):
+                writer.writerow([_encode_csv_value(v) for v in fact.values])
+
+
+def load_database_csv_dir(directory: str | Path) -> Database:
+    """Load a database previously written by :func:`save_database_csv_dir`."""
+    directory = Path(directory)
+    schema = schema_from_dict(json.loads((directory / "schema.json").read_text()))
+    db = Database(schema)
+    for rel_schema in schema:
+        csv_path = directory / f"{rel_schema.name}.csv"
+        if not csv_path.exists():
+            continue
+        with open(csv_path, newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader)
+            types = [rel_schema.attribute(name).type for name in header]
+            for row in reader:
+                values = {
+                    name: _decode_csv_value(cell, attr_type)
+                    for name, cell, attr_type in zip(header, row, types)
+                }
+                db.insert(rel_schema.name, values)
+    return db

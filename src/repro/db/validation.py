@@ -1,0 +1,56 @@
+"""Standalone validation of facts and databases against their schema."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.db.database import Database, Fact
+from repro.db.errors import KeyViolation
+from repro.db.schema import Schema
+
+
+def validate_fact(schema: Schema, fact: Fact) -> list[str]:
+    """Return a list of problems with a single fact (empty when valid)."""
+    problems: list[str] = []
+    if not schema.has_relation(fact.relation):
+        return [f"unknown relation {fact.relation!r}"]
+    rel = schema.relation(fact.relation)
+    if len(fact.values) != rel.arity:
+        problems.append(
+            f"{fact.relation}: expected {rel.arity} values, got {len(fact.values)}"
+        )
+        return problems
+    for attr in rel.key:
+        if fact[attr] is None:
+            problems.append(f"{fact}: key attribute {attr!r} is null")
+    return problems
+
+
+def validate_database(db: Database) -> list[str]:
+    """Return all key and foreign-key problems in the database.
+
+    Key uniqueness is normally enforced at insertion time; this function
+    re-checks it (useful after manual index manipulation in tests) and adds
+    referential-integrity problems from :meth:`Database.check_foreign_keys`.
+    """
+    problems: list[str] = []
+    for relation in db.relations:
+        seen: dict[tuple, Fact] = {}
+        for fact in db.facts(relation):
+            problems.extend(validate_fact(db.schema, fact))
+            key = fact.key_values()
+            if key in seen:
+                problems.append(
+                    f"{relation}: duplicate key {key!r} ({seen[key].fact_id}, {fact.fact_id})"
+                )
+            else:
+                seen[key] = fact
+    problems.extend(db.check_foreign_keys())
+    return problems
+
+
+def assert_valid(db: Database) -> None:
+    """Raise :class:`KeyViolation` with all problems if the database is invalid."""
+    problems = validate_database(db)
+    if problems:
+        raise KeyViolation("; ".join(problems[:10]))

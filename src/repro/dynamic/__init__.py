@@ -1,0 +1,18 @@
+"""Dynamic-experiment protocol (Section VI-E-1 of the paper).
+
+The partitioning procedure splits a database into "old" facts and "new"
+facts by stratified sampling of the prediction relation followed by
+cascading deletion; the replay helpers re-insert the new facts either
+one-by-one (each prediction fact together with its cascade batch) or all at
+once.
+"""
+
+from repro.dynamic.partition import Partition, partition_dataset
+from repro.dynamic.replay import replay_all_at_once, replay_one_by_one
+
+__all__ = [
+    "Partition",
+    "partition_dataset",
+    "replay_all_at_once",
+    "replay_one_by_one",
+]

@@ -1,0 +1,117 @@
+"""Stratified cascade-delete partitioning into old and new facts.
+
+The paper's protocol (Section VI-E-1):
+
+1. stratified-split the prediction relation into old and new tuples
+   according to the requested ratio (class proportions preserved);
+2. remove the new prediction tuples one at a time, in random order, each
+   with an "On Delete Cascade" deletion, so that data referenced only by the
+   removed tuple disappears with it;
+3. everything still in the database forms ``F_old``; the deleted facts form
+   ``F_new``, grouped into one batch per removed prediction tuple.
+
+Re-inserting the batches in inverse deletion order then simulates the
+arrival of semantically related new data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.db.database import Database, Fact
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class Partition:
+    """Result of the cascade-delete partitioning.
+
+    ``db`` is the database containing only the old facts.  ``new_batches``
+    holds, in deletion order, one batch per removed prediction tuple; each
+    batch starts with the prediction fact and continues with the facts
+    removed by its cascade.  Replaying the batches in *reverse* order (see
+    :mod:`repro.dynamic.replay`) restores the original database.
+    """
+
+    db: Database
+    prediction_relation: str
+    new_batches: list[list[Fact]]
+    old_prediction_ids: tuple[int, ...]
+    new_prediction_ids: tuple[int, ...]
+    ratio_new: float
+
+    @property
+    def new_facts(self) -> list[Fact]:
+        """All removed facts (prediction facts and their cascades)."""
+        return [fact for batch in self.new_batches for fact in batch]
+
+    @property
+    def num_new_prediction_facts(self) -> int:
+        return len(self.new_prediction_ids)
+
+    @property
+    def num_old_prediction_facts(self) -> int:
+        return len(self.old_prediction_ids)
+
+
+def _stratified_choice(
+    labels: Mapping[int, Any], ratio_new: float, rng: np.random.Generator
+) -> tuple[list[int], list[int]]:
+    """Split fact ids into (old, new) with class proportions preserved."""
+    by_class: dict[Any, list[int]] = {}
+    for fact_id, label in labels.items():
+        by_class.setdefault(label, []).append(fact_id)
+    old_ids: list[int] = []
+    new_ids: list[int] = []
+    for members in by_class.values():
+        members = list(members)
+        rng.shuffle(members)
+        cut = int(round(len(members) * ratio_new))
+        # Keep at least one old tuple per class when possible so the
+        # downstream classifier sees every class during training.
+        cut = min(cut, max(len(members) - 1, 0))
+        new_ids.extend(members[:cut])
+        old_ids.extend(members[cut:])
+    return old_ids, new_ids
+
+
+def partition_dataset(
+    dataset: Dataset,
+    ratio_new: float,
+    rng: int | np.random.Generator | None = None,
+    mask_prediction_attribute: bool = True,
+) -> Partition:
+    """Partition a dataset's database into old data and new arrivals.
+
+    The returned partition operates on a *copy* of the dataset's database
+    (masked when ``mask_prediction_attribute`` is true, which is what the
+    embedding algorithms must see); the dataset itself is never modified.
+    """
+    if not 0.0 < ratio_new < 1.0:
+        raise ValueError("ratio_new must be strictly between 0 and 1")
+    generator = ensure_rng(rng)
+    db = dataset.masked_database() if mask_prediction_attribute else dataset.db.copy()
+    labels = dataset.labels()
+
+    old_ids, new_ids = _stratified_choice(labels, ratio_new, generator)
+    order = list(new_ids)
+    generator.shuffle(order)
+
+    batches: list[list[Fact]] = []
+    for fact_id in order:
+        seed_fact = db.fact(fact_id)
+        removed = db.delete_cascade(seed_fact)
+        batches.append(removed)
+
+    return Partition(
+        db=db,
+        prediction_relation=dataset.prediction_relation,
+        new_batches=batches,
+        old_prediction_ids=tuple(old_ids),
+        new_prediction_ids=tuple(order),
+        ratio_new=ratio_new,
+    )

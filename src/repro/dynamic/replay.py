@@ -1,0 +1,63 @@
+"""Replaying the arrival of new facts after partitioning.
+
+Two modes, matching Section VI-E of the paper:
+
+* **one-by-one** — the deleted prediction tuples are re-inserted in the
+  inverse order of their deletion, each together with the facts removed by
+  its cascade; after every batch a callback embeds the freshly inserted
+  facts before the next batch arrives;
+* **all-at-once** — every removed fact is re-inserted first, then a single
+  callback embeds all of them together.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.db.database import Database, Fact
+from repro.dynamic.partition import Partition
+
+BatchCallback = Callable[[Sequence[Fact]], None]
+
+
+def _reinsert_batch(db: Database, batch: Sequence[Fact]) -> list[Fact]:
+    """Re-insert one cascade batch; referenced facts go in before referencing ones.
+
+    The batch is stored in deletion order (prediction fact first, cascaded
+    facts afterwards); re-inserting in reverse order restores parents before
+    children, though the database tolerates either order.
+    """
+    restored: list[Fact] = []
+    for fact in reversed(list(batch)):
+        restored.append(db.reinsert(fact))
+    return restored
+
+
+def replay_one_by_one(
+    partition: Partition,
+    on_batch: BatchCallback,
+) -> list[list[Fact]]:
+    """Re-insert batches one at a time, invoking ``on_batch`` after each.
+
+    Returns the list of re-inserted batches in arrival order (the inverse of
+    deletion order).  ``on_batch`` receives the facts of the batch just
+    inserted and is expected to extend the embedding to them.
+    """
+    arrived: list[list[Fact]] = []
+    for batch in reversed(partition.new_batches):
+        restored = _reinsert_batch(partition.db, batch)
+        on_batch(restored)
+        arrived.append(restored)
+    return arrived
+
+
+def replay_all_at_once(
+    partition: Partition,
+    on_batch: BatchCallback,
+) -> list[Fact]:
+    """Re-insert every removed fact, then invoke ``on_batch`` once with all of them."""
+    restored: list[Fact] = []
+    for batch in reversed(partition.new_batches):
+        restored.extend(_reinsert_batch(partition.db, batch))
+    on_batch(restored)
+    return restored

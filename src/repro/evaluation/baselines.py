@@ -1,0 +1,79 @@
+"""Baselines for the downstream experiments.
+
+The paper compares against reported state-of-the-art numbers and, in the
+dynamic experiment, against the accuracy of always predicting the most
+common class.  The majority baseline is implemented here, plus a "flat"
+single-relation baseline that featurises only the prediction relation's own
+attributes — a useful anchor showing how much of the accuracy comes from
+foreign-key context rather than local attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.db.database import Fact
+from repro.db.schema import AttributeType
+from repro.ml.metrics import majority_class_accuracy
+
+
+def majority_baseline_accuracy(labels: Sequence) -> float:
+    """Accuracy of predicting the most common class (Figure 5's baseline)."""
+    return majority_class_accuracy(labels)
+
+
+class FlatFeatureBaseline:
+    """One-hot / numeric featurisation of the prediction relation only.
+
+    The features deliberately exclude the prediction attribute, key
+    attributes and foreign-key attributes, so the baseline sees exactly the
+    "local" information an embedding-free single-table model would see.
+    """
+
+    def __init__(self, dataset: Dataset, max_categories: int = 30):
+        self.dataset = dataset
+        self.max_categories = max_categories
+        schema = dataset.db.schema
+        relation = schema.relation(dataset.prediction_relation)
+        excluded = set(relation.key) | set(schema.fk_attributes(relation.name))
+        excluded.add(dataset.prediction_attribute)
+        self._numeric_attrs = [
+            a.name
+            for a in relation.attributes
+            if a.name not in excluded and a.type is AttributeType.NUMERIC
+        ]
+        self._categorical_attrs = [
+            a.name
+            for a in relation.attributes
+            if a.name not in excluded and a.type is not AttributeType.NUMERIC
+        ]
+        self._categories: dict[str, list] = {}
+        for attr in self._categorical_attrs:
+            values = sorted(
+                dataset.db.active_domain(relation.name, attr), key=str
+            )[: self.max_categories]
+            self._categories[attr] = values
+
+    @property
+    def num_features(self) -> int:
+        return len(self._numeric_attrs) + sum(len(v) for v in self._categories.values())
+
+    def features(self, facts: Sequence[Fact]) -> np.ndarray:
+        """The flat feature matrix for the given prediction-relation facts."""
+        rows = np.zeros((len(facts), max(self.num_features, 1)))
+        for row, fact in enumerate(facts):
+            col = 0
+            for attr in self._numeric_attrs:
+                value = fact[attr]
+                rows[row, col] = float(value) if value is not None else 0.0
+                col += 1
+            for attr in self._categorical_attrs:
+                categories = self._categories[attr]
+                value = fact[attr]
+                if value in categories:
+                    rows[row, col + categories.index(value)] = 1.0
+                col += len(categories)
+        return rows

@@ -1,0 +1,205 @@
+"""Dynamic database embedding experiment (Figure 5, Tables IV–VI).
+
+The five-step protocol of Section VI-E-1:
+
+1. partition the facts into ``F_old`` and ``F_new`` (stratified split of the
+   prediction relation followed by cascade deletion);
+2. train the static embedding on the old part only;
+3. train the downstream classifier on the labelled old embeddings;
+4. insert the new facts back (one-by-one or all-at-once) and extend the
+   embedding to them;
+5. evaluate the classifier **only** on the embeddings of the new facts.
+
+The driver also records the numbers behind Tables V and VI: the wall-clock
+time of the static embedding and the average time to embed one newly
+arrived prediction tuple.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.stability import embedding_drift
+from repro.datasets.base import Dataset
+from repro.dynamic.partition import Partition, partition_dataset
+from repro.dynamic.replay import replay_all_at_once, replay_one_by_one
+from repro.evaluation.baselines import majority_baseline_accuracy
+from repro.evaluation.downstream import (
+    ClassifierFactory,
+    DownstreamClassifier,
+    align_embedding,
+    default_classifier_factory,
+)
+from repro.evaluation.methods import EmbeddingMethod
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+@dataclass
+class DynamicRunResult:
+    """Outcome of one partition/run of the dynamic experiment."""
+
+    accuracy_new: float
+    baseline_accuracy: float
+    static_train_seconds: float
+    seconds_per_new_tuple: float
+    num_new_prediction_facts: int
+    max_drift: float
+    """Maximum change of any old fact's embedding (0 == perfectly stable)."""
+
+
+@dataclass
+class DynamicResult:
+    """Aggregated dynamic-experiment result for one (dataset, method, mode)."""
+
+    dataset: str
+    method: str
+    mode: str
+    ratio_new: float
+    accuracy_mean: float
+    accuracy_std: float
+    baseline_mean: float
+    static_train_seconds_mean: float
+    seconds_per_new_tuple_mean: float
+    runs: list[DynamicRunResult] = field(default_factory=list)
+
+
+@dataclass
+class RatioSweepResult:
+    """Accuracy series over new-data ratios for one dataset (Figure 5 panel)."""
+
+    dataset: str
+    ratios: tuple[float, ...]
+    series: dict[str, list[float]]
+    """Method name -> accuracy at each ratio (plus a ``"baseline"`` series)."""
+
+
+def _run_once(
+    dataset: Dataset,
+    method: EmbeddingMethod,
+    ratio_new: float,
+    mode: str,
+    classifier_factory: ClassifierFactory,
+    rng: np.random.Generator,
+) -> DynamicRunResult:
+    if mode not in ("one_by_one", "all_at_once"):
+        raise ValueError(f"unknown insertion mode {mode!r}")
+    labels = dataset.labels()
+    partition = partition_dataset(dataset, ratio_new, rng=rng)
+
+    # Step 2: static embedding on the old data only.
+    start = time.perf_counter()
+    model = method.fit(partition.db, dataset.prediction_relation, rng=rng)
+    static_seconds = time.perf_counter() - start
+
+    old_prediction_facts = list(partition.db.facts(dataset.prediction_relation))
+    embedding_before = method.embedding(model, old_prediction_facts)
+
+    # Step 3: downstream classifier on the labelled old embeddings.
+    classifier = DownstreamClassifier(classifier_factory)
+    classifier.train(align_embedding(embedding_before, labels))
+
+    # Step 4: insert the new data and extend the embedding.
+    extender = method.make_extender(
+        model, partition.db, recompute_old_paths=(mode == "all_at_once"), rng=rng
+    )
+    extension_seconds = 0.0
+
+    def embed_batch(batch: Sequence) -> None:
+        nonlocal extension_seconds
+        extender.notify_inserted(batch)
+        start_batch = time.perf_counter()
+        extender.extend(batch)
+        extension_seconds += time.perf_counter() - start_batch
+
+    if mode == "one_by_one":
+        replay_one_by_one(partition, embed_batch)
+    else:
+        replay_all_at_once(partition, embed_batch)
+
+    # Step 5: evaluate only on the new prediction facts.
+    new_prediction_facts = [
+        partition.db.fact(fid) for fid in partition.new_prediction_ids
+    ]
+    all_prediction_facts = list(partition.db.facts(dataset.prediction_relation))
+    embedding_after = method.embedding(model, all_prediction_facts)
+    new_data = align_embedding(embedding_after, labels, facts=new_prediction_facts)
+    accuracy_new = classifier.accuracy(new_data) if len(new_data) else float("nan")
+    baseline = majority_baseline_accuracy(
+        [labels[fid] for fid in partition.new_prediction_ids if fid in labels]
+    )
+    drift = embedding_drift(embedding_before, embedding_after)
+
+    num_new = max(len(new_prediction_facts), 1)
+    return DynamicRunResult(
+        accuracy_new=accuracy_new,
+        baseline_accuracy=baseline,
+        static_train_seconds=static_seconds,
+        seconds_per_new_tuple=extension_seconds / num_new,
+        num_new_prediction_facts=len(new_prediction_facts),
+        max_drift=drift.max_drift,
+    )
+
+
+def run_dynamic_experiment(
+    dataset: Dataset,
+    method: EmbeddingMethod,
+    ratio_new: float = 0.1,
+    mode: str = "one_by_one",
+    n_runs: int = 10,
+    classifier_factory: ClassifierFactory = default_classifier_factory,
+    rng=None,
+) -> DynamicResult:
+    """Run the dynamic experiment ``n_runs`` times and aggregate the results."""
+    generator = ensure_rng(rng)
+    runs = [
+        _run_once(dataset, method, ratio_new, mode, classifier_factory, run_rng)
+        for run_rng in spawn_rngs(generator, n_runs)
+    ]
+    accuracies = np.array([r.accuracy_new for r in runs])
+    return DynamicResult(
+        dataset=dataset.name,
+        method=method.name,
+        mode=mode,
+        ratio_new=ratio_new,
+        accuracy_mean=float(np.nanmean(accuracies)),
+        accuracy_std=float(np.nanstd(accuracies)),
+        baseline_mean=float(np.mean([r.baseline_accuracy for r in runs])),
+        static_train_seconds_mean=float(np.mean([r.static_train_seconds for r in runs])),
+        seconds_per_new_tuple_mean=float(np.mean([r.seconds_per_new_tuple for r in runs])),
+        runs=runs,
+    )
+
+
+def run_ratio_sweep(
+    dataset: Dataset,
+    methods: Sequence[EmbeddingMethod],
+    ratios: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+    mode: str = "one_by_one",
+    n_runs: int = 10,
+    classifier_factory: ClassifierFactory = default_classifier_factory,
+    rng=None,
+) -> RatioSweepResult:
+    """The Figure-5 sweep: accuracy on new data as the new-data ratio grows."""
+    generator = ensure_rng(rng)
+    series: dict[str, list[float]] = {method.name: [] for method in methods}
+    series["baseline"] = []
+    for ratio in ratios:
+        baseline_values: list[float] = []
+        for method in methods:
+            result = run_dynamic_experiment(
+                dataset,
+                method,
+                ratio_new=ratio,
+                mode=mode,
+                n_runs=n_runs,
+                classifier_factory=classifier_factory,
+                rng=generator,
+            )
+            series[method.name].append(result.accuracy_mean)
+            baseline_values.append(result.baseline_mean)
+        series["baseline"].append(float(np.mean(baseline_values)))
+    return RatioSweepResult(dataset.name, tuple(ratios), series)

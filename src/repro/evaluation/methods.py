@@ -1,0 +1,131 @@
+"""A uniform interface over the two embedding methods.
+
+The experiment drivers only need three operations from a method: fit a
+static embedding on a database, read off the embedding of a set of facts,
+and produce a dynamic extender bound to the (mutating) database.  This
+module wraps FoRWaRD and the Node2Vec adaptation behind that interface so
+the experiment code is written once.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.base import TupleEmbedding
+from repro.core.config import ForwardConfig, Node2VecConfig
+from repro.core.forward import ForwardEmbedder, ForwardModel
+from repro.core.forward_dynamic import ForwardDynamicExtender
+from repro.core.node2vec import Node2VecEmbedder, Node2VecModel
+from repro.core.node2vec_dynamic import Node2VecDynamicExtender
+from repro.db.database import Database, Fact
+from repro.utils.rng import ensure_rng
+
+
+class DynamicExtender(abc.ABC):
+    """Embeds newly inserted facts without changing existing embeddings."""
+
+    @abc.abstractmethod
+    def extend(self, facts: Sequence[Fact]) -> TupleEmbedding:
+        """Embed the given new facts and return their embeddings."""
+
+    def notify_inserted(self, facts: Sequence[Fact]) -> None:
+        """Hook called after facts are inserted into the database."""
+
+
+class EmbeddingMethod(abc.ABC):
+    """A named embedding algorithm with static fit and dynamic extension."""
+
+    name: str
+
+    @abc.abstractmethod
+    def fit(self, db: Database, prediction_relation: str, rng=None) -> Any:
+        """Train the static embedding on ``db``; returns the method's model."""
+
+    @abc.abstractmethod
+    def embedding(self, model: Any, facts: Iterable[Fact]) -> TupleEmbedding:
+        """The embeddings of the given facts from a trained model."""
+
+    @abc.abstractmethod
+    def make_extender(
+        self, model: Any, db: Database, recompute_old_paths: bool, rng=None
+    ) -> DynamicExtender:
+        """A dynamic extender bound to the current (post-insertion) database."""
+
+
+@dataclass
+class ForwardMethod(EmbeddingMethod):
+    """FoRWaRD behind the uniform method interface."""
+
+    config: ForwardConfig = field(default_factory=ForwardConfig)
+    name: str = "forward"
+
+    def fit(self, db: Database, prediction_relation: str, rng=None) -> ForwardModel:
+        return ForwardEmbedder(db, prediction_relation, self.config, rng=rng).fit()
+
+    def embedding(self, model: ForwardModel, facts: Iterable[Fact]) -> TupleEmbedding:
+        full = model.embedding()
+        return full.restrict([f for f in facts if f in full])
+
+    def make_extender(
+        self, model: ForwardModel, db: Database, recompute_old_paths: bool, rng=None
+    ) -> DynamicExtender:
+        return _ForwardExtenderAdapter(
+            ForwardDynamicExtender(model, db, recompute_old_paths=recompute_old_paths, rng=rng)
+        )
+
+
+class _ForwardExtenderAdapter(DynamicExtender):
+    def __init__(self, extender: ForwardDynamicExtender):
+        self._extender = extender
+
+    def extend(self, facts: Sequence[Fact]) -> TupleEmbedding:
+        return self._extender.extend(facts)
+
+    def notify_inserted(self, facts: Sequence[Fact]) -> None:
+        self._extender.notify_inserted(facts)
+
+
+@dataclass
+class Node2VecMethod(EmbeddingMethod):
+    """The Node2Vec adaptation behind the uniform method interface."""
+
+    config: Node2VecConfig = field(default_factory=Node2VecConfig)
+    name: str = "node2vec"
+
+    def fit(self, db: Database, prediction_relation: str, rng=None) -> Node2VecModel:
+        del prediction_relation  # Node2Vec embeds every fact of the database
+        return Node2VecEmbedder(db, self.config, rng=rng).fit()
+
+    def embedding(self, model: Node2VecModel, facts: Iterable[Fact]) -> TupleEmbedding:
+        return model.embedding(facts)
+
+    def make_extender(
+        self, model: Node2VecModel, db: Database, recompute_old_paths: bool, rng=None
+    ) -> DynamicExtender:
+        del db, recompute_old_paths  # the model's graph is extended in place
+        return _Node2VecExtenderAdapter(Node2VecDynamicExtender(model, rng=rng))
+
+
+class _Node2VecExtenderAdapter(DynamicExtender):
+    def __init__(self, extender: Node2VecDynamicExtender):
+        self._extender = extender
+
+    def extend(self, facts: Sequence[Fact]) -> TupleEmbedding:
+        return self._extender.extend(facts)
+
+
+def method_by_name(
+    name: str,
+    forward_config: ForwardConfig | None = None,
+    node2vec_config: Node2VecConfig | None = None,
+) -> EmbeddingMethod:
+    """Construct a method from its paper name (``"forward"`` or ``"node2vec"``)."""
+    if name == "forward":
+        return ForwardMethod(forward_config or ForwardConfig())
+    if name == "node2vec":
+        return Node2VecMethod(node2vec_config or Node2VecConfig())
+    raise ValueError(f"unknown embedding method {name!r}")

@@ -1,0 +1,70 @@
+"""ASCII renderings of the paper's tables and figures."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.evaluation.dynamic_experiment import DynamicResult, RatioSweepResult
+from repro.evaluation.static_experiment import StaticResult
+
+
+def format_static_table(results: Sequence[StaticResult]) -> str:
+    """Render static-experiment results as a Table-III style table."""
+    datasets = sorted({r.dataset for r in results})
+    methods = list(dict.fromkeys(r.method for r in results))
+    header = f"{'Task':<14}" + "".join(f"{m:>24}" for m in methods)
+    lines = [header, "-" * len(header)]
+    by_key = {(r.dataset, r.method): r for r in results}
+    for dataset in datasets:
+        cells = []
+        for method in methods:
+            result = by_key.get((dataset, method))
+            if result is None:
+                cells.append(f"{'-':>24}")
+            else:
+                cells.append(f"{result.accuracy_mean*100:>17.2f}% ±{result.accuracy_std*100:4.1f}")
+        lines.append(f"{dataset:<14}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_dynamic_table(results: Sequence[DynamicResult]) -> str:
+    """Render dynamic results (Table IV style: dataset × method × mode)."""
+    header = (
+        f"{'Task':<14}{'Method':<12}{'Mode':<14}{'Ratio':>6}"
+        f"{'Accuracy':>12}{'Std':>8}{'Baseline':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for result in results:
+        lines.append(
+            f"{result.dataset:<14}{result.method:<12}{result.mode:<14}"
+            f"{result.ratio_new:>6.2f}{result.accuracy_mean*100:>11.2f}%"
+            f"{result.accuracy_std*100:>7.2f}{result.baseline_mean*100:>9.2f}%"
+        )
+    return "\n".join(lines)
+
+
+def format_timing_table(results: Sequence[DynamicResult], per_tuple: bool = False) -> str:
+    """Render timing results (Table V when ``per_tuple`` is false, Table VI otherwise)."""
+    metric = "sec/new tuple" if per_tuple else "static seconds"
+    header = f"{'Task':<14}{'Method':<12}{'Mode':<14}{metric:>16}"
+    lines = [header, "-" * len(header)]
+    for result in results:
+        value = (
+            result.seconds_per_new_tuple_mean if per_tuple else result.static_train_seconds_mean
+        )
+        lines.append(
+            f"{result.dataset:<14}{result.method:<12}{result.mode:<14}{value:>16.3f}"
+        )
+    return "\n".join(lines)
+
+
+def format_figure5_series(sweep: RatioSweepResult) -> str:
+    """Render a Figure-5 panel as a text table: accuracy per new-data ratio."""
+    header = f"{'Ratio new (%)':<15}" + "".join(f"{name:>14}" for name in sweep.series)
+    lines = [f"Dataset: {sweep.dataset}", header, "-" * len(header)]
+    for index, ratio in enumerate(sweep.ratios):
+        row = f"{ratio*100:<15.0f}"
+        for name in sweep.series:
+            row += f"{sweep.series[name][index]*100:>13.2f}%"
+        lines.append(row)
+    return "\n".join(lines)

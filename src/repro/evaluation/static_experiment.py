@@ -1,0 +1,149 @@
+"""Static database embedding experiment (Table III of the paper).
+
+For each dataset and each method the embedding is trained on the full
+(masked) database and a downstream SVM is evaluated with 10-fold stratified
+cross-validation.  As in the paper, a fresh embedding can be trained per
+fold so the reported standard deviation reflects both fold and embedding
+randomness; set ``fresh_embedding_per_fold=False`` to train a single
+embedding and only re-split the classifier folds (much faster, used by the
+reduced-scale benchmark harness).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.evaluation.baselines import FlatFeatureBaseline, majority_baseline_accuracy
+from repro.evaluation.downstream import (
+    ClassifierFactory,
+    align_embedding,
+    default_classifier_factory,
+)
+from repro.evaluation.methods import EmbeddingMethod
+from repro.ml.cross_validation import StratifiedKFold, cross_val_accuracy
+from repro.ml.metrics import accuracy_score
+from repro.ml.scaling import StandardScaler
+from repro.utils.rng import ensure_rng, spawn_rngs
+
+
+@dataclass
+class StaticResult:
+    """Accuracy of one method on one dataset in the static setting."""
+
+    dataset: str
+    method: str
+    accuracy_mean: float
+    accuracy_std: float
+    fold_accuracies: list[float]
+    train_seconds: float
+    """Total wall-clock time spent training embeddings (Table V)."""
+
+
+def _evaluate_embedding_folds(
+    dataset: Dataset,
+    method: EmbeddingMethod,
+    n_splits: int,
+    fresh_embedding_per_fold: bool,
+    classifier_factory: ClassifierFactory,
+    rng: np.random.Generator,
+) -> StaticResult:
+    labels = dataset.labels()
+    masked = dataset.masked_database()
+    prediction_facts = list(dataset.prediction_facts())
+    fold_accuracies: list[float] = []
+    train_seconds = 0.0
+
+    if not fresh_embedding_per_fold:
+        start = time.perf_counter()
+        model = method.fit(masked, dataset.prediction_relation, rng=rng)
+        train_seconds += time.perf_counter() - start
+        data = align_embedding(method.embedding(model, prediction_facts), labels)
+        mean, std, scores = cross_val_accuracy(
+            classifier_factory, data.features, data.labels, n_splits=n_splits, rng=rng
+        )
+        return StaticResult(dataset.name, method.name, mean, std, scores, train_seconds)
+
+    # Paper protocol: a new embedding per fold; the embedding always sees the
+    # full (masked) database, only the classifier split changes.
+    label_array = np.array([labels[f.fact_id] for f in prediction_facts], dtype=object)
+    splitter = StratifiedKFold(n_splits=n_splits, rng=rng)
+    for train_idx, test_idx in splitter.split(label_array):
+        start = time.perf_counter()
+        model = method.fit(masked, dataset.prediction_relation, rng=rng)
+        train_seconds += time.perf_counter() - start
+        data = align_embedding(method.embedding(model, prediction_facts), labels)
+        row_of = {fid: row for row, fid in enumerate(data.fact_ids)}
+        train_rows = [row_of[prediction_facts[i].fact_id] for i in train_idx
+                      if prediction_facts[i].fact_id in row_of]
+        test_rows = [row_of[prediction_facts[i].fact_id] for i in test_idx
+                     if prediction_facts[i].fact_id in row_of]
+        if not train_rows or not test_rows:
+            continue
+        scaler = StandardScaler().fit(data.features[train_rows])
+        classifier = classifier_factory()
+        classifier.fit(scaler.transform(data.features[train_rows]), data.labels[train_rows])
+        predictions = classifier.predict(scaler.transform(data.features[test_rows]))
+        fold_accuracies.append(accuracy_score(data.labels[test_rows], predictions))
+
+    scores = np.asarray(fold_accuracies)
+    return StaticResult(
+        dataset.name,
+        method.name,
+        float(scores.mean()),
+        float(scores.std()),
+        fold_accuracies,
+        train_seconds,
+    )
+
+
+def _evaluate_flat_baseline(
+    dataset: Dataset,
+    n_splits: int,
+    classifier_factory: ClassifierFactory,
+    rng: np.random.Generator,
+) -> StaticResult:
+    baseline = FlatFeatureBaseline(dataset)
+    facts = list(dataset.prediction_facts())
+    labels = dataset.labels()
+    kept = [f for f in facts if f.fact_id in labels]
+    features = baseline.features(kept)
+    label_array = np.array([labels[f.fact_id] for f in kept], dtype=object)
+    mean, std, scores = cross_val_accuracy(
+        classifier_factory, features, label_array, n_splits=n_splits, rng=rng
+    )
+    return StaticResult(dataset.name, "flat_baseline", mean, std, scores, 0.0)
+
+
+def _evaluate_majority_baseline(dataset: Dataset) -> StaticResult:
+    labels = list(dataset.labels().values())
+    accuracy = majority_baseline_accuracy(labels)
+    return StaticResult(dataset.name, "majority_baseline", accuracy, 0.0, [accuracy], 0.0)
+
+
+def run_static_experiment(
+    dataset: Dataset,
+    methods: Sequence[EmbeddingMethod],
+    n_splits: int = 10,
+    fresh_embedding_per_fold: bool = True,
+    include_baselines: bool = True,
+    classifier_factory: ClassifierFactory = default_classifier_factory,
+    rng=None,
+) -> list[StaticResult]:
+    """Run the static experiment for one dataset; one result row per method."""
+    generator = ensure_rng(rng)
+    results: list[StaticResult] = []
+    for method, method_rng in zip(methods, spawn_rngs(generator, len(methods))):
+        results.append(
+            _evaluate_embedding_folds(
+                dataset, method, n_splits, fresh_embedding_per_fold, classifier_factory, method_rng
+            )
+        )
+    if include_baselines:
+        results.append(_evaluate_flat_baseline(dataset, n_splits, classifier_factory, generator))
+        results.append(_evaluate_majority_baseline(dataset))
+    return results

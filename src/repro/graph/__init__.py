@@ -1,0 +1,13 @@
+"""Graph substrate for the Node2Vec adaptation (Section IV of the paper).
+
+The database is modelled as a bipartite graph with fact nodes ``v(f)`` and
+value nodes ``u(R, A, a)``; value nodes linked by a foreign-key constraint
+are identified (merged).  On top of that graph, a Node2Vec biased
+second-order random-walk sampler produces the walk corpus consumed by the
+skip-gram model.
+"""
+
+from repro.graph.db_graph import DatabaseGraph
+from repro.graph.node2vec_walks import Node2VecWalker
+
+__all__ = ["DatabaseGraph", "Node2VecWalker"]

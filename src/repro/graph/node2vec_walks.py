@@ -1,0 +1,87 @@
+"""Node2Vec biased second-order random walks.
+
+Implements the walk generation of Grover & Leskovec (2016) used by the
+paper's Node2Vec adaptation: from the previous node ``t`` and current node
+``v``, the next node ``x`` is drawn with unnormalised weight ``1/p`` when
+``x == t``, ``1`` when ``x`` is a neighbour of ``t``, and ``1/q`` otherwise.
+With ``p == q == 1`` the walk is a plain uniform random walk.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.graph.db_graph import DatabaseGraph
+from repro.nn.corpus import WalkCorpus
+from repro.utils.rng import ensure_rng
+
+
+class Node2VecWalker:
+    """Generates Node2Vec walks over a :class:`DatabaseGraph`."""
+
+    def __init__(
+        self,
+        graph: DatabaseGraph,
+        walks_per_node: int = 40,
+        walk_length: int = 30,
+        p: float = 1.0,
+        q: float = 1.0,
+        rng: int | np.random.Generator | None = None,
+    ):
+        if walks_per_node <= 0 or walk_length <= 0:
+            raise ValueError("walks_per_node and walk_length must be positive")
+        if p <= 0 or q <= 0:
+            raise ValueError("p and q must be positive")
+        self.graph = graph
+        self.walks_per_node = int(walks_per_node)
+        self.walk_length = int(walk_length)
+        self.p = float(p)
+        self.q = float(q)
+        self.rng = ensure_rng(rng)
+
+    # ----------------------------------------------------------------- walks
+
+    def _next_node(self, previous: int | None, current: int) -> int | None:
+        neighbors = self.graph.neighbors(current)
+        if not neighbors:
+            return None
+        if previous is None or (self.p == 1.0 and self.q == 1.0):
+            return neighbors[int(self.rng.integers(len(neighbors)))]
+        previous_neighbors = set(self.graph.neighbors(previous))
+        weights = np.empty(len(neighbors), dtype=np.float64)
+        for i, candidate in enumerate(neighbors):
+            if candidate == previous:
+                weights[i] = 1.0 / self.p
+            elif candidate in previous_neighbors:
+                weights[i] = 1.0
+            else:
+                weights[i] = 1.0 / self.q
+        weights /= weights.sum()
+        return neighbors[int(self.rng.choice(len(neighbors), p=weights))]
+
+    def walk_from(self, start: int) -> list[int]:
+        """One walk of ``walk_length`` steps starting at ``start``."""
+        walk = [start]
+        previous: int | None = None
+        current = start
+        for _ in range(self.walk_length - 1):
+            nxt = self._next_node(previous, current)
+            if nxt is None:
+                break
+            walk.append(nxt)
+            previous, current = current, nxt
+        return walk
+
+    def generate(self, start_nodes: Iterable[int] | None = None) -> WalkCorpus:
+        """``walks_per_node`` walks from every start node (default: all nodes)."""
+        if start_nodes is None:
+            starts: Sequence[int] = range(self.graph.num_nodes)
+        else:
+            starts = list(start_nodes)
+        walks: list[list[int]] = []
+        for _ in range(self.walks_per_node):
+            for start in starts:
+                walks.append(self.walk_from(int(start)))
+        return WalkCorpus(walks, self.graph.num_nodes)

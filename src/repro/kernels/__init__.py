@@ -1,0 +1,24 @@
+"""Kernelized attribute domains (Section V-B of the paper).
+
+Every attribute ``A`` of the schema is associated with a symmetric positive
+semi-definite kernel ``κ_A : dom(A) × dom(A) → R≥0`` that measures value
+similarity.  FoRWaRD never needs the implicit Hilbert-space embedding — only
+kernel evaluations — so kernels are plain callables with a vectorised
+cross-matrix helper.
+"""
+
+from repro.kernels.base import Kernel
+from repro.kernels.numeric import GaussianKernel
+from repro.kernels.categorical import EqualityKernel
+from repro.kernels.text import EditDistanceKernel, TokenJaccardKernel
+from repro.kernels.registry import KernelRegistry, default_kernels
+
+__all__ = [
+    "Kernel",
+    "GaussianKernel",
+    "EqualityKernel",
+    "EditDistanceKernel",
+    "TokenJaccardKernel",
+    "KernelRegistry",
+    "default_kernels",
+]

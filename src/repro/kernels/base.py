@@ -1,0 +1,52 @@
+"""Kernel protocol shared by all attribute-domain kernels."""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Sequence
+
+import numpy as np
+
+
+class Kernel(abc.ABC):
+    """A symmetric similarity function on an attribute domain.
+
+    Implementations must guarantee symmetry ``κ(a, b) == κ(b, a)`` and
+    non-negativity; the default kernels are also bounded in ``[0, 1]`` with
+    ``κ(a, a) == 1`` which keeps the FoRWaRD targets on a common scale.
+    """
+
+    @abc.abstractmethod
+    def __call__(self, a: Any, b: Any) -> float:
+        """Similarity of two domain values."""
+
+    def cross_matrix(self, xs: Sequence[Any], ys: Sequence[Any]) -> np.ndarray:
+        """The matrix ``K[i, j] = κ(xs[i], ys[j])``.
+
+        Subclasses override this when a vectorised evaluation is available
+        (e.g. the Gaussian kernel); the base implementation loops.
+        """
+        out = np.empty((len(xs), len(ys)), dtype=np.float64)
+        for i, x in enumerate(xs):
+            for j, y in enumerate(ys):
+                out[i, j] = self(x, y)
+        return out
+
+    def expected_similarity(
+        self,
+        values_a: Sequence[Any],
+        probs_a: Sequence[float],
+        values_b: Sequence[Any],
+        probs_b: Sequence[float],
+    ) -> float:
+        """Expected kernel value between two independent distributions.
+
+        This is the Expected Kernel Distance ``KD`` of Equation (2) in the
+        paper, for explicit finite distributions over domain values.
+        """
+        if not values_a or not values_b:
+            raise ValueError("expected_similarity requires non-empty distributions")
+        pa = np.asarray(probs_a, dtype=np.float64)
+        pb = np.asarray(probs_b, dtype=np.float64)
+        matrix = self.cross_matrix(list(values_a), list(values_b))
+        return float(pa @ matrix @ pb)

@@ -1,0 +1,33 @@
+"""Kernels for categorical and identifier domains."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.kernels.base import Kernel
+
+
+class EqualityKernel(Kernel):
+    """The equality kernel: ``κ(a, a) = 1`` and ``κ(a, b) = 0`` for ``a ≠ b``.
+
+    The paper's fallback kernel, used for finite categorical domains and for
+    identifiers that carry no semantic meaning.
+    """
+
+    def __call__(self, a: Any, b: Any) -> float:
+        return 1.0 if a == b else 0.0
+
+    def cross_matrix(self, xs: Sequence[Any], ys: Sequence[Any]) -> np.ndarray:
+        out = np.zeros((len(xs), len(ys)), dtype=np.float64)
+        index: dict[Any, list[int]] = {}
+        for j, y in enumerate(ys):
+            index.setdefault(y, []).append(j)
+        for i, x in enumerate(xs):
+            for j in index.get(x, ()):  # noqa: B909 - read-only
+                out[i, j] = 1.0
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "EqualityKernel()"

@@ -1,0 +1,68 @@
+"""Per-attribute kernel assignment.
+
+The registry maps qualified attribute names ``R.A`` to kernels.  The
+defaults follow the paper's experimental setup (Section VI-C-1): a Gaussian
+kernel for numbers (with bandwidth scaled to each column's active domain)
+and the equality kernel for everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.db.database import Database
+from repro.db.schema import AttributeType, Schema
+from repro.kernels.base import Kernel
+from repro.kernels.categorical import EqualityKernel
+from repro.kernels.numeric import GaussianKernel
+
+
+class KernelRegistry:
+    """Lookup table from qualified attribute name to :class:`Kernel`."""
+
+    def __init__(self, kernels: Mapping[str, Kernel] | None = None, fallback: Kernel | None = None):
+        self._kernels: dict[str, Kernel] = dict(kernels or {})
+        self._fallback = fallback or EqualityKernel()
+
+    def register(self, relation: str, attribute: str, kernel: Kernel) -> None:
+        self._kernels[f"{relation}.{attribute}"] = kernel
+
+    def get(self, relation: str, attribute: str) -> Kernel:
+        return self._kernels.get(f"{relation}.{attribute}", self._fallback)
+
+    def __contains__(self, qualified_name: str) -> bool:
+        return qualified_name in self._kernels
+
+    def __len__(self) -> int:
+        return len(self._kernels)
+
+    def items(self):
+        return self._kernels.items()
+
+
+def default_kernels(
+    db: Database,
+    schema: Schema | None = None,
+    numeric_variance: float | None = None,
+) -> KernelRegistry:
+    """Build the paper's default kernel assignment for a database.
+
+    Numeric attributes get a :class:`GaussianKernel`; when
+    ``numeric_variance`` is None the bandwidth is fit to each column's active
+    domain, otherwise the fixed value is used for all numeric columns.
+    Categorical, text and identifier attributes get the equality kernel via
+    the registry fallback.
+    """
+    schema = schema or db.schema
+    registry = KernelRegistry()
+    for rel in schema:
+        for attr in rel.attributes:
+            if attr.type is not AttributeType.NUMERIC:
+                continue
+            if numeric_variance is not None:
+                kernel = GaussianKernel(numeric_variance)
+            else:
+                values = [v for v in db.active_domain(rel.name, attr.name)]
+                kernel = GaussianKernel.for_values(values)
+            registry.register(rel.name, attr.name, kernel)
+    return registry

@@ -1,0 +1,58 @@
+"""Kernels for textual attribute domains.
+
+The paper notes that kernels based on edit distance can smooth out typos in
+text columns; these kernels implement that idea and a token-overlap variant
+for longer strings.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.kernels.base import Kernel
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Classic dynamic-programming Levenshtein edit distance."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            insert_cost = current[j - 1] + 1
+            delete_cost = previous[j] + 1
+            substitute_cost = previous[j - 1] + (ca != cb)
+            current.append(min(insert_cost, delete_cost, substitute_cost))
+        previous = current
+    return previous[-1]
+
+
+class EditDistanceKernel(Kernel):
+    """Similarity ``1 - dist(a, b) / max(len(a), len(b))`` from edit distance."""
+
+    def __call__(self, a: Any, b: Any) -> float:
+        sa, sb = str(a), str(b)
+        if sa == sb:
+            return 1.0
+        longest = max(len(sa), len(sb))
+        if longest == 0:
+            return 1.0
+        return 1.0 - levenshtein_distance(sa, sb) / longest
+
+
+class TokenJaccardKernel(Kernel):
+    """Jaccard similarity of whitespace-token sets, for longer text values."""
+
+    def __call__(self, a: Any, b: Any) -> float:
+        tokens_a = set(str(a).lower().split())
+        tokens_b = set(str(b).lower().split())
+        if not tokens_a and not tokens_b:
+            return 1.0
+        if not tokens_a or not tokens_b:
+            return 0.0
+        return len(tokens_a & tokens_b) / len(tokens_a | tokens_b)

@@ -1,0 +1,26 @@
+"""Downstream machine-learning substrate (stands in for scikit-learn).
+
+The paper evaluates embeddings by feeding them into an SVM classifier
+(scikit-learn's ``SVC``) and measuring 10-fold stratified cross-validation
+accuracy.  This package provides the pieces of that protocol: an RBF/linear
+kernel SVM with one-vs-rest multi-class support, stratified k-fold splits, a
+standard scaler, and accuracy metrics.
+"""
+
+from repro.ml.svm import SVC, KernelType
+from repro.ml.linear import LogisticRegression
+from repro.ml.scaling import StandardScaler
+from repro.ml.cross_validation import StratifiedKFold, cross_val_accuracy
+from repro.ml.metrics import accuracy_score, confusion_matrix, majority_class_accuracy
+
+__all__ = [
+    "SVC",
+    "KernelType",
+    "LogisticRegression",
+    "StandardScaler",
+    "StratifiedKFold",
+    "cross_val_accuracy",
+    "accuracy_score",
+    "confusion_matrix",
+    "majority_class_accuracy",
+]

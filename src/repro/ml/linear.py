@@ -1,0 +1,72 @@
+"""Multinomial logistic regression (a lightweight alternative downstream model).
+
+Not used by the headline experiments (which use the SVM, as in the paper)
+but handy for quick sanity checks and as a second downstream task showing
+that embeddings are model-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class LogisticRegression:
+    """Multinomial logistic regression trained with full-batch gradient descent."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        epochs: int = 300,
+        l2: float = 1e-4,
+        rng: int | np.random.Generator | None = None,
+    ):
+        self.learning_rate = float(learning_rate)
+        self.epochs = int(epochs)
+        self.l2 = float(l2)
+        self.rng = ensure_rng(rng)
+        self.classes_: np.ndarray | None = None
+        self.weights_: np.ndarray | None = None
+        self.bias_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray, labels: Sequence) -> "LogisticRegression":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels)
+        self.classes_ = np.unique(labels)
+        class_index = {c: i for i, c in enumerate(self.classes_)}
+        targets = np.zeros((len(labels), len(self.classes_)))
+        for row, label in enumerate(labels):
+            targets[row, class_index[label]] = 1.0
+        n_features = features.shape[1]
+        self.weights_ = self.rng.normal(0.0, 0.01, size=(n_features, len(self.classes_)))
+        self.bias_ = np.zeros(len(self.classes_))
+        for _ in range(self.epochs):
+            probabilities = _softmax(features @ self.weights_ + self.bias_)
+            error = (probabilities - targets) / len(labels)
+            grad_w = features.T @ error + self.l2 * self.weights_
+            grad_b = error.sum(axis=0)
+            self.weights_ -= self.learning_rate * grad_w
+            self.bias_ -= self.learning_rate * grad_b
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self.weights_ is None:
+            raise RuntimeError("classifier is not fitted")
+        features = np.asarray(features, dtype=np.float64)
+        return _softmax(features @ self.weights_ + self.bias_)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        probabilities = self.predict_proba(features)
+        return self.classes_[np.argmax(probabilities, axis=1)]
+
+    def score(self, features: np.ndarray, labels: Sequence) -> float:
+        return float(np.mean(self.predict(features) == np.asarray(labels)))

@@ -1,0 +1,42 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def accuracy_score(y_true: Sequence, y_pred: Sequence) -> float:
+    """Fraction of predictions that match the true labels."""
+    true = np.asarray(y_true)
+    pred = np.asarray(y_pred)
+    if true.shape != pred.shape:
+        raise ValueError(f"shape mismatch: {true.shape} vs {pred.shape}")
+    if true.size == 0:
+        raise ValueError("cannot compute accuracy of an empty label set")
+    return float(np.mean(true == pred))
+
+
+def majority_class_accuracy(y: Sequence) -> float:
+    """Accuracy of always predicting the most common class.
+
+    This is the "baseline" curve plotted in Figure 5 of the paper.
+    """
+    labels = np.asarray(y)
+    if labels.size == 0:
+        raise ValueError("cannot compute the majority class of an empty label set")
+    _, counts = np.unique(labels, return_counts=True)
+    return float(counts.max() / labels.size)
+
+
+def confusion_matrix(y_true: Sequence, y_pred: Sequence) -> tuple[np.ndarray, list]:
+    """Confusion matrix and the label order used for its rows/columns."""
+    true = np.asarray(y_true)
+    pred = np.asarray(y_pred)
+    labels = sorted(set(true.tolist()) | set(pred.tolist()), key=str)
+    index = {label: i for i, label in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=np.int64)
+    for t, p in zip(true, pred):
+        matrix[index[t], index[p]] += 1
+    return matrix, labels

@@ -1,0 +1,31 @@
+"""Feature scaling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Per-feature standardisation to zero mean and unit variance."""
+
+    def __init__(self):
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray) -> "StandardScaler":
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError("expected a 2-D feature matrix")
+        self.mean_ = features.mean(axis=0)
+        std = features.std(axis=0)
+        self.scale_ = np.where(std > 0, std, 1.0)
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("scaler is not fitted")
+        features = np.asarray(features, dtype=np.float64)
+        return (features - self.mean_) / self.scale_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)

@@ -1,0 +1,167 @@
+"""Kernel support vector classification.
+
+A small but complete SVM: binary soft-margin SVM trained on the dual
+objective with projected gradient ascent (box constraints ``0 ≤ α ≤ C``),
+RBF or linear kernel, and one-vs-rest reduction for multi-class problems.
+This replaces scikit-learn's ``SVC`` in the downstream-task protocol; the
+convex dual has a unique optimum, so the solver choice does not change what
+is being measured.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+class KernelType(enum.Enum):
+    RBF = "rbf"
+    LINEAR = "linear"
+
+
+def _rbf_kernel(a: np.ndarray, b: np.ndarray, gamma: float) -> np.ndarray:
+    sq_a = np.sum(a * a, axis=1)[:, None]
+    sq_b = np.sum(b * b, axis=1)[None, :]
+    distances = sq_a + sq_b - 2.0 * (a @ b.T)
+    return np.exp(-gamma * np.maximum(distances, 0.0))
+
+
+def _linear_kernel(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return a @ b.T
+
+
+class _BinarySVM:
+    """Soft-margin binary SVM on labels in {-1, +1}."""
+
+    def __init__(self, C: float, kernel: KernelType, gamma: float, max_iter: int, tol: float):
+        self.C = C
+        self.kernel = kernel
+        self.gamma = gamma
+        self.max_iter = max_iter
+        self.tol = tol
+        self.alpha: np.ndarray | None = None
+        self.bias = 0.0
+        self.support_vectors: np.ndarray | None = None
+        self.support_targets: np.ndarray | None = None
+
+    def _gram(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if self.kernel is KernelType.RBF:
+            return _rbf_kernel(a, b, self.gamma)
+        return _linear_kernel(a, b)
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> None:
+        gram = self._gram(features, features)
+        n = len(targets)
+        q = gram * np.outer(targets, targets)
+        alpha = np.zeros(n)
+        # Projected gradient ascent on the dual: maximize 1ᵀα - 0.5 αᵀQα.
+        # The Lipschitz constant of the gradient is the largest eigenvalue of
+        # Q; a power-iteration estimate gives a safe step size.
+        lipschitz = max(float(np.linalg.norm(q, ord=2)), 1e-8)
+        step = 1.0 / lipschitz
+        previous_objective = -np.inf
+        for _ in range(self.max_iter):
+            gradient = 1.0 - q @ alpha
+            alpha = np.clip(alpha + step * gradient, 0.0, self.C)
+            objective = alpha.sum() - 0.5 * alpha @ q @ alpha
+            if abs(objective - previous_objective) < self.tol * max(abs(objective), 1.0):
+                break
+            previous_objective = objective
+        self.alpha = alpha
+        support = alpha > 1e-8
+        self.support_vectors = features[support]
+        self.support_targets = targets[support]
+        self._support_alpha = alpha[support]
+        # Bias from margin support vectors (0 < α < C); fall back to all SVs.
+        margin = (alpha > 1e-8) & (alpha < self.C - 1e-8)
+        reference = margin if np.any(margin) else support
+        if np.any(reference):
+            decision = (alpha * targets) @ gram[:, reference]
+            self.bias = float(np.mean(targets[reference] - decision))
+        else:
+            self.bias = 0.0
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        if self.support_vectors is None or len(self.support_vectors) == 0:
+            return np.full(len(features), self.bias)
+        gram = self._gram(features, self.support_vectors)
+        return gram @ (self._support_alpha * self.support_targets) + self.bias
+
+
+class SVC:
+    """Multi-class SVM via one-vs-rest, mirroring ``sklearn.svm.SVC`` defaults.
+
+    ``gamma='scale'`` reproduces scikit-learn's default RBF bandwidth
+    ``1 / (n_features * Var(X))``.
+    """
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        kernel: KernelType | str = KernelType.RBF,
+        gamma: float | str = "scale",
+        max_iter: int = 500,
+        tol: float = 1e-6,
+    ):
+        if C <= 0:
+            raise ValueError("C must be positive")
+        self.C = float(C)
+        self.kernel = KernelType(kernel) if isinstance(kernel, str) else kernel
+        self.gamma = gamma
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self.classes_: np.ndarray | None = None
+        self._machines: list[_BinarySVM] = []
+
+    def _resolve_gamma(self, features: np.ndarray) -> float:
+        if isinstance(self.gamma, str):
+            if self.gamma != "scale":
+                raise ValueError(f"unknown gamma specification {self.gamma!r}")
+            variance = float(features.var())
+            return 1.0 / (features.shape[1] * variance) if variance > 0 else 1.0
+        return float(self.gamma)
+
+    def fit(self, features: np.ndarray, labels: Sequence) -> "SVC":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels)
+        if features.ndim != 2:
+            raise ValueError("expected a 2-D feature matrix")
+        if len(features) != len(labels):
+            raise ValueError("features and labels must have the same length")
+        self.classes_ = np.unique(labels)
+        if len(self.classes_) < 2:
+            # Degenerate training fold: predict the single observed class.
+            self._machines = []
+            return self
+        gamma = self._resolve_gamma(features)
+        self._machines = []
+        for cls in self.classes_:
+            targets = np.where(labels == cls, 1.0, -1.0)
+            machine = _BinarySVM(self.C, self.kernel, gamma, self.max_iter, self.tol)
+            machine.fit(features, targets)
+            self._machines.append(machine)
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        if self.classes_ is None:
+            raise RuntimeError("classifier is not fitted")
+        features = np.asarray(features, dtype=np.float64)
+        if not self._machines:
+            return np.zeros((len(features), 1))
+        return np.column_stack([m.decision_function(features) for m in self._machines])
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self.classes_ is None:
+            raise RuntimeError("classifier is not fitted")
+        if not self._machines:
+            return np.full(len(np.asarray(features)), self.classes_[0])
+        scores = self.decision_function(features)
+        return self.classes_[np.argmax(scores, axis=1)]
+
+    def score(self, features: np.ndarray, labels: Sequence) -> float:
+        predictions = self.predict(features)
+        return float(np.mean(predictions == np.asarray(labels)))

@@ -1,0 +1,20 @@
+"""Neural substrate: skip-gram with negative sampling in NumPy.
+
+This is the model behind the Node2Vec adaptation of Section IV.  It keeps
+two embedding tables (input/"center" and output/"context"), trains them with
+analytic gradients of the negative-sampling objective, and supports freezing
+an arbitrary subset of nodes — the mechanism the paper uses to keep old
+tuple embeddings stable while extending to new tuples.
+"""
+
+from repro.nn.skipgram import SkipGramModel, SkipGramConfig
+from repro.nn.negative_sampling import UnigramNegativeSampler
+from repro.nn.corpus import WalkCorpus, build_training_pairs
+
+__all__ = [
+    "SkipGramModel",
+    "SkipGramConfig",
+    "UnigramNegativeSampler",
+    "WalkCorpus",
+    "build_training_pairs",
+]

@@ -1,0 +1,56 @@
+"""Turning random walks into skip-gram training pairs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass
+class WalkCorpus:
+    """A collection of walks (sequences of node indices) plus node statistics."""
+
+    walks: list[list[int]]
+    num_nodes: int
+
+    def node_counts(self) -> np.ndarray:
+        """Occurrence count of every node across all walks."""
+        counts = np.zeros(self.num_nodes, dtype=np.float64)
+        for walk in self.walks:
+            for node in walk:
+                counts[node] += 1.0
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.walks)
+
+
+def build_training_pairs(
+    walks: Iterable[Sequence[int]],
+    window_size: int,
+    restrict_centers_to: set[int] | None = None,
+) -> np.ndarray:
+    """All (center, context) pairs within ``window_size`` of each other.
+
+    When ``restrict_centers_to`` is given, only pairs whose *center* node is
+    in the set are emitted.  The dynamic Node2Vec extension uses this to
+    train only on pairs centred at newly inserted nodes, which combined with
+    gradient freezing leaves old embeddings untouched.
+    """
+    pairs: list[tuple[int, int]] = []
+    for walk in walks:
+        length = len(walk)
+        for i, center in enumerate(walk):
+            if restrict_centers_to is not None and center not in restrict_centers_to:
+                continue
+            lower = max(0, i - window_size)
+            upper = min(length, i + window_size + 1)
+            for j in range(lower, upper):
+                if j == i:
+                    continue
+                pairs.append((center, walk[j]))
+    if not pairs:
+        return np.zeros((0, 2), dtype=np.int64)
+    return np.asarray(pairs, dtype=np.int64)

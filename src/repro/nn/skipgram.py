@@ -1,0 +1,196 @@
+"""Skip-gram with negative sampling (SGNS) over graph nodes.
+
+The objective for a (center ``u``, context ``v``) pair with negatives
+``n_1..n_K`` is::
+
+    L = -log σ(x_u · y_v) - Σ_k log σ(-x_u · y_{n_k})
+
+where ``x`` are input (center) embeddings and ``y`` output (context)
+embeddings.  The gradients are the standard word2vec expressions and are
+applied with mini-batch SGD/Adam.  A set of *frozen* node indices can be
+supplied; gradients for those rows are zeroed before the update, which is
+exactly how the dynamic Node2Vec adaptation of Section IV-A keeps existing
+tuple embeddings stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.nn.negative_sampling import UnigramNegativeSampler
+from repro.optim.optimizers import Adam, Optimizer
+from repro.utils.rng import ensure_rng
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    # Clip to keep exp() in range; 30 is far beyond float64 sigmoid saturation.
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+@dataclass
+class SkipGramConfig:
+    """Hyper-parameters of the SGNS model (paper Table II, Node2Vec block)."""
+
+    dimension: int = 100
+    negatives_per_positive: int = 20
+    batch_size: int = 40_000
+    epochs: int = 10
+    learning_rate: float = 0.025
+    init_scale: float = 0.1
+
+
+class SkipGramModel:
+    """Trainable SGNS embeddings over ``num_nodes`` graph nodes."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        config: SkipGramConfig | None = None,
+        rng: int | np.random.Generator | None = None,
+        optimizer: Optimizer | None = None,
+    ):
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        self.config = config or SkipGramConfig()
+        self.rng = ensure_rng(rng)
+        dim = self.config.dimension
+        scale = self.config.init_scale
+        self.input_embeddings = self.rng.normal(0.0, scale, size=(num_nodes, dim))
+        self.output_embeddings = self.rng.normal(0.0, scale, size=(num_nodes, dim))
+        self.optimizer = optimizer or Adam(self.config.learning_rate)
+        self.frozen: set[int] = set()
+
+    # ------------------------------------------------------------- topology
+
+    @property
+    def num_nodes(self) -> int:
+        return self.input_embeddings.shape[0]
+
+    def add_nodes(self, count: int) -> np.ndarray:
+        """Append ``count`` new randomly initialised nodes; returns their indices."""
+        if count <= 0:
+            return np.zeros(0, dtype=np.int64)
+        dim = self.config.dimension
+        scale = self.config.init_scale
+        new_in = self.rng.normal(0.0, scale, size=(count, dim))
+        new_out = self.rng.normal(0.0, scale, size=(count, dim))
+        start = self.num_nodes
+        self.input_embeddings = np.vstack([self.input_embeddings, new_in])
+        self.output_embeddings = np.vstack([self.output_embeddings, new_out])
+        # Optimizer state shapes no longer match; restart it (the paper's
+        # continuation trains only the new rows, so losing old momenta is fine).
+        self.optimizer.reset()
+        return np.arange(start, start + count, dtype=np.int64)
+
+    def freeze(self, nodes: Iterable[int]) -> None:
+        """Mark nodes whose embeddings must not change during training."""
+        self.frozen.update(int(n) for n in nodes)
+
+    def unfreeze_all(self) -> None:
+        self.frozen.clear()
+
+    # -------------------------------------------------------------- training
+
+    def loss(self, centers: np.ndarray, contexts: np.ndarray, negatives: np.ndarray) -> float:
+        """Mean SGNS loss of a batch (used by tests and for monitoring)."""
+        x = self.input_embeddings[centers]
+        y_pos = self.output_embeddings[contexts]
+        y_neg = self.output_embeddings[negatives]
+        pos_score = np.sum(x * y_pos, axis=1)
+        neg_score = np.einsum("bd,bkd->bk", x, y_neg)
+        loss = -np.log(_sigmoid(pos_score) + 1e-12).sum()
+        loss -= np.log(_sigmoid(-neg_score) + 1e-12).sum()
+        return float(loss / max(len(centers), 1))
+
+    def _batch_gradients(
+        self, centers: np.ndarray, contexts: np.ndarray, negatives: np.ndarray
+    ) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]]:
+        """Accumulated gradients of one batch, as (grads, row-index) dicts."""
+        x = self.input_embeddings[centers]  # (b, d)
+        y_pos = self.output_embeddings[contexts]  # (b, d)
+        y_neg = self.output_embeddings[negatives]  # (b, k, d)
+
+        pos_score = np.sum(x * y_pos, axis=1)  # (b,)
+        neg_score = np.einsum("bd,bkd->bk", x, y_neg)  # (b, k)
+        pos_sig = _sigmoid(pos_score)
+        neg_sig = _sigmoid(neg_score)
+
+        batch = max(len(centers), 1)
+        grad_x = ((pos_sig - 1.0)[:, None] * y_pos + np.einsum("bk,bkd->bd", neg_sig, y_neg)) / batch
+        grad_y_pos = (pos_sig - 1.0)[:, None] * x / batch
+        grad_y_neg = neg_sig[:, :, None] * x[:, None, :] / batch
+
+        # Scatter-accumulate into unique rows so the optimizer sees one
+        # gradient per touched row.
+        input_rows, input_inverse = np.unique(centers, return_inverse=True)
+        grad_input = np.zeros((input_rows.size, x.shape[1]))
+        np.add.at(grad_input, input_inverse, grad_x)
+
+        out_indices = np.concatenate([contexts, negatives.reshape(-1)])
+        out_grads = np.concatenate([grad_y_pos, grad_y_neg.reshape(-1, x.shape[1])])
+        output_rows, output_inverse = np.unique(out_indices, return_inverse=True)
+        grad_output = np.zeros((output_rows.size, x.shape[1]))
+        np.add.at(grad_output, output_inverse, out_grads)
+
+        # Zero the gradients of frozen rows (stability constraint).
+        if self.frozen:
+            frozen_mask_in = np.isin(input_rows, list(self.frozen))
+            grad_input[frozen_mask_in] = 0.0
+            frozen_mask_out = np.isin(output_rows, list(self.frozen))
+            grad_output[frozen_mask_out] = 0.0
+
+        grads = {"input": grad_input, "output": grad_output}
+        rows = {"input": input_rows, "output": output_rows}
+        return grads, rows
+
+    def train_pairs(
+        self,
+        pairs: np.ndarray,
+        sampler: UnigramNegativeSampler,
+        epochs: int | None = None,
+        batch_size: int | None = None,
+        shuffle: bool = True,
+    ) -> list[float]:
+        """Train on (center, context) pairs; returns the mean loss per epoch."""
+        pairs = np.asarray(pairs, dtype=np.int64)
+        if pairs.size == 0:
+            return []
+        epochs = epochs if epochs is not None else self.config.epochs
+        batch_size = batch_size if batch_size is not None else self.config.batch_size
+        negatives_k = self.config.negatives_per_positive
+        params = {"input": self.input_embeddings, "output": self.output_embeddings}
+        history: list[float] = []
+        for _ in range(epochs):
+            order = self.rng.permutation(len(pairs)) if shuffle else np.arange(len(pairs))
+            epoch_loss = 0.0
+            num_batches = 0
+            for start in range(0, len(pairs), batch_size):
+                batch = pairs[order[start : start + batch_size]]
+                centers = batch[:, 0]
+                contexts = batch[:, 1]
+                negatives = sampler.sample((len(batch), negatives_k))
+                epoch_loss += self.loss(centers, contexts, negatives)
+                num_batches += 1
+                grads, rows = self._batch_gradients(centers, contexts, negatives)
+                self.optimizer.update(params, grads, rows)
+            history.append(epoch_loss / max(num_batches, 1))
+        # Parameter dict holds references; keep attributes in sync in case the
+        # optimizer ever re-binds (defensive, SGD/Adam update in place).
+        self.input_embeddings = params["input"]
+        self.output_embeddings = params["output"]
+        return history
+
+    # ------------------------------------------------------------ embeddings
+
+    def embedding(self, node: int) -> np.ndarray:
+        """The learned embedding of one node (the input/center vector)."""
+        return self.input_embeddings[int(node)].copy()
+
+    def embeddings(self, nodes: Sequence[int] | None = None) -> np.ndarray:
+        """Embeddings of the given nodes (all nodes when None)."""
+        if nodes is None:
+            return self.input_embeddings.copy()
+        return self.input_embeddings[np.asarray(nodes, dtype=np.int64)].copy()

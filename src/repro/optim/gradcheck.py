@@ -1,0 +1,33 @@
+"""Finite-difference gradient checking.
+
+Because the analytic gradients replace PyTorch autograd, the test suite
+verifies them against central finite differences; this helper does the
+numerical part.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def numerical_gradient(
+    loss_fn: Callable[[np.ndarray], float],
+    point: np.ndarray,
+    epsilon: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of ``loss_fn`` at ``point``."""
+    point = np.asarray(point, dtype=np.float64)
+    grad = np.zeros_like(point)
+    flat = point.ravel()
+    grad_flat = grad.ravel()
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        plus = loss_fn(point)
+        flat[i] = original - epsilon
+        minus = loss_fn(point)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * epsilon)
+    return grad

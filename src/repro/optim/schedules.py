@@ -1,0 +1,59 @@
+"""Learning-rate schedules."""
+
+from __future__ import annotations
+
+import abc
+
+
+class Schedule(abc.ABC):
+    """Maps an epoch index (0-based) to a learning rate."""
+
+    @abc.abstractmethod
+    def rate(self, epoch: int) -> float:
+        """Learning rate to use during ``epoch``."""
+
+
+class ConstantSchedule(Schedule):
+    """The same learning rate every epoch."""
+
+    def __init__(self, learning_rate: float):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.learning_rate = float(learning_rate)
+
+    def rate(self, epoch: int) -> float:
+        return self.learning_rate
+
+
+class LinearDecay(Schedule):
+    """Linear decay from ``initial`` to ``final`` over ``num_epochs`` epochs."""
+
+    def __init__(self, initial: float, final: float, num_epochs: int):
+        if initial <= 0 or final < 0:
+            raise ValueError("initial rate must be positive and final rate non-negative")
+        if num_epochs < 1:
+            raise ValueError("num_epochs must be at least 1")
+        self.initial = float(initial)
+        self.final = float(final)
+        self.num_epochs = int(num_epochs)
+
+    def rate(self, epoch: int) -> float:
+        if self.num_epochs == 1:
+            return self.initial
+        progress = min(max(epoch, 0), self.num_epochs - 1) / (self.num_epochs - 1)
+        return self.initial + (self.final - self.initial) * progress
+
+
+class ExponentialDecay(Schedule):
+    """Multiplicative decay: ``initial * gamma**epoch``."""
+
+    def __init__(self, initial: float, gamma: float = 0.9):
+        if initial <= 0:
+            raise ValueError("initial learning rate must be positive")
+        if not 0 < gamma <= 1:
+            raise ValueError("gamma must be in (0, 1]")
+        self.initial = float(initial)
+        self.gamma = float(gamma)
+
+    def rate(self, epoch: int) -> float:
+        return self.initial * self.gamma ** max(epoch, 0)

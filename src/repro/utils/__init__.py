@@ -1,0 +1,6 @@
+"""Small shared utilities (seeded RNG handling, linear algebra helpers)."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.linalg import solve_least_squares, normalize_rows
+
+__all__ = ["ensure_rng", "spawn_rngs", "solve_least_squares", "normalize_rows"]

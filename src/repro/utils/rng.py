@@ -1,0 +1,27 @@
+"""Random-number-generator helpers.
+
+All stochastic components of the library accept either an integer seed, a
+``numpy.random.Generator``, or ``None`` and normalise through
+:func:`ensure_rng`, so experiments are reproducible end-to-end from a single
+seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` from a seed, a generator, or None."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | np.random.Generator | None, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent generators from one seed or generator."""
+    root = ensure_rng(seed)
+    seeds = root.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

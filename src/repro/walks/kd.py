@@ -1,0 +1,32 @@
+"""Expected Kernel Distance between walk-destination distributions.
+
+Equation (2) of the paper::
+
+    KD(d_{s,f}[A], d_{s,f'}[A]) = E[κ_A(X, Y)],   X ~ d_{s,f}[A], Y ~ d_{s,f'}[A]
+
+with the two destination values drawn independently.  Despite the name used
+in the paper this is an expected *similarity* (larger means more similar).
+"""
+
+from __future__ import annotations
+
+from repro.kernels.base import Kernel
+from repro.walks.random_walks import AttributeDistribution
+
+
+def expected_kernel_distance(
+    dist_a: AttributeDistribution | None,
+    dist_b: AttributeDistribution | None,
+    kernel: Kernel,
+) -> float | None:
+    """KD between two destination-attribute distributions.
+
+    Returns None when either distribution does not exist (no walk reaches a
+    non-null value), mirroring the paper's convention that such pairs are not
+    considered by FoRWaRD.
+    """
+    if dist_a is None or dist_b is None:
+        return None
+    return kernel.expected_similarity(
+        dist_a.values, dist_a.probabilities, dist_b.values, dist_b.probabilities
+    )

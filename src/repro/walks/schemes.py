@@ -1,0 +1,168 @@
+"""Walk schemes: sequences of forward/backward foreign-key steps.
+
+A walk scheme (Section V-A, Equation (1)) has the form::
+
+    R0[A0]—R1[B1], R1[A1]—R2[B2], ..., R_{l-1}[A_{l-1}]—R_l[B_l]
+
+where each step corresponds to a foreign key traversed either *forward*
+(the step's source relation references the step's target relation) or
+*backward* (the target relation references the source).  Walk schemes of
+length zero exist for every relation and simply end at the start fact.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.db.schema import Attribute, ForeignKey, Schema
+
+
+class Direction(enum.Enum):
+    """Traversal direction of a foreign key inside a walk step."""
+
+    FORWARD = "forward"
+    """From the referencing relation (FK source) to the referenced relation."""
+
+    BACKWARD = "backward"
+    """From the referenced relation (FK target) back to referencing facts."""
+
+
+@dataclass(frozen=True)
+class WalkStep:
+    """One step of a walk scheme: a foreign key plus a traversal direction."""
+
+    foreign_key: ForeignKey
+    direction: Direction
+
+    @property
+    def from_relation(self) -> str:
+        if self.direction is Direction.FORWARD:
+            return self.foreign_key.source
+        return self.foreign_key.target
+
+    @property
+    def to_relation(self) -> str:
+        if self.direction is Direction.FORWARD:
+            return self.foreign_key.target
+        return self.foreign_key.source
+
+    @property
+    def from_attrs(self) -> tuple[str, ...]:
+        """The attributes ``A_{k-1}`` of the step's source relation."""
+        if self.direction is Direction.FORWARD:
+            return self.foreign_key.source_attrs
+        return self.foreign_key.target_attrs
+
+    @property
+    def to_attrs(self) -> tuple[str, ...]:
+        """The attributes ``B_k`` of the step's destination relation."""
+        if self.direction is Direction.FORWARD:
+            return self.foreign_key.target_attrs
+        return self.foreign_key.source_attrs
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        left = f"{self.from_relation}[{','.join(self.from_attrs)}]"
+        right = f"{self.to_relation}[{','.join(self.to_attrs)}]"
+        return f"{left}—{right}"
+
+
+@dataclass(frozen=True)
+class WalkScheme:
+    """A walk scheme: a start relation and a sequence of steps."""
+
+    start_relation: str
+    steps: tuple[WalkStep, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "steps", tuple(self.steps))
+        previous = self.start_relation
+        for step in self.steps:
+            if step.from_relation != previous:
+                raise ValueError(
+                    f"walk scheme is not connected: step {step} does not start "
+                    f"at {previous!r}"
+                )
+            previous = step.to_relation
+
+    @property
+    def length(self) -> int:
+        return len(self.steps)
+
+    @property
+    def end_relation(self) -> str:
+        if not self.steps:
+            return self.start_relation
+        return self.steps[-1].to_relation
+
+    def extend(self, step: WalkStep) -> "WalkScheme":
+        """A new scheme with ``step`` appended."""
+        return WalkScheme(self.start_relation, self.steps + (step,))
+
+    def __iter__(self) -> Iterator[WalkStep]:
+        return iter(self.steps)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.steps:
+            return f"{self.start_relation}[] (length 0)"
+        return ", ".join(str(step) for step in self.steps)
+
+
+def enumerate_walk_schemes(
+    schema: Schema,
+    start_relation: str,
+    max_length: int,
+    include_zero_length: bool = True,
+) -> list[WalkScheme]:
+    """All walk schemes of length at most ``max_length`` starting at a relation.
+
+    This reproduces the enumeration illustrated in Figure 4 of the paper
+    (all schemes of length up to three from the ACTORS relation).  Schemes
+    may revisit relations and traverse the same foreign key repeatedly in
+    alternating directions, exactly as in the figure.
+    """
+    schema.relation(start_relation)
+    if max_length < 0:
+        raise ValueError("max_length must be non-negative")
+    schemes: list[WalkScheme] = []
+    root = WalkScheme(start_relation)
+    if include_zero_length:
+        schemes.append(root)
+    frontier = [root]
+    for _ in range(max_length):
+        next_frontier: list[WalkScheme] = []
+        for scheme in frontier:
+            for step in _steps_from(schema, scheme.end_relation):
+                extended = scheme.extend(step)
+                schemes.append(extended)
+                next_frontier.append(extended)
+        frontier = next_frontier
+    return schemes
+
+
+def _steps_from(schema: Schema, relation: str) -> Iterator[WalkStep]:
+    """All single steps leaving ``relation`` (forward and backward FKs)."""
+    for fk in schema.foreign_keys_from(relation):
+        yield WalkStep(fk, Direction.FORWARD)
+    for fk in schema.foreign_keys_to(relation):
+        yield WalkStep(fk, Direction.BACKWARD)
+
+
+def walk_targets(
+    schema: Schema,
+    start_relation: str,
+    max_length: int,
+) -> list[tuple[WalkScheme, Attribute]]:
+    """The set ``T(R, ℓmax)`` of Section V-C.
+
+    All pairs ``(s, A)`` where ``s`` is a walk scheme of length at most
+    ``max_length`` starting at ``start_relation`` and ``A`` is an attribute of
+    the destination relation of ``s`` that is not involved in any foreign-key
+    constraint.
+    """
+    targets: list[tuple[WalkScheme, Attribute]] = []
+    for scheme in enumerate_walk_schemes(schema, start_relation, max_length):
+        for attr in schema.non_fk_attributes(scheme.end_relation):
+            targets.append((scheme, attr))
+    return targets

@@ -1,0 +1,67 @@
+"""Shared fixtures: the Figure-2 movies database and small fast configs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ForwardConfig, Node2VecConfig
+from repro.datasets import load_dataset, make_movies
+from repro.datasets.movies import movies_database, movies_schema
+
+
+@pytest.fixture
+def movies_db():
+    """The Figure-2 database (rebuilt fresh for every test)."""
+    return movies_database()
+
+
+@pytest.fixture
+def movies_dataset():
+    return make_movies()
+
+
+@pytest.fixture(scope="session")
+def small_genes_dataset():
+    """A down-scaled Genes dataset shared by the slower integration tests."""
+    return load_dataset("genes", scale=0.06, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_world_dataset():
+    return load_dataset("world", scale=0.15, seed=7)
+
+
+@pytest.fixture
+def fast_forward_config():
+    """FoRWaRD hyper-parameters small enough for unit tests."""
+    return ForwardConfig(
+        dimension=12,
+        n_samples=120,
+        batch_size=256,
+        max_walk_length=2,
+        epochs=3,
+        learning_rate=0.02,
+        n_new_samples=30,
+    )
+
+
+@pytest.fixture
+def fast_node2vec_config():
+    """Node2Vec hyper-parameters small enough for unit tests."""
+    return Node2VecConfig(
+        dimension=12,
+        walks_per_node=4,
+        walk_length=8,
+        window_size=3,
+        negatives_per_positive=4,
+        batch_size=2048,
+        epochs=2,
+        dynamic_epochs=2,
+        dynamic_walks_per_node=3,
+    )
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)

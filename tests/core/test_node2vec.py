@@ -1,0 +1,82 @@
+"""Tests for the static Node2Vec adaptation."""
+
+import numpy as np
+import pytest
+
+from repro.core import Node2VecConfig, Node2VecEmbedder
+from repro.datasets import load_dataset
+from repro.datasets.movies import movies_database
+
+
+CONFIG = Node2VecConfig(
+    dimension=12, walks_per_node=4, walk_length=8, window_size=3,
+    negatives_per_positive=4, batch_size=2048, epochs=3, dynamic_epochs=2,
+    dynamic_walks_per_node=3,
+)
+
+
+@pytest.fixture(scope="module")
+def genes():
+    return load_dataset("genes", scale=0.05, seed=13)
+
+
+@pytest.fixture(scope="module")
+def model(genes):
+    return Node2VecEmbedder(genes.masked_database(), CONFIG, rng=0).fit()
+
+
+def test_embeds_every_fact_of_the_database(genes, model):
+    embedding = model.embedding()
+    assert len(embedding) == len(genes.db)
+    assert embedding.dimension == CONFIG.dimension
+
+
+def test_loss_decreases(model):
+    assert model.loss_history[-1] < model.loss_history[0]
+
+
+def test_vector_lookup_by_fact(genes, model):
+    fact = genes.db.facts("CLASSIFICATION")[0]
+    vector = model.vector(fact)
+    assert vector.shape == (CONFIG.dimension,)
+    assert np.all(np.isfinite(vector))
+
+
+def test_embedding_restriction_to_facts(genes, model):
+    prediction_facts = genes.db.facts("CLASSIFICATION")
+    embedding = model.embedding(prediction_facts)
+    assert len(embedding) == len(prediction_facts)
+
+
+def test_reproducible_with_same_seed(genes):
+    db = genes.masked_database()
+    config = Node2VecConfig(
+        dimension=8, walks_per_node=2, walk_length=6, window_size=2,
+        negatives_per_positive=3, batch_size=1024, epochs=1,
+    )
+    first = Node2VecEmbedder(db, config, rng=7).fit()
+    second = Node2VecEmbedder(db, config, rng=7).fit()
+    assert np.allclose(first.skipgram.input_embeddings, second.skipgram.input_embeddings)
+
+
+def test_works_on_the_tiny_movies_database():
+    model = Node2VecEmbedder(movies_database(), CONFIG, rng=0).fit()
+    assert len(model.embedding()) == 18
+
+
+def test_same_class_facts_closer_than_different_class(genes, model):
+    """Genes sharing motif/function (hence localization) should be closer."""
+    labels = genes.labels()
+    embedding = model.embedding(genes.db.facts("CLASSIFICATION"))
+    ids = [fid for fid in labels if fid in embedding]
+    vectors = {fid: embedding.vector(fid) for fid in ids}
+    rng = np.random.default_rng(1)
+    same, diff = [], []
+    for _ in range(400):
+        a, b = rng.choice(ids, size=2, replace=False)
+        cos = float(
+            vectors[a] @ vectors[b]
+            / (np.linalg.norm(vectors[a]) * np.linalg.norm(vectors[b]) + 1e-12)
+        )
+        (same if labels[a] == labels[b] else diff).append(cos)
+    assert np.mean(same) > np.mean(diff)

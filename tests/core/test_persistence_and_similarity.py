@@ -1,0 +1,114 @@
+"""Tests for embedding/model persistence and similarity queries."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ForwardConfig,
+    ForwardDynamicExtender,
+    ForwardEmbedder,
+    TupleEmbedding,
+    cosine_similarity,
+    load_embedding,
+    load_forward_model,
+    most_similar,
+    pairwise_cosine_matrix,
+    save_embedding,
+    save_forward_model,
+)
+from repro.datasets import load_dataset
+
+
+@pytest.fixture
+def embedding():
+    emb = TupleEmbedding(3)
+    emb.set(0, [1.0, 0.0, 0.0])
+    emb.set(1, [0.9, 0.1, 0.0])
+    emb.set(2, [0.0, 1.0, 0.0])
+    emb.set(3, [0.0, 0.0, 1.0])
+    return emb
+
+
+class TestSimilarity:
+    def test_cosine_similarity_basics(self):
+        assert cosine_similarity(np.array([1.0, 0.0]), np.array([1.0, 0.0])) == pytest.approx(1.0)
+        assert cosine_similarity(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(0.0)
+        assert cosine_similarity(np.zeros(2), np.array([1.0, 0.0])) == 0.0
+
+    def test_most_similar_orders_by_similarity(self, embedding):
+        result = most_similar(embedding, 0, top_k=2)
+        assert [fact_id for fact_id, _ in result] == [1, 2]
+        assert result[0][1] > result[1][1]
+
+    def test_most_similar_excludes_query_and_respects_candidates(self, embedding):
+        result = most_similar(embedding, 0, top_k=10, candidates=[0, 2, 3])
+        assert [fact_id for fact_id, _ in result] == [2, 3]
+
+    def test_most_similar_with_raw_vector(self, embedding):
+        result = most_similar(embedding, np.array([0.0, 0.0, 2.0]), top_k=1)
+        assert result[0][0] == 3
+
+    def test_most_similar_invalid_top_k(self, embedding):
+        with pytest.raises(ValueError):
+            most_similar(embedding, 0, top_k=0)
+
+    def test_pairwise_cosine_matrix(self, embedding):
+        matrix = pairwise_cosine_matrix(embedding, [0, 1, 2])
+        assert matrix.shape == (3, 3)
+        assert np.allclose(np.diag(matrix), 1.0)
+        assert matrix[0, 1] > matrix[0, 2]
+
+
+class TestEmbeddingPersistence:
+    def test_round_trip(self, embedding, tmp_path):
+        path = tmp_path / "embedding.npz"
+        save_embedding(embedding, path)
+        restored = load_embedding(path)
+        assert set(restored.fact_ids) == set(embedding.fact_ids)
+        for fact_id in embedding:
+            assert np.allclose(restored.vector(fact_id), embedding.vector(fact_id))
+
+    def test_round_trip_empty(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_embedding(TupleEmbedding(4), path)
+        restored = load_embedding(path)
+        assert len(restored) == 0 and restored.dimension == 4
+
+
+class TestForwardModelPersistence:
+    CONFIG = ForwardConfig(
+        dimension=10, n_samples=80, batch_size=256, max_walk_length=1, epochs=2,
+        learning_rate=0.02, n_new_samples=15,
+    )
+
+    def test_round_trip_and_dynamic_extension(self, tmp_path):
+        dataset = load_dataset("genes", scale=0.04, seed=41)
+        db = dataset.masked_database()
+        model = ForwardEmbedder(db, dataset.prediction_relation, self.CONFIG, rng=0).fit()
+        save_forward_model(model, tmp_path / "model")
+
+        restored = load_forward_model(tmp_path / "model", db)
+        assert np.allclose(restored.phi, model.phi)
+        assert np.allclose(restored.psi, model.psi)
+        assert restored.fact_ids == model.fact_ids
+        assert restored.relation == model.relation
+
+        # The restored model can embed a newly inserted fact.
+        new_fact = db.insert("CLASSIFICATION", {"gene_id": "G_NEW", "localization": None})
+        extender = ForwardDynamicExtender(restored, db, recompute_old_paths=True, rng=0)
+        vectors = extender.extend([new_fact])
+        assert new_fact in vectors
+
+    def test_schema_mismatch_detected(self, tmp_path):
+        dataset = load_dataset("genes", scale=0.04, seed=42)
+        db = dataset.masked_database()
+        model = ForwardEmbedder(db, dataset.prediction_relation, self.CONFIG, rng=0).fit()
+        save_forward_model(model, tmp_path / "model")
+        other = load_dataset("genes", scale=0.04, seed=42)
+        shallow_config_db = other.masked_database()
+        # Loading against a database over the same schema works...
+        load_forward_model(tmp_path / "model", shallow_config_db)
+        # ...but a different schema (different relation set) is rejected.
+        world = load_dataset("world", scale=0.1, seed=0).masked_database()
+        with pytest.raises((ValueError, KeyError)):
+            load_forward_model(tmp_path / "model", world)

@@ -1,0 +1,112 @@
+"""Tests for the TupleEmbedding container and stability helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import TupleEmbedding, embedding_drift, is_stable_extension
+from repro.datasets.movies import movies_database
+
+
+@pytest.fixture
+def embedding():
+    emb = TupleEmbedding(3)
+    emb.set(1, [1.0, 0.0, 0.0])
+    emb.set(2, [0.0, 1.0, 0.0])
+    return emb
+
+
+class TestTupleEmbedding:
+    def test_set_and_get_by_id(self, embedding):
+        assert np.allclose(embedding.vector(1), [1.0, 0.0, 0.0])
+        assert 1 in embedding and 3 not in embedding
+        assert len(embedding) == 2
+
+    def test_set_and_get_by_fact(self):
+        db = movies_database()
+        fact = db.facts("MOVIES")[0]
+        emb = TupleEmbedding(2)
+        emb.set(fact, [0.5, 0.5])
+        assert fact in emb
+        assert np.allclose(emb.vector(fact), [0.5, 0.5])
+
+    def test_vector_returns_copy(self, embedding):
+        vec = embedding.vector(1)
+        vec[0] = 99.0
+        assert embedding.vector(1)[0] == 1.0
+
+    def test_wrong_dimension_rejected(self, embedding):
+        with pytest.raises(ValueError):
+            embedding.set(5, [1.0, 2.0])
+
+    def test_invalid_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            TupleEmbedding(0)
+
+    def test_matrix_stacks_in_order(self, embedding):
+        matrix = embedding.matrix([2, 1])
+        assert matrix.shape == (2, 3)
+        assert np.allclose(matrix[0], [0.0, 1.0, 0.0])
+
+    def test_matrix_of_nothing(self, embedding):
+        assert embedding.matrix([]).shape == (0, 3)
+
+    def test_remove(self, embedding):
+        embedding.remove(1)
+        assert 1 not in embedding
+        embedding.remove(42)  # removing an absent fact is a no-op
+
+    def test_copy_is_independent(self, embedding):
+        clone = embedding.copy()
+        clone.set(1, [9.0, 9.0, 9.0])
+        assert embedding.vector(1)[0] == 1.0
+
+    def test_merge(self, embedding):
+        other = TupleEmbedding(3)
+        other.set(2, [9.0, 9.0, 9.0])
+        other.set(7, [1.0, 1.0, 1.0])
+        merged = embedding.merge(other)
+        assert np.allclose(merged.vector(2), [9.0, 9.0, 9.0])  # other wins
+        assert 7 in merged and 1 in merged
+
+    def test_merge_dimension_mismatch(self, embedding):
+        with pytest.raises(ValueError):
+            embedding.merge(TupleEmbedding(2))
+
+    def test_restrict(self, embedding):
+        restricted = embedding.restrict([1])
+        assert set(restricted.fact_ids) == {1}
+
+
+class TestStability:
+    def test_zero_drift_for_identical_embeddings(self, embedding):
+        report = embedding_drift(embedding, embedding.copy())
+        assert report.is_zero
+        assert report.shared_facts == 2
+
+    def test_drift_values(self, embedding):
+        moved = embedding.copy()
+        moved.set(1, [0.0, 0.0, 0.0])
+        report = embedding_drift(embedding, moved)
+        assert report.max_drift == pytest.approx(1.0)
+        assert report.mean_drift == pytest.approx(0.5)
+
+    def test_no_shared_facts(self):
+        a, b = TupleEmbedding(2), TupleEmbedding(2)
+        a.set(1, [1.0, 0.0])
+        b.set(2, [0.0, 1.0])
+        assert embedding_drift(a, b).shared_facts == 0
+
+    def test_stable_extension_true_when_superset_and_unchanged(self, embedding):
+        extended = embedding.copy()
+        extended.set(10, [0.0, 0.0, 1.0])
+        assert is_stable_extension(embedding, extended)
+
+    def test_stable_extension_false_when_old_fact_moved(self, embedding):
+        extended = embedding.copy()
+        extended.set(1, [0.9, 0.0, 0.0])
+        assert not is_stable_extension(embedding, extended)
+        assert is_stable_extension(embedding, extended, tolerance=0.2)
+
+    def test_stable_extension_false_when_old_fact_missing(self, embedding):
+        smaller = embedding.restrict([1])
+        assert not is_stable_extension(embedding, smaller)

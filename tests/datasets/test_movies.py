@@ -1,0 +1,38 @@
+"""Tests for the Figure-2 running example."""
+
+from repro.datasets import make_movies
+from repro.datasets.movies import movies_database
+
+
+def test_counts_match_figure_2():
+    db = movies_database()
+    assert db.num_facts("MOVIES") == 6
+    assert db.num_facts("ACTORS") == 5
+    assert db.num_facts("STUDIOS") == 3
+    assert db.num_facts("COLLABORATIONS") == 4
+
+
+def test_foreign_keys_satisfied():
+    assert movies_database().check_foreign_keys() == []
+
+
+def test_godzilla_genre_is_null():
+    db = movies_database()
+    assert db.lookup_by_key("MOVIES", ["m03"])["genre"] is None
+
+
+def test_example_2_1_studio_reference():
+    """m1 (Titanic) references s3 (Paramount) via MOVIES[studio] ⊆ STUDIOS[sid]."""
+    db = movies_database()
+    fk = db.schema.foreign_keys_from("MOVIES")[0]
+    titanic = db.lookup_by_key("MOVIES", ["m01"])
+    assert db.referenced_fact(titanic, fk)["name"] == "Paramount"
+
+
+def test_dataset_wrapper():
+    dataset = make_movies()
+    assert dataset.prediction_relation == "MOVIES"
+    assert dataset.prediction_attribute == "genre"
+    # The null genre of Godzilla is not a labelled sample.
+    assert len(dataset.labels()) == 5
+    assert dataset.class_distribution()["SciFi"] == 2

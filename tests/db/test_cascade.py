@@ -1,0 +1,104 @@
+"""Tests for cascade deletion (Example 6.1 of the paper and SQL semantics)."""
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.datasets.movies import movies_database
+
+
+@pytest.fixture
+def db():
+    return movies_database()
+
+
+class TestExample61:
+    """Example 6.1: deleting c1 removes m3 and a2 but keeps a1.
+
+    (The paper's prose says the collaboration references 'Interstellar'/m4,
+    but in the Figure-2 instance c1 = (a01, a02, m03) references Godzilla/m3
+    and Watanabe/a2; we follow the data.)
+    """
+
+    def test_cascade_removes_orphaned_movie_and_actor(self, db):
+        c1 = db.select(
+            "COLLABORATIONS", lambda f: f["actor1"] == "a01" and f["actor2"] == "a02"
+        )[0]
+        deleted = db.delete_cascade(c1)
+        deleted_keys = {(f.relation, f.key_values()) for f in deleted}
+        assert ("COLLABORATIONS", ("a01", "a02", "m03")) in deleted_keys
+        # m03 (Godzilla) was only referenced by c1 -> removed.
+        assert db.lookup_by_key("MOVIES", ["m03"]) is None
+        # a02 (Watanabe) was only referenced by c1 -> removed.
+        assert db.lookup_by_key("ACTORS", ["a02"]) is None
+        # a01 (DiCaprio) is still referenced by c4 -> kept.
+        assert db.lookup_by_key("ACTORS", ["a01"]) is not None
+
+    def test_cascade_keeps_shared_studio(self, db):
+        c1 = db.select(
+            "COLLABORATIONS", lambda f: f["actor1"] == "a01" and f["actor2"] == "a02"
+        )[0]
+        db.delete_cascade(c1)
+        # Warner Bros (s01) is still referenced by m02 and m06.
+        assert db.lookup_by_key("STUDIOS", ["s01"]) is not None
+
+    def test_database_consistent_after_cascade(self, db):
+        c1 = db.facts("COLLABORATIONS")[0]
+        db.delete_cascade(c1)
+        assert db.check_foreign_keys() == []
+
+
+class TestSqlCascadeDirection:
+    """Deleting a referenced (parent) fact removes the referencing children."""
+
+    def test_deleting_movie_removes_its_collaborations(self, db):
+        godzilla = db.lookup_by_key("MOVIES", ["m03"])
+        deleted = db.delete_cascade(godzilla)
+        assert all(
+            c["movie"] != "m03" for c in db.facts("COLLABORATIONS")
+        )
+        assert any(f.relation == "COLLABORATIONS" for f in deleted)
+        assert db.check_foreign_keys() == []
+
+    def test_deleting_studio_cascades_to_movies_and_collaborations(self, db):
+        warner = db.lookup_by_key("STUDIOS", ["s01"])
+        db.delete_cascade(warner)
+        assert db.lookup_by_key("MOVIES", ["m02"]) is None
+        assert db.lookup_by_key("MOVIES", ["m03"]) is None
+        assert db.lookup_by_key("MOVIES", ["m06"]) is None
+        assert db.check_foreign_keys() == []
+
+    def test_deleted_facts_returned_once_each(self, db):
+        warner = db.lookup_by_key("STUDIOS", ["s01"])
+        deleted = db.delete_cascade(warner)
+        ids = [f.fact_id for f in deleted]
+        assert len(ids) == len(set(ids))
+
+    def test_cascade_then_reinsert_round_trip(self, db):
+        before = {f.fact_id for f in db}
+        warner = db.lookup_by_key("STUDIOS", ["s01"])
+        deleted = db.delete_cascade(warner)
+        for fact in reversed(deleted):
+            db.reinsert(fact)
+        assert {f.fact_id for f in db} == before
+        assert db.check_foreign_keys() == []
+
+
+class TestCascadeOnBenchmarkSchemas:
+    def test_genes_cascade_removes_gene_records_and_interactions(self):
+        dataset = load_dataset("genes", scale=0.05, seed=3)
+        db = dataset.db.copy()
+        victim = db.facts("CLASSIFICATION")[0]
+        deleted = db.delete_cascade(victim)
+        relations = {f.relation for f in deleted}
+        assert "CLASSIFICATION" in relations
+        assert "GENE" in relations
+        assert db.check_foreign_keys() == []
+
+    def test_world_cascade_removes_cities_and_languages(self):
+        dataset = load_dataset("world", scale=0.12, seed=3)
+        db = dataset.db.copy()
+        victim = db.facts("COUNTRY")[0]
+        deleted = db.delete_cascade(victim)
+        relations = {f.relation for f in deleted}
+        assert {"COUNTRY", "CITY", "COUNTRY_LANGUAGE"} <= relations
+        assert db.check_foreign_keys() == []

@@ -1,0 +1,181 @@
+"""Tests for fact storage, constraints, FK indexes and lookups."""
+
+import pytest
+
+from repro.db import Database, KeyViolation, UnknownRelationError
+from repro.datasets.movies import movies_database, movies_schema
+
+
+@pytest.fixture
+def db():
+    return movies_database()
+
+
+class TestInsertion:
+    def test_counts_match_figure_2(self, db):
+        assert db.num_facts("MOVIES") == 6
+        assert db.num_facts("ACTORS") == 5
+        assert db.num_facts("STUDIOS") == 3
+        assert db.num_facts("COLLABORATIONS") == 4
+        assert len(db) == 18
+
+    def test_insert_positional_values(self):
+        db = Database(movies_schema())
+        fact = db.insert("STUDIOS", ["s01", "Warner", "LA"])
+        assert fact["sid"] == "s01"
+        assert fact["loc"] == "LA"
+
+    def test_insert_mapping_missing_attribute_becomes_null(self):
+        db = Database(movies_schema())
+        fact = db.insert("STUDIOS", {"sid": "s01", "name": "Warner"})
+        assert fact["loc"] is None
+
+    def test_insert_unknown_relation(self, db):
+        with pytest.raises(UnknownRelationError):
+            db.insert("NOPE", {"a": 1})
+
+    def test_insert_unknown_attribute(self, db):
+        with pytest.raises(KeyError):
+            db.insert("STUDIOS", {"sid": "s99", "bogus": 1})
+
+    def test_wrong_arity_rejected(self, db):
+        with pytest.raises(ValueError):
+            db.insert("STUDIOS", ["s99"])
+
+    def test_duplicate_key_rejected(self, db):
+        with pytest.raises(KeyViolation):
+            db.insert("STUDIOS", {"sid": "s01", "name": "Other", "loc": "NY"})
+
+    def test_null_key_rejected(self, db):
+        with pytest.raises(KeyViolation):
+            db.insert("STUDIOS", {"sid": None, "name": "X", "loc": "NY"})
+
+    def test_fact_ids_are_unique(self, db):
+        ids = [f.fact_id for f in db]
+        assert len(ids) == len(set(ids))
+
+
+class TestFactAccess:
+    def test_getitem_and_projection(self, db):
+        titanic = db.select("MOVIES", lambda f: f["title"] == "Titanic")[0]
+        assert titanic["budget"] == 200
+        assert titanic.project(["mid", "studio"]) == ("m01", "s03")
+
+    def test_null_value_from_figure_2(self, db):
+        godzilla = db.select("MOVIES", lambda f: f["title"] == "Godzilla")[0]
+        assert godzilla["genre"] is None
+        assert godzilla.has_null()
+
+    def test_as_dict(self, db):
+        studio = db.lookup_by_key("STUDIOS", ["s02"])
+        assert studio.as_dict() == {"sid": "s02", "name": "Universal", "loc": "LA"}
+
+    def test_key_values(self, db):
+        collab = db.facts("COLLABORATIONS")[0]
+        assert collab.key_values() == ("a01", "a02", "m03")
+
+    def test_active_domain_excludes_nulls(self, db):
+        genres = db.active_domain("MOVIES", "genre")
+        assert genres == {"Drama", "SciFi", "Action", "Bio"}
+
+
+class TestForeignKeyIndexes:
+    def test_referenced_fact(self, db):
+        fk = db.schema.foreign_keys_from("MOVIES")[0]
+        titanic = db.lookup_by_key("MOVIES", ["m01"])
+        paramount = db.referenced_fact(titanic, fk)
+        assert paramount["name"] == "Paramount"
+
+    def test_referencing_facts(self, db):
+        warner = db.lookup_by_key("STUDIOS", ["s01"])
+        referencing = db.referencing_facts(warner)
+        assert {f["title"] for f in referencing} == {"Inception", "Godzilla", "Wolf of Wall St."}
+
+    def test_referencing_facts_specific_fk(self, db):
+        actor_a01 = db.lookup_by_key("ACTORS", ["a01"])
+        fk_actor1 = next(
+            fk for fk in db.schema.foreign_keys_to("ACTORS") if fk.source_attrs == ("actor1",)
+        )
+        collabs = db.referencing_facts(actor_a01, fk_actor1)
+        assert {c["movie"] for c in collabs} == {"m03", "m06"}
+
+    def test_dangling_reference_reported(self):
+        db = Database(movies_schema())
+        db.insert("MOVIES", {"mid": "m99", "studio": "s77", "title": "Ghost", "budget": 1})
+        problems = db.check_foreign_keys()
+        assert len(problems) == 1
+        assert "dangling" in problems[0]
+
+    def test_out_of_order_insertion_links_fk(self):
+        db = Database(movies_schema())
+        movie = db.insert("MOVIES", {"mid": "m1", "studio": "s1", "title": "A", "budget": 1})
+        fk = db.schema.foreign_keys_from("MOVIES")[0]
+        assert db.referenced_fact(movie, fk) is None
+        studio = db.insert("STUDIOS", {"sid": "s1", "name": "S", "loc": "LA"})
+        assert db.referenced_fact(movie, fk) is studio
+        assert db.check_foreign_keys() == []
+
+    def test_null_reference_is_ignored(self):
+        db = Database(movies_schema())
+        db.insert("STUDIOS", {"sid": "s1", "name": "S", "loc": "LA"})
+        movie = db.insert("MOVIES", {"mid": "m1", "studio": None, "title": "A", "budget": 1})
+        fk = db.schema.foreign_keys_from("MOVIES")[0]
+        assert db.referenced_fact(movie, fk) is None
+        assert db.check_foreign_keys() == []
+
+    def test_matching_facts_by_key(self, db):
+        hits = db.matching_facts("STUDIOS", ("sid",), ("s03",))
+        assert len(hits) == 1 and hits[0]["name"] == "Paramount"
+
+    def test_matching_facts_non_key_scan(self, db):
+        hits = db.matching_facts("MOVIES", ("studio",), ("s01",))
+        assert {f["mid"] for f in hits} == {"m02", "m03", "m06"}
+
+
+class TestDeletion:
+    def test_plain_delete_removes_fact_and_links(self, db):
+        titanic = db.lookup_by_key("MOVIES", ["m01"])
+        db.delete(titanic)
+        assert db.lookup_by_key("MOVIES", ["m01"]) is None
+        assert len(db) == 17
+
+    def test_delete_then_reinsert_keeps_fact_id(self, db):
+        titanic = db.lookup_by_key("MOVIES", ["m01"])
+        original_id = titanic.fact_id
+        db.delete(titanic)
+        restored = db.reinsert(titanic)
+        assert restored.fact_id == original_id
+        assert db.lookup_by_key("MOVIES", ["m01"]) is restored
+
+    def test_reinsert_existing_fact_rejected(self, db):
+        titanic = db.lookup_by_key("MOVIES", ["m01"])
+        with pytest.raises(KeyViolation):
+            db.reinsert(titanic)
+
+    def test_delete_unknown_fact_id(self, db):
+        with pytest.raises(KeyError):
+            db.delete(10_000)
+
+
+class TestCopyAndMask:
+    def test_copy_preserves_ids_and_counts(self, db):
+        clone = db.copy()
+        assert len(clone) == len(db)
+        assert {f.fact_id for f in clone} == {f.fact_id for f in db}
+        clone.insert("STUDIOS", {"sid": "s99", "name": "New", "loc": "NY"})
+        assert len(db) == 18  # original untouched
+
+    def test_mask_attribute_nulls_values(self, db):
+        masked = db.mask_attribute("MOVIES", "genre")
+        assert all(f["genre"] is None for f in masked.facts("MOVIES"))
+        # other relations and ids untouched
+        assert {f.fact_id for f in masked} == {f.fact_id for f in db}
+        assert db.active_domain("MOVIES", "genre")  # original still has values
+
+    def test_mask_key_attribute_rejected(self, db):
+        with pytest.raises(ValueError):
+            db.mask_attribute("MOVIES", "mid")
+
+    def test_structure_summary(self, db):
+        summary = db.structure_summary()
+        assert summary == {"relations": 4, "tuples": 18, "attributes": 14}

@@ -1,0 +1,154 @@
+"""Tests for the schema model (relations, keys, foreign keys)."""
+
+import pytest
+
+from repro.db import (
+    Attribute,
+    AttributeType,
+    ForeignKey,
+    RelationSchema,
+    Schema,
+    SchemaError,
+    UnknownAttributeError,
+    UnknownRelationError,
+)
+from repro.datasets.movies import movies_schema
+
+
+class TestAttribute:
+    def test_default_type_is_categorical(self):
+        assert Attribute("genre").type is AttributeType.CATEGORICAL
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+
+class TestRelationSchema:
+    def test_attribute_names_in_order(self):
+        rel = RelationSchema("R", ["a", "b", "c"], key=["a"])
+        assert rel.attribute_names == ("a", "b", "c")
+
+    def test_accepts_tuples_and_attribute_objects(self):
+        rel = RelationSchema(
+            "R",
+            [Attribute("a", AttributeType.NUMERIC), ("b", AttributeType.TEXT), "c"],
+            key=["a"],
+        )
+        assert rel.attribute("a").type is AttributeType.NUMERIC
+        assert rel.attribute("b").type is AttributeType.TEXT
+        assert rel.attribute("c").type is AttributeType.CATEGORICAL
+
+    def test_arity(self):
+        rel = RelationSchema("R", ["a", "b"], key=["a"])
+        assert rel.arity == 2
+
+    def test_duplicate_attribute_names_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ["a", "a"], key=["a"])
+
+    def test_key_must_be_subset_of_attributes(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ["a"], key=["z"])
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ["a"], key=[])
+
+    def test_unknown_attribute_lookup(self):
+        rel = RelationSchema("R", ["a"], key=["a"])
+        with pytest.raises(UnknownAttributeError):
+            rel.attribute("nope")
+
+    def test_composite_key(self):
+        rel = RelationSchema("R", ["a", "b", "c"], key=["a", "b"])
+        assert rel.key == ("a", "b")
+
+
+class TestForeignKey:
+    def test_name_rendering(self):
+        fk = ForeignKey("MOVIES", ("studio",), "STUDIOS", ("sid",))
+        assert fk.name == "MOVIES[studio]->STUDIOS[sid]"
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            ForeignKey("R", ("a", "b"), "S", ("x",))
+
+    def test_empty_attribute_list_rejected(self):
+        with pytest.raises(SchemaError):
+            ForeignKey("R", (), "S", ())
+
+    def test_duplicate_source_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            ForeignKey("R", ("a", "a"), "S", ("x", "y"))
+
+
+class TestSchema:
+    def test_movies_schema_shape(self):
+        schema = movies_schema()
+        assert len(schema) == 4
+        assert set(schema.relation_names) == {"MOVIES", "ACTORS", "STUDIOS", "COLLABORATIONS"}
+        assert len(schema.foreign_keys) == 4
+
+    def test_duplicate_relation_rejected(self):
+        rel = RelationSchema("R", ["a"], key=["a"])
+        with pytest.raises(SchemaError):
+            Schema([rel, rel])
+
+    def test_foreign_key_target_must_be_key(self):
+        r = RelationSchema("R", ["a"], key=["a"])
+        s = RelationSchema("S", ["x", "y"], key=["x"])
+        with pytest.raises(SchemaError):
+            Schema([r, s], [ForeignKey("R", ("a",), "S", ("y",))])
+
+    def test_foreign_key_unknown_relation(self):
+        r = RelationSchema("R", ["a"], key=["a"])
+        with pytest.raises(UnknownRelationError):
+            Schema([r], [ForeignKey("R", ("a",), "NOPE", ("x",))])
+
+    def test_foreign_key_unknown_attribute(self):
+        r = RelationSchema("R", ["a"], key=["a"])
+        s = RelationSchema("S", ["x"], key=["x"])
+        with pytest.raises(UnknownAttributeError):
+            Schema([r, s], [ForeignKey("R", ("missing",), "S", ("x",))])
+
+    def test_foreign_keys_from_and_to(self):
+        schema = movies_schema()
+        assert {fk.target for fk in schema.foreign_keys_from("COLLABORATIONS")} == {
+            "ACTORS",
+            "MOVIES",
+        }
+        assert {fk.source for fk in schema.foreign_keys_to("ACTORS")} == {"COLLABORATIONS"}
+        assert schema.foreign_keys_from("STUDIOS") == ()
+
+    def test_fk_attributes(self):
+        schema = movies_schema()
+        assert schema.fk_attributes("MOVIES") == frozenset({"studio", "mid"})
+        assert schema.fk_attributes("STUDIOS") == frozenset({"sid"})
+
+    def test_non_fk_attributes(self):
+        schema = movies_schema()
+        names = [a.name for a in schema.non_fk_attributes("MOVIES")]
+        assert names == ["title", "genre", "budget"]
+
+    def test_qualified_name(self):
+        schema = movies_schema()
+        assert schema.qualified("MOVIES", "genre") == "MOVIES.genre"
+        with pytest.raises(UnknownAttributeError):
+            schema.qualified("MOVIES", "nope")
+
+    def test_summary_counts(self):
+        summary = movies_schema().summary()
+        assert summary["relations"] == 4
+        assert summary["attributes"] == 14
+        assert summary["foreign_keys"] == 4
+
+    def test_contains_and_iteration(self):
+        schema = movies_schema()
+        assert "MOVIES" in schema
+        assert "NOPE" not in schema
+        assert len(list(iter(schema))) == 4
+
+    def test_unknown_relation_lookup(self):
+        with pytest.raises(UnknownRelationError):
+            movies_schema().relation("NOPE")

@@ -1,0 +1,64 @@
+"""Round-trip tests for JSON and CSV persistence."""
+
+import pytest
+
+from repro.db import (
+    database_from_dict,
+    database_to_dict,
+    load_database_csv_dir,
+    load_database_json,
+    save_database_csv_dir,
+    save_database_json,
+)
+from repro.db.serialization import schema_from_dict, schema_to_dict
+from repro.datasets import load_dataset
+from repro.datasets.movies import movies_database, movies_schema
+
+
+def _facts_as_set(db, relation):
+    return {tuple(f.values) for f in db.facts(relation)}
+
+
+def test_schema_round_trip():
+    schema = movies_schema()
+    restored = schema_from_dict(schema_to_dict(schema))
+    assert set(restored.relation_names) == set(schema.relation_names)
+    assert len(restored.foreign_keys) == len(schema.foreign_keys)
+    assert restored.relation("MOVIES").key == ("mid",)
+    assert restored.relation("MOVIES").attribute("budget").type.value == "numeric"
+
+
+def test_database_dict_round_trip():
+    db = movies_database()
+    restored = database_from_dict(database_to_dict(db))
+    for relation in db.relations:
+        assert _facts_as_set(restored, relation) == _facts_as_set(db, relation)
+
+
+def test_database_json_round_trip(tmp_path):
+    db = movies_database()
+    path = tmp_path / "movies.json"
+    save_database_json(db, path)
+    restored = load_database_json(path)
+    assert len(restored) == len(db)
+    godzilla = restored.lookup_by_key("MOVIES", ["m03"])
+    assert godzilla["genre"] is None  # null survives the round trip
+
+
+def test_database_csv_round_trip(tmp_path):
+    db = movies_database()
+    save_database_csv_dir(db, tmp_path / "movies")
+    restored = load_database_csv_dir(tmp_path / "movies")
+    assert len(restored) == len(db)
+    titanic = restored.lookup_by_key("MOVIES", ["m01"])
+    assert titanic["budget"] == 200  # numeric type restored, not string
+    godzilla = restored.lookup_by_key("MOVIES", ["m03"])
+    assert godzilla["genre"] is None
+
+
+def test_csv_round_trip_on_synthetic_dataset(tmp_path):
+    dataset = load_dataset("mutagenesis", scale=0.05, seed=1)
+    save_database_csv_dir(dataset.db, tmp_path / "muta")
+    restored = load_database_csv_dir(tmp_path / "muta")
+    assert len(restored) == len(dataset.db)
+    assert restored.check_foreign_keys() == []

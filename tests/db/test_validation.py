@@ -1,0 +1,46 @@
+"""Tests for standalone database validation."""
+
+import pytest
+
+from repro.db import Database, KeyViolation
+from repro.db.validation import assert_valid, validate_database, validate_fact
+from repro.datasets.movies import movies_database, movies_schema
+
+
+def test_figure_2_database_is_valid():
+    assert validate_database(movies_database()) == []
+
+
+def test_assert_valid_passes_on_clean_database():
+    assert_valid(movies_database())
+
+
+def test_dangling_reference_detected():
+    db = Database(movies_schema())
+    db.insert("MOVIES", {"mid": "m1", "studio": "missing", "title": "A", "budget": 1})
+    problems = validate_database(db)
+    assert any("dangling" in p for p in problems)
+    with pytest.raises(KeyViolation):
+        assert_valid(db)
+
+
+def test_validate_fact_unknown_relation():
+    db = movies_database()
+    fact = db.facts("MOVIES")[0]
+    object.__setattr__(fact, "relation", "NOPE")
+    assert validate_fact(db.schema, fact) == ["unknown relation 'NOPE'"]
+
+
+def test_validate_fact_null_key():
+    db = Database(movies_schema(), validate=False)
+    fact = db.insert("STUDIOS", {"sid": None, "name": "X", "loc": "LA"})
+    problems = validate_fact(db.schema, fact)
+    assert any("key attribute" in p for p in problems)
+
+
+def test_unvalidated_database_reports_duplicate_keys():
+    db = Database(movies_schema(), validate=False)
+    db.insert("STUDIOS", {"sid": "s1", "name": "A", "loc": "LA"})
+    db.insert("STUDIOS", {"sid": "s1", "name": "B", "loc": "NY"})
+    problems = validate_database(db)
+    assert any("duplicate key" in p for p in problems)

@@ -1,0 +1,84 @@
+"""Tests for the stratified cascade-delete partitioning (Section VI-E-1)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.dynamic import partition_dataset
+
+
+@pytest.fixture(scope="module")
+def hepatitis():
+    return load_dataset("hepatitis", scale=0.08, seed=4)
+
+
+class TestPartition:
+    def test_ratio_respected_approximately(self, hepatitis):
+        partition = partition_dataset(hepatitis, ratio_new=0.3, rng=0)
+        total = len(hepatitis.labels())
+        fraction = partition.num_new_prediction_facts / total
+        assert abs(fraction - 0.3) < 0.1
+
+    def test_split_is_stratified(self, hepatitis):
+        labels = hepatitis.labels()
+        partition = partition_dataset(hepatitis, ratio_new=0.4, rng=1)
+        old_labels = [labels[fid] for fid in partition.old_prediction_ids]
+        new_labels = [labels[fid] for fid in partition.new_prediction_ids]
+        old_fraction_b = old_labels.count("B") / len(old_labels)
+        new_fraction_b = new_labels.count("B") / len(new_labels)
+        assert abs(old_fraction_b - new_fraction_b) < 0.15
+
+    def test_old_and_new_are_disjoint_and_complete(self, hepatitis):
+        partition = partition_dataset(hepatitis, ratio_new=0.25, rng=2)
+        old, new = set(partition.old_prediction_ids), set(partition.new_prediction_ids)
+        assert old & new == set()
+        assert old | new == set(hepatitis.labels().keys())
+
+    def test_new_prediction_facts_removed_from_db(self, hepatitis):
+        partition = partition_dataset(hepatitis, ratio_new=0.25, rng=3)
+        remaining_ids = {f.fact_id for f in partition.db.facts("DISPAT")}
+        assert remaining_ids == set(partition.old_prediction_ids)
+
+    def test_remaining_database_is_consistent(self, hepatitis):
+        partition = partition_dataset(hepatitis, ratio_new=0.5, rng=4)
+        assert partition.db.check_foreign_keys() == []
+
+    def test_cascade_batches_contain_related_facts(self, hepatitis):
+        """Removing a patient must also remove their exams (semantically related data)."""
+        partition = partition_dataset(hepatitis, ratio_new=0.2, rng=5)
+        relations_seen = {f.relation for batch in partition.new_batches for f in batch}
+        assert "DISPAT" in relations_seen
+        assert {"INDIS", "BIO", "INF"} <= relations_seen
+
+    def test_each_batch_starts_with_the_prediction_fact(self, hepatitis):
+        partition = partition_dataset(hepatitis, ratio_new=0.2, rng=6)
+        for batch, fid in zip(partition.new_batches, partition.new_prediction_ids):
+            assert batch[0].fact_id == fid
+            assert batch[0].relation == "DISPAT"
+
+    def test_original_dataset_untouched(self, hepatitis):
+        before = len(hepatitis.db)
+        partition_dataset(hepatitis, ratio_new=0.5, rng=7)
+        assert len(hepatitis.db) == before
+
+    def test_masking_applied_by_default(self, hepatitis):
+        partition = partition_dataset(hepatitis, ratio_new=0.2, rng=8)
+        for fact in partition.db.facts("DISPAT"):
+            assert fact["type"] is None
+
+    def test_masking_can_be_disabled(self, hepatitis):
+        partition = partition_dataset(
+            hepatitis, ratio_new=0.2, rng=8, mask_prediction_attribute=False
+        )
+        assert any(f["type"] is not None for f in partition.db.facts("DISPAT"))
+
+    @pytest.mark.parametrize("bad_ratio", [0.0, 1.0, -0.5, 1.5])
+    def test_invalid_ratio_rejected(self, hepatitis, bad_ratio):
+        with pytest.raises(ValueError):
+            partition_dataset(hepatitis, ratio_new=bad_ratio)
+
+    def test_high_ratio_keeps_at_least_one_old_per_class(self, hepatitis):
+        labels = hepatitis.labels()
+        partition = partition_dataset(hepatitis, ratio_new=0.9, rng=9)
+        old_labels = {labels[fid] for fid in partition.old_prediction_ids}
+        assert old_labels == set(labels.values())

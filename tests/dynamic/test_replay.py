@@ -1,0 +1,60 @@
+"""Tests for one-by-one and all-at-once insertion replay."""
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.dynamic import partition_dataset, replay_all_at_once, replay_one_by_one
+
+
+@pytest.fixture
+def partitioned():
+    dataset = load_dataset("mutagenesis", scale=0.1, seed=6)
+    return dataset, partition_dataset(dataset, ratio_new=0.3, rng=0)
+
+
+def test_one_by_one_restores_every_fact(partitioned):
+    dataset, partition = partitioned
+    arrived = replay_one_by_one(partition, lambda batch: None)
+    assert len(partition.db) == len(dataset.db)
+    assert partition.db.check_foreign_keys() == []
+    assert len(arrived) == partition.num_new_prediction_facts
+
+
+def test_one_by_one_callback_sees_each_batch_exactly_once(partitioned):
+    _dataset, partition = partitioned
+    seen = []
+    replay_one_by_one(partition, lambda batch: seen.append([f.fact_id for f in batch]))
+    flat = [fid for batch in seen for fid in batch]
+    assert sorted(flat) == sorted(f.fact_id for f in partition.new_facts)
+    assert len(seen) == len(partition.new_batches)
+
+
+def test_one_by_one_arrival_order_is_inverse_deletion_order(partitioned):
+    _dataset, partition = partitioned
+    arrived_prediction_ids = []
+
+    def on_batch(batch):
+        prediction = [f for f in batch if f.relation == "MOLECULE"]
+        arrived_prediction_ids.extend(f.fact_id for f in prediction)
+
+    replay_one_by_one(partition, on_batch)
+    assert arrived_prediction_ids == list(reversed(list(partition.new_prediction_ids)))
+
+
+def test_database_consistent_after_each_step(partitioned):
+    _dataset, partition = partitioned
+
+    def on_batch(batch):
+        assert partition.db.check_foreign_keys() == []
+
+    replay_one_by_one(partition, on_batch)
+
+
+def test_all_at_once_single_callback(partitioned):
+    dataset, partition = partitioned
+    calls = []
+    restored = replay_all_at_once(partition, lambda batch: calls.append(len(batch)))
+    assert len(calls) == 1
+    assert calls[0] == len(restored) == len(partition.new_facts)
+    assert len(partition.db) == len(dataset.db)
+    assert partition.db.check_foreign_keys() == []

@@ -1,0 +1,49 @@
+"""Tests for the baselines used as comparison anchors."""
+
+import numpy as np
+
+from repro.datasets import load_dataset, make_movies
+from repro.evaluation import FlatFeatureBaseline, majority_baseline_accuracy
+
+
+def test_majority_baseline():
+    assert majority_baseline_accuracy(["a", "a", "b"]) == 2 / 3
+
+
+def test_flat_features_exclude_keys_fks_and_label():
+    dataset = make_movies()
+    baseline = FlatFeatureBaseline(dataset)
+    # MOVIES attributes: mid (key), studio (FK), title, genre (label), budget.
+    # Only title (categorical one-hot) and budget (numeric) remain.
+    assert baseline._numeric_attrs == ["budget"]
+    assert baseline._categorical_attrs == ["title"]
+
+
+def test_flat_feature_matrix_shape_and_values():
+    dataset = make_movies()
+    baseline = FlatFeatureBaseline(dataset)
+    facts = dataset.prediction_facts()
+    features = baseline.features(facts)
+    assert features.shape == (6, baseline.num_features)
+    # Budget column holds the numeric values.
+    assert set(features[:, 0]) == {200.0, 160.0, 150.0, 90.0, 100.0}
+    # Each title one-hot row sums to one.
+    assert np.allclose(features[:, 1:].sum(axis=1), 1.0)
+
+
+def test_flat_features_on_mondial_prediction_relation_is_empty():
+    """Mondial's TARGET relation has no usable local attributes: the baseline
+    collapses to a single zero feature, demonstrating why FK context matters."""
+    dataset = load_dataset("mondial", scale=0.05, seed=0)
+    baseline = FlatFeatureBaseline(dataset)
+    assert baseline.num_features == 0
+    features = baseline.features(dataset.prediction_facts()[:5])
+    assert features.shape == (5, 1)
+    assert np.all(features == 0)
+
+
+def test_max_categories_cap():
+    dataset = load_dataset("world", scale=0.1, seed=0)
+    baseline = FlatFeatureBaseline(dataset, max_categories=3)
+    for values in baseline._categories.values():
+        assert len(values) <= 3

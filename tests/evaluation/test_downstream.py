@@ -1,0 +1,75 @@
+"""Tests for the downstream task plumbing (alignment, classifier wrapper)."""
+
+import numpy as np
+import pytest
+
+from repro.core import TupleEmbedding
+from repro.evaluation.downstream import (
+    DownstreamClassifier,
+    align_embedding,
+    cross_validated_accuracy,
+)
+from repro.ml import LogisticRegression
+
+
+@pytest.fixture
+def labelled_embedding():
+    rng = np.random.default_rng(0)
+    embedding = TupleEmbedding(4)
+    labels = {}
+    for fact_id in range(40):
+        label = fact_id % 2
+        center = np.full(4, 3.0 * label)
+        embedding.set(fact_id, rng.normal(center, 0.4))
+        labels[fact_id] = f"class{label}"
+    return embedding, labels
+
+
+def test_align_embedding_joins_by_fact_id(labelled_embedding):
+    embedding, labels = labelled_embedding
+    data = align_embedding(embedding, labels)
+    assert len(data) == 40
+    assert data.features.shape == (40, 4)
+    assert set(data.labels) == {"class0", "class1"}
+
+
+def test_align_embedding_skips_missing_labels_or_vectors(labelled_embedding):
+    embedding, labels = labelled_embedding
+    del labels[0]
+    embedding.remove(1)
+    data = align_embedding(embedding, labels)
+    assert 0 not in data.fact_ids and 1 not in data.fact_ids
+    assert len(data) == 38
+
+
+def test_cross_validated_accuracy_separable(labelled_embedding):
+    embedding, labels = labelled_embedding
+    data = align_embedding(embedding, labels)
+    mean, std = cross_validated_accuracy(data, n_splits=5, rng=0)
+    assert mean > 0.9
+    assert std >= 0.0
+
+
+def test_downstream_classifier_train_and_evaluate(labelled_embedding):
+    embedding, labels = labelled_embedding
+    data = align_embedding(embedding, labels)
+    classifier = DownstreamClassifier()
+    classifier.train(data)
+    assert classifier.accuracy(data) > 0.9
+
+
+def test_downstream_classifier_custom_model(labelled_embedding):
+    embedding, labels = labelled_embedding
+    data = align_embedding(embedding, labels)
+    classifier = DownstreamClassifier(lambda: LogisticRegression(rng=0))
+    classifier.train(data)
+    assert classifier.accuracy(data) > 0.9
+
+
+def test_downstream_classifier_errors(labelled_embedding):
+    embedding, labels = labelled_embedding
+    classifier = DownstreamClassifier()
+    with pytest.raises(RuntimeError):
+        classifier.predict(np.zeros((1, 4)))
+    with pytest.raises(ValueError):
+        classifier.train(align_embedding(TupleEmbedding(4), {}))

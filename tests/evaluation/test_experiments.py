@@ -1,0 +1,140 @@
+"""Tests for the static and dynamic experiment drivers and reporting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import ForwardConfig, Node2VecConfig
+from repro.datasets import load_dataset
+from repro.evaluation import (
+    ForwardMethod,
+    Node2VecMethod,
+    format_dynamic_table,
+    format_figure5_series,
+    format_static_table,
+    format_timing_table,
+    run_dynamic_experiment,
+    run_ratio_sweep,
+    run_static_experiment,
+)
+from repro.evaluation.timing import dynamic_timing_rows, static_timing_rows
+
+
+FWD = ForwardMethod(
+    ForwardConfig(
+        dimension=16, n_samples=400, batch_size=1024, max_walk_length=2, epochs=8,
+        learning_rate=0.02, n_new_samples=30,
+    )
+)
+N2V = Node2VecMethod(
+    Node2VecConfig(
+        dimension=12, walks_per_node=4, walk_length=8, window_size=3,
+        negatives_per_positive=4, batch_size=2048, epochs=2, dynamic_epochs=2,
+        dynamic_walks_per_node=3,
+    )
+)
+
+
+@pytest.fixture(scope="module")
+def genes():
+    return load_dataset("genes", scale=0.08, seed=23)
+
+
+@pytest.fixture(scope="module")
+def static_results(genes):
+    return run_static_experiment(
+        genes, [FWD, N2V], n_splits=4, fresh_embedding_per_fold=False, rng=0
+    )
+
+
+@pytest.fixture(scope="module")
+def dynamic_results(genes):
+    one_by_one = run_dynamic_experiment(
+        genes, FWD, ratio_new=0.2, mode="one_by_one", n_runs=2, rng=1
+    )
+    all_at_once = run_dynamic_experiment(
+        genes, N2V, ratio_new=0.2, mode="all_at_once", n_runs=1, rng=1
+    )
+    return [one_by_one, all_at_once]
+
+
+class TestStaticExperiment:
+    def test_one_result_per_method_plus_baselines(self, static_results):
+        methods = [r.method for r in static_results]
+        assert methods == ["forward", "node2vec", "flat_baseline", "majority_baseline"]
+
+    def test_accuracies_are_valid_probabilities(self, static_results):
+        for result in static_results:
+            assert 0.0 <= result.accuracy_mean <= 1.0
+            assert result.accuracy_std >= 0.0
+
+    def test_embeddings_beat_majority_baseline(self, static_results):
+        by_method = {r.method: r for r in static_results}
+        majority = by_method["majority_baseline"].accuracy_mean
+        assert by_method["node2vec"].accuracy_mean > majority
+        assert by_method["forward"].accuracy_mean > majority
+
+    def test_training_time_recorded(self, static_results):
+        by_method = {r.method: r for r in static_results}
+        assert by_method["forward"].train_seconds > 0
+        assert by_method["node2vec"].train_seconds > 0
+
+    def test_fresh_embedding_per_fold_protocol(self, genes):
+        results = run_static_experiment(
+            genes, [FWD], n_splits=3, fresh_embedding_per_fold=True,
+            include_baselines=False, rng=2,
+        )
+        assert len(results) == 1
+        assert len(results[0].fold_accuracies) == 3
+
+    def test_static_table_rendering(self, static_results):
+        table = format_static_table(static_results)
+        assert "genes" in table and "forward" in table and "%" in table
+
+    def test_static_timing_rows(self, static_results):
+        rows = static_timing_rows(static_results)
+        assert {row["method"] for row in rows} == {"forward", "node2vec"}
+
+
+class TestDynamicExperiment:
+    def test_result_fields(self, dynamic_results):
+        for result in dynamic_results:
+            assert 0.0 <= result.accuracy_mean <= 1.0
+            assert result.seconds_per_new_tuple_mean > 0
+            assert result.static_train_seconds_mean > 0
+            assert result.runs
+
+    def test_stability_holds_in_every_run(self, dynamic_results):
+        for result in dynamic_results:
+            for run in result.runs:
+                assert run.max_drift == 0.0
+
+    def test_invalid_mode_rejected(self, genes):
+        with pytest.raises(ValueError):
+            run_dynamic_experiment(genes, FWD, mode="bogus", n_runs=1, rng=0)
+
+    def test_dynamic_table_rendering(self, dynamic_results):
+        table = format_dynamic_table(dynamic_results)
+        assert "one_by_one" in table and "all_at_once" in table
+
+    def test_timing_tables(self, dynamic_results):
+        static_table = format_timing_table(dynamic_results, per_tuple=False)
+        per_tuple_table = format_timing_table(dynamic_results, per_tuple=True)
+        assert "static seconds" in static_table
+        assert "sec/new tuple" in per_tuple_table
+        rows = dynamic_timing_rows(dynamic_results)
+        assert all(row["seconds_per_new_tuple"] > 0 for row in rows)
+
+
+class TestRatioSweep:
+    def test_sweep_shapes_and_rendering(self, genes):
+        sweep = run_ratio_sweep(
+            genes, [FWD], ratios=(0.2, 0.5), mode="one_by_one", n_runs=1, rng=3
+        )
+        assert sweep.ratios == (0.2, 0.5)
+        assert set(sweep.series) == {"forward", "baseline"}
+        assert len(sweep.series["forward"]) == 2
+        assert all(not math.isnan(v) for v in sweep.series["forward"])
+        rendering = format_figure5_series(sweep)
+        assert "Ratio" in rendering and "forward" in rendering

@@ -1,0 +1,36 @@
+"""Tests for the uniform method interface."""
+
+import pytest
+
+from repro.core import ForwardConfig, Node2VecConfig
+from repro.datasets import load_dataset
+from repro.evaluation import ForwardMethod, Node2VecMethod, method_by_name
+
+
+def test_method_by_name():
+    assert isinstance(method_by_name("forward"), ForwardMethod)
+    assert isinstance(method_by_name("node2vec"), Node2VecMethod)
+    with pytest.raises(ValueError):
+        method_by_name("unknown")
+
+
+def test_method_by_name_passes_configs():
+    config = ForwardConfig(dimension=7)
+    assert method_by_name("forward", forward_config=config).config.dimension == 7
+    n2v = Node2VecConfig(dimension=9)
+    assert method_by_name("node2vec", node2vec_config=n2v).config.dimension == 9
+
+
+@pytest.mark.parametrize("name", ["forward", "node2vec"])
+def test_fit_embed_extend_round_trip(name, fast_forward_config, fast_node2vec_config):
+    dataset = load_dataset("genes", scale=0.05, seed=21)
+    method = method_by_name(
+        name, forward_config=fast_forward_config, node2vec_config=fast_node2vec_config
+    )
+    db = dataset.masked_database()
+    model = method.fit(db, dataset.prediction_relation, rng=0)
+    prediction_facts = db.facts(dataset.prediction_relation)
+    embedding = method.embedding(model, prediction_facts)
+    assert len(embedding) == len(prediction_facts)
+    extender = method.make_extender(model, db, recompute_old_paths=False, rng=0)
+    assert extender.extend([]) is not None

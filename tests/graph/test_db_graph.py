@@ -1,0 +1,123 @@
+"""Tests for the bipartite fact/value graph of Section IV."""
+
+import pytest
+
+from repro.datasets.movies import movies_database
+from repro.graph import DatabaseGraph
+
+
+@pytest.fixture
+def db():
+    return movies_database()
+
+
+@pytest.fixture
+def graph(db):
+    return DatabaseGraph(db)
+
+
+class TestConstruction:
+    def test_every_fact_has_a_node(self, db, graph):
+        for fact in db:
+            assert graph.has_fact(fact)
+        assert len(graph.fact_nodes()) == len(db)
+
+    def test_null_values_create_no_nodes_or_edges(self, db, graph):
+        godzilla = db.lookup_by_key("MOVIES", ["m03"])
+        node = graph.fact_node(godzilla)
+        # Godzilla has 4 non-null attributes (mid, studio, title, budget).
+        assert graph.degree(node) == 4
+        assert graph.value_node("MOVIES", "genre", None) is None
+
+    def test_fact_nodes_connect_only_to_value_nodes(self, graph):
+        for node in graph.fact_nodes():
+            for neighbor in graph.neighbors(node):
+                assert not graph.is_fact_node(neighbor)
+
+    def test_edge_count(self, db, graph):
+        expected = sum(
+            sum(1 for v in fact.values if v is not None) for fact in db
+        )
+        assert graph.num_edges == expected
+
+
+class TestForeignKeyIdentification:
+    def test_fk_linked_columns_share_value_nodes(self, graph):
+        """MOVIES.studio and STUDIOS.sid are identified (the s01 node is shared)."""
+        movie_side = graph.value_node("MOVIES", "studio", "s01")
+        studio_side = graph.value_node("STUDIOS", "sid", "s01")
+        assert movie_side is not None
+        assert movie_side == studio_side
+
+    def test_actor_columns_identified_through_two_fks(self, graph):
+        """COLLABORATIONS.actor1, .actor2 and ACTORS.aid all collapse to one group."""
+        assert (
+            graph.value_node("COLLABORATIONS", "actor1", "a04")
+            == graph.value_node("COLLABORATIONS", "actor2", "a04")
+            == graph.value_node("ACTORS", "aid", "a04")
+        )
+
+    def test_unrelated_columns_with_equal_values_stay_distinct(self, db):
+        """The paper's 'Universal' example: same string in unrelated columns."""
+        db.insert(
+            "MOVIES",
+            {"mid": "m07", "studio": "s02", "title": "Universal", "genre": "Drama", "budget": 10},
+        )
+        graph = DatabaseGraph(db)
+        title_node = graph.value_node("MOVIES", "title", "Universal")
+        name_node = graph.value_node("STUDIOS", "name", "Universal")
+        assert title_node is not None and name_node is not None
+        assert title_node != name_node
+
+    def test_shared_value_node_connects_referencing_and_referenced_facts(self, db, graph):
+        warner = db.lookup_by_key("STUDIOS", ["s01"])
+        inception = db.lookup_by_key("MOVIES", ["m02"])
+        shared = graph.value_node("STUDIOS", "sid", "s01")
+        assert shared in graph.neighbors(graph.fact_node(warner))
+        assert shared in graph.neighbors(graph.fact_node(inception))
+
+
+class TestIncrementalExtension:
+    def test_add_fact_returns_new_node_indices(self, db, graph):
+        before = graph.num_nodes
+        new_fact = db.insert(
+            "COLLABORATIONS", {"actor1": "a03", "actor2": "a05", "movie": "m01"}
+        )
+        created = graph.add_fact(new_fact)
+        assert graph.num_nodes == before + len(created)
+        assert graph.fact_node(new_fact) in created
+        # a03, a05 and m01 value nodes already existed, so only the fact node is new.
+        assert len(created) == 1
+
+    def test_add_fact_with_new_values_creates_value_nodes(self, db, graph):
+        new_fact = db.insert(
+            "MOVIES", {"mid": "m99", "studio": "s01", "title": "Brand New", "genre": "Noir", "budget": 5}
+        )
+        created = graph.add_fact(new_fact)
+        # fact node + new mid value + new title + new genre + new budget (studio s01 exists)
+        assert len(created) == 5
+
+    def test_add_fact_is_idempotent(self, db, graph):
+        fact = db.facts("MOVIES")[0]
+        assert graph.add_fact(fact) == []
+
+    def test_existing_node_indices_unchanged_after_extension(self, db, graph):
+        titanic = db.lookup_by_key("MOVIES", ["m01"])
+        index_before = graph.fact_node(titanic)
+        new_fact = db.insert(
+            "MOVIES", {"mid": "m98", "studio": "s02", "title": "X", "genre": "Drama", "budget": 7}
+        )
+        graph.add_fact(new_fact)
+        assert graph.fact_node(titanic) == index_before
+
+
+class TestNetworkXExport:
+    def test_networkx_graph_matches_counts(self, graph):
+        nx_graph = graph.to_networkx()
+        assert nx_graph.number_of_nodes() == graph.num_nodes
+        assert nx_graph.number_of_edges() == graph.num_edges
+
+    def test_networkx_nodes_carry_kind(self, graph):
+        nx_graph = graph.to_networkx()
+        kinds = {data["kind"] for _, data in nx_graph.nodes(data=True)}
+        assert kinds == {"fact", "value"}

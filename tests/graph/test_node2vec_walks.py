@@ -1,0 +1,86 @@
+"""Tests for the Node2Vec walk sampler."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.movies import movies_database
+from repro.graph import DatabaseGraph, Node2VecWalker
+
+
+@pytest.fixture
+def graph():
+    return DatabaseGraph(movies_database())
+
+
+def test_walk_length_and_start(graph):
+    walker = Node2VecWalker(graph, walks_per_node=1, walk_length=12, rng=0)
+    walk = walker.walk_from(0)
+    assert walk[0] == 0
+    assert len(walk) <= 12
+    for a, b in zip(walk, walk[1:]):
+        assert b in graph.neighbors(a)
+
+
+def test_generate_counts(graph):
+    walker = Node2VecWalker(graph, walks_per_node=3, walk_length=5, rng=0)
+    corpus = walker.generate()
+    assert len(corpus) == 3 * graph.num_nodes
+    assert corpus.num_nodes == graph.num_nodes
+
+
+def test_generate_from_subset(graph):
+    walker = Node2VecWalker(graph, walks_per_node=2, walk_length=5, rng=0)
+    corpus = walker.generate(start_nodes=[0, 1])
+    assert len(corpus) == 4
+    assert {walk[0] for walk in corpus.walks} == {0, 1}
+
+
+def test_walks_alternate_between_fact_and_value_nodes(graph):
+    """The graph is bipartite, so consecutive walk nodes differ in kind."""
+    walker = Node2VecWalker(graph, walks_per_node=1, walk_length=15, rng=1)
+    for start in list(range(graph.num_nodes))[:10]:
+        walk = walker.walk_from(start)
+        for a, b in zip(walk, walk[1:]):
+            assert graph.is_fact_node(a) != graph.is_fact_node(b)
+
+
+def test_low_p_biases_towards_returning(graph):
+    """With a tiny p the walk revisits its previous node much more often."""
+    returning = Node2VecWalker(graph, walks_per_node=1, walk_length=30, p=0.01, q=1.0, rng=0)
+    neutral = Node2VecWalker(graph, walks_per_node=1, walk_length=30, p=1.0, q=1.0, rng=0)
+
+    def return_rate(walker):
+        hits = total = 0
+        for start in range(min(graph.num_nodes, 20)):
+            walk = walker.walk_from(start)
+            for i in range(2, len(walk)):
+                total += 1
+                hits += walk[i] == walk[i - 2]
+        return hits / max(total, 1)
+
+    assert return_rate(returning) > return_rate(neutral)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"walks_per_node": 0},
+    {"walk_length": 0},
+    {"p": 0.0},
+    {"q": -1.0},
+])
+def test_invalid_parameters_rejected(graph, kwargs):
+    with pytest.raises(ValueError):
+        Node2VecWalker(graph, **kwargs)
+
+
+def test_null_heavy_fact_walk_is_confined_to_its_component():
+    db = movies_database()
+    graph = DatabaseGraph(db)
+    # A fact whose only non-null value is its (fresh) key forms a 2-node
+    # component; walks from it just bounce between the two nodes.
+    fact = db.insert("MOVIES", {"mid": "m97", "studio": None, "title": None, "genre": None, "budget": None})
+    created = graph.add_fact(fact)
+    assert len(created) == 2  # fact node + the new mid value node
+    walker = Node2VecWalker(graph, walks_per_node=1, walk_length=10, rng=0)
+    walk = walker.walk_from(graph.fact_node(fact))
+    assert set(walk) == set(created)
+    assert len(walk) == 10

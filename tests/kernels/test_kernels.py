@@ -1,0 +1,112 @@
+"""Tests for the attribute-domain kernels."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    EditDistanceKernel,
+    EqualityKernel,
+    GaussianKernel,
+    TokenJaccardKernel,
+)
+from repro.kernels.text import levenshtein_distance
+
+
+class TestEqualityKernel:
+    def test_identity(self):
+        kernel = EqualityKernel()
+        assert kernel("a", "a") == 1.0
+        assert kernel(3, 3) == 1.0
+
+    def test_mismatch(self):
+        kernel = EqualityKernel()
+        assert kernel("a", "b") == 0.0
+        assert kernel(1, "1") == 0.0
+
+    def test_cross_matrix(self):
+        kernel = EqualityKernel()
+        matrix = kernel.cross_matrix(["a", "b", "a"], ["a", "c"])
+        assert matrix.tolist() == [[1, 0], [0, 0], [1, 0]]
+
+
+class TestGaussianKernel:
+    def test_equal_values_have_similarity_one(self):
+        assert GaussianKernel(2.0)(5.0, 5.0) == pytest.approx(1.0)
+
+    def test_value_matches_formula(self):
+        kernel = GaussianKernel(variance=2.0)
+        assert kernel(1.0, 3.0) == pytest.approx(np.exp(-4.0 / 4.0))
+
+    def test_symmetry(self):
+        kernel = GaussianKernel(0.5)
+        assert kernel(1.0, 4.0) == pytest.approx(kernel(4.0, 1.0))
+
+    def test_monotone_in_distance(self):
+        kernel = GaussianKernel(1.0)
+        assert kernel(0, 1) > kernel(0, 2) > kernel(0, 5)
+
+    def test_non_numeric_falls_back_to_equality(self):
+        kernel = GaussianKernel(1.0)
+        assert kernel("x", "x") == 1.0
+        assert kernel("x", "y") == 0.0
+
+    def test_cross_matrix_matches_scalar(self):
+        kernel = GaussianKernel(3.0)
+        xs, ys = [0.0, 1.0, 2.5], [1.0, -2.0]
+        matrix = kernel.cross_matrix(xs, ys)
+        for i, x in enumerate(xs):
+            for j, y in enumerate(ys):
+                assert matrix[i, j] == pytest.approx(kernel(x, y))
+
+    def test_for_values_uses_empirical_variance(self):
+        kernel = GaussianKernel.for_values([0.0, 10.0])
+        assert kernel.variance == pytest.approx(25.0)
+
+    def test_for_values_handles_constant_column(self):
+        kernel = GaussianKernel.for_values([3.0, 3.0, 3.0])
+        assert kernel.variance > 0
+
+    def test_invalid_variance(self):
+        with pytest.raises(ValueError):
+            GaussianKernel(0.0)
+
+
+class TestTextKernels:
+    def test_levenshtein_basics(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("abc", "abc") == 0
+
+    def test_edit_distance_kernel_range(self):
+        kernel = EditDistanceKernel()
+        assert kernel("color", "colour") == pytest.approx(1 - 1 / 6)
+        assert kernel("same", "same") == 1.0
+        assert 0.0 <= kernel("abc", "xyz") <= 1.0
+
+    def test_token_jaccard(self):
+        kernel = TokenJaccardKernel()
+        assert kernel("warner bros", "warner studios") == pytest.approx(1 / 3)
+        assert kernel("", "") == 1.0
+        assert kernel("a b", "") == 0.0
+
+
+class TestExpectedSimilarity:
+    def test_point_masses(self):
+        kernel = EqualityKernel()
+        value = kernel.expected_similarity(["a"], [1.0], ["a"], [1.0])
+        assert value == 1.0
+
+    def test_mixture_matches_hand_computation(self):
+        kernel = EqualityKernel()
+        # P(X = Y) with X ~ {a:0.5, b:0.5}, Y ~ {a:0.25, c:0.75} = 0.5*0.25
+        value = kernel.expected_similarity(["a", "b"], [0.5, 0.5], ["a", "c"], [0.25, 0.75])
+        assert value == pytest.approx(0.125)
+
+    def test_gaussian_expected_similarity(self):
+        kernel = GaussianKernel(1.0)
+        value = kernel.expected_similarity([0.0, 2.0], [0.5, 0.5], [0.0], [1.0])
+        assert value == pytest.approx(0.5 * 1.0 + 0.5 * np.exp(-2.0))
+
+    def test_empty_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            EqualityKernel().expected_similarity([], [], ["a"], [1.0])

@@ -1,0 +1,47 @@
+"""Tests for the per-attribute kernel registry and its defaults."""
+
+from repro.datasets.movies import movies_database
+from repro.kernels import EqualityKernel, GaussianKernel, KernelRegistry, default_kernels
+
+
+def test_default_kernels_numeric_gets_gaussian():
+    db = movies_database()
+    registry = default_kernels(db)
+    assert isinstance(registry.get("MOVIES", "budget"), GaussianKernel)
+    assert isinstance(registry.get("ACTORS", "worth"), GaussianKernel)
+
+
+def test_default_kernels_categorical_falls_back_to_equality():
+    db = movies_database()
+    registry = default_kernels(db)
+    assert isinstance(registry.get("MOVIES", "genre"), EqualityKernel)
+    assert isinstance(registry.get("STUDIOS", "loc"), EqualityKernel)
+
+
+def test_default_kernel_bandwidth_fits_column():
+    db = movies_database()
+    registry = default_kernels(db)
+    budgets = [float(v) for v in db.active_domain("MOVIES", "budget")]
+    import numpy as np
+
+    assert registry.get("MOVIES", "budget").variance == np.var(budgets)
+
+
+def test_fixed_variance_override():
+    db = movies_database()
+    registry = default_kernels(db, numeric_variance=4.0)
+    assert registry.get("MOVIES", "budget").variance == 4.0
+
+
+def test_manual_registration_takes_precedence():
+    registry = KernelRegistry()
+    custom = GaussianKernel(9.0)
+    registry.register("MOVIES", "genre", custom)
+    assert registry.get("MOVIES", "genre") is custom
+    assert "MOVIES.genre" in registry
+    assert len(registry) == 1
+
+
+def test_unregistered_attribute_uses_fallback():
+    registry = KernelRegistry(fallback=EqualityKernel())
+    assert isinstance(registry.get("ANY", "thing"), EqualityKernel)

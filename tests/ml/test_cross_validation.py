@@ -1,0 +1,75 @@
+"""Tests for stratified k-fold cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.ml import LogisticRegression, SVC, StratifiedKFold, cross_val_accuracy
+
+
+def test_folds_partition_all_indices():
+    labels = np.array([0] * 30 + [1] * 20)
+    splitter = StratifiedKFold(n_splits=5, rng=0)
+    seen = []
+    for train, test in splitter.split(labels):
+        assert set(train) | set(test) == set(range(50))
+        assert set(train) & set(test) == set()
+        seen.extend(test.tolist())
+    assert sorted(seen) == list(range(50))
+
+
+def test_folds_are_stratified():
+    labels = np.array([0] * 40 + [1] * 10)
+    splitter = StratifiedKFold(n_splits=5, rng=0)
+    for _, test in splitter.split(labels):
+        test_labels = labels[test]
+        assert np.sum(test_labels == 1) == 2
+        assert np.sum(test_labels == 0) == 8
+
+
+def test_number_of_folds():
+    labels = np.array([0, 1] * 10)
+    assert len(list(StratifiedKFold(n_splits=4, rng=0).split(labels))) == 4
+
+
+def test_too_few_samples_rejected():
+    with pytest.raises(ValueError):
+        list(StratifiedKFold(n_splits=10).split(np.array([0, 1, 0])))
+
+
+def test_invalid_n_splits():
+    with pytest.raises(ValueError):
+        StratifiedKFold(n_splits=1)
+
+
+def test_rare_class_folds_skipped_gracefully():
+    labels = np.array([0] * 18 + [1] * 2)
+    folds = list(StratifiedKFold(n_splits=4, rng=0).split(labels))
+    assert len(folds) == 4  # no empty train/test folds produced
+
+
+def test_cross_val_accuracy_on_separable_data():
+    rng = np.random.default_rng(0)
+    x = np.vstack([rng.normal(0, 0.4, (30, 2)), rng.normal(4, 0.4, (30, 2))])
+    y = np.array([0] * 30 + [1] * 30)
+    mean, std, scores = cross_val_accuracy(lambda: SVC(), x, y, n_splits=5, rng=0)
+    assert mean > 0.9
+    assert len(scores) == 5
+    assert std >= 0.0
+
+
+def test_cross_val_accuracy_with_logistic_regression():
+    rng = np.random.default_rng(1)
+    x = np.vstack([rng.normal(0, 0.5, (25, 3)), rng.normal(3, 0.5, (25, 3))])
+    y = np.array(["a"] * 25 + ["b"] * 25)
+    mean, _std, _ = cross_val_accuracy(
+        lambda: LogisticRegression(rng=0), x, y, n_splits=5, rng=1
+    )
+    assert mean > 0.9
+
+
+def test_cross_val_accuracy_random_labels_near_chance():
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=(100, 4))
+    y = rng.integers(0, 2, 100)
+    mean, _std, _ = cross_val_accuracy(lambda: SVC(), x, y, n_splits=5, rng=2)
+    assert 0.2 < mean < 0.8

@@ -1,0 +1,87 @@
+"""Tests for metrics, the scaler, and logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    LogisticRegression,
+    StandardScaler,
+    accuracy_score,
+    confusion_matrix,
+    majority_class_accuracy,
+)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy_score([1, 0, 1, 1], [1, 1, 1, 0]) == 0.5
+        assert accuracy_score(["a", "b"], ["a", "b"]) == 1.0
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1, 2], [1])
+
+    def test_accuracy_empty(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+    def test_majority_class_accuracy(self):
+        assert majority_class_accuracy(["c", "c", "b", "c"]) == 0.75
+
+    def test_majority_class_empty(self):
+        with pytest.raises(ValueError):
+            majority_class_accuracy([])
+
+    def test_confusion_matrix(self):
+        matrix, labels = confusion_matrix(["a", "a", "b"], ["a", "b", "b"])
+        assert labels == ["a", "b"]
+        assert matrix.tolist() == [[1, 1], [0, 1]]
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(5, 3, size=(200, 4))
+        scaled = StandardScaler().fit_transform(x)
+        assert np.allclose(scaled.mean(axis=0), 0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1, atol=1e-9)
+
+    def test_constant_column_not_divided_by_zero(self):
+        x = np.column_stack([np.ones(10), np.arange(10)])
+        scaled = StandardScaler().fit_transform(x)
+        assert np.all(np.isfinite(scaled))
+        assert np.allclose(scaled[:, 0], 0)
+
+    def test_transform_before_fit(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_train_statistics_applied_to_test(self):
+        scaler = StandardScaler().fit(np.array([[0.0], [2.0]]))
+        assert np.allclose(scaler.transform(np.array([[4.0]])), [[3.0]])
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros(3))
+
+
+class TestLogisticRegression:
+    def test_separable_data(self):
+        rng = np.random.default_rng(0)
+        x = np.vstack([rng.normal(0, 0.5, (40, 2)), rng.normal(3, 0.5, (40, 2))])
+        y = np.array([0] * 40 + [1] * 40)
+        model = LogisticRegression(rng=0).fit(x, y)
+        assert model.score(x, y) > 0.95
+
+    def test_multiclass_probabilities_sum_to_one(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(30, 3))
+        y = rng.integers(0, 3, 30)
+        model = LogisticRegression(epochs=50, rng=0).fit(x, y)
+        probabilities = model.predict_proba(x)
+        assert probabilities.shape == (30, 3)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict_proba(np.zeros((1, 2)))

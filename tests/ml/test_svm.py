@@ -1,0 +1,96 @@
+"""Tests for the SVM downstream classifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml import SVC, KernelType
+
+
+def blobs(n_per_class=40, centers=((0, 0), (4, 4)), seed=0, spread=0.6):
+    rng = np.random.default_rng(seed)
+    features, labels = [], []
+    for label, center in enumerate(centers):
+        features.append(rng.normal(center, spread, size=(n_per_class, len(center))))
+        labels.extend([label] * n_per_class)
+    return np.vstack(features), np.array(labels)
+
+
+class TestBinaryClassification:
+    def test_separable_blobs_linear(self):
+        x, y = blobs()
+        model = SVC(kernel=KernelType.LINEAR).fit(x, y)
+        assert model.score(x, y) > 0.95
+
+    def test_separable_blobs_rbf(self):
+        x, y = blobs()
+        model = SVC(kernel="rbf").fit(x, y)
+        assert model.score(x, y) > 0.95
+
+    def test_predictions_on_new_points(self):
+        x, y = blobs()
+        model = SVC().fit(x, y)
+        assert model.predict(np.array([[0.2, -0.1]]))[0] == 0
+        assert model.predict(np.array([[4.1, 3.8]]))[0] == 1
+
+    def test_nonlinear_circle_needs_rbf(self):
+        rng = np.random.default_rng(1)
+        radius = np.concatenate([rng.uniform(0, 1, 80), rng.uniform(2, 3, 80)])
+        angle = rng.uniform(0, 2 * np.pi, 160)
+        x = np.column_stack([radius * np.cos(angle), radius * np.sin(angle)])
+        y = (radius > 1.5).astype(int)
+        rbf_score = SVC(kernel="rbf").fit(x, y).score(x, y)
+        linear_score = SVC(kernel="linear").fit(x, y).score(x, y)
+        assert rbf_score > 0.9
+        assert rbf_score > linear_score
+
+    def test_string_labels(self):
+        x, y = blobs()
+        labels = np.where(y == 0, "cat", "dog")
+        model = SVC().fit(x, labels)
+        assert set(model.predict(x)) <= {"cat", "dog"}
+        assert model.score(x, labels) > 0.9
+
+
+class TestMulticlass:
+    def test_three_blobs_one_vs_rest(self):
+        x, y = blobs(centers=((0, 0), (5, 0), (0, 5)))
+        model = SVC().fit(x, y)
+        assert model.score(x, y) > 0.9
+        assert model.decision_function(x).shape == (len(x), 3)
+
+    def test_single_class_degenerate_fit(self):
+        x = np.random.default_rng(0).normal(size=(10, 3))
+        y = np.zeros(10)
+        model = SVC().fit(x, y)
+        assert np.all(model.predict(x) == 0)
+
+
+class TestValidationAndDefaults:
+    def test_gamma_scale_matches_sklearn_definition(self):
+        x, y = blobs()
+        model = SVC()
+        expected = 1.0 / (x.shape[1] * x.var())
+        assert model._resolve_gamma(x) == pytest.approx(expected)
+
+    def test_explicit_gamma(self):
+        assert SVC(gamma=0.5)._resolve_gamma(np.zeros((2, 2))) == 0.5
+
+    def test_unknown_gamma_string(self):
+        with pytest.raises(ValueError):
+            SVC(gamma="auto")._resolve_gamma(np.ones((2, 2)))
+
+    def test_invalid_c(self):
+        with pytest.raises(ValueError):
+            SVC(C=0.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            SVC().predict(np.zeros((1, 2)))
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            SVC().fit(np.zeros((3, 2)), [0, 1])
+
+    def test_non_2d_features(self):
+        with pytest.raises(ValueError):
+            SVC().fit(np.zeros(3), [0, 1, 1])

@@ -1,0 +1,39 @@
+"""Tests for walk corpora and skip-gram pair construction."""
+
+import numpy as np
+
+from repro.nn import WalkCorpus, build_training_pairs
+
+
+def test_node_counts():
+    corpus = WalkCorpus([[0, 1, 1], [2]], num_nodes=4)
+    assert corpus.node_counts().tolist() == [1.0, 2.0, 1.0, 0.0]
+    assert len(corpus) == 2
+
+
+def test_pairs_within_window():
+    pairs = build_training_pairs([[0, 1, 2, 3]], window_size=1)
+    as_set = {tuple(p) for p in pairs.tolist()}
+    assert as_set == {(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)}
+
+
+def test_window_size_two_includes_skips():
+    pairs = build_training_pairs([[0, 1, 2]], window_size=2)
+    as_set = {tuple(p) for p in pairs.tolist()}
+    assert (0, 2) in as_set and (2, 0) in as_set
+
+
+def test_restrict_centers():
+    pairs = build_training_pairs([[0, 1, 2]], window_size=2, restrict_centers_to={1})
+    assert set(pairs[:, 0].tolist()) == {1}
+    assert {tuple(p) for p in pairs.tolist()} == {(1, 0), (1, 2)}
+
+
+def test_empty_walks_give_empty_pairs():
+    pairs = build_training_pairs([], window_size=3)
+    assert pairs.shape == (0, 2)
+    assert pairs.dtype == np.int64
+
+
+def test_single_node_walk_gives_no_pairs():
+    assert build_training_pairs([[5]], window_size=2).shape == (0, 2)

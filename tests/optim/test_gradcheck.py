@@ -1,0 +1,19 @@
+"""Tests for the finite-difference gradient checker itself."""
+
+import numpy as np
+
+from repro.optim import numerical_gradient
+
+
+def test_numerical_gradient_of_quadratic():
+    point = np.array([1.0, -2.0, 0.5])
+    grad = numerical_gradient(lambda x: float(0.5 * np.sum(x**2)), point)
+    assert np.allclose(grad, point, atol=1e-5)
+
+
+def test_numerical_gradient_of_matrix_function():
+    point = np.arange(6, dtype=float).reshape(2, 3)
+    grad = numerical_gradient(lambda m: float(np.sum(m * m) + m[0, 0]), point)
+    expected = 2 * point
+    expected[0, 0] += 1
+    assert np.allclose(grad, expected, atol=1e-5)

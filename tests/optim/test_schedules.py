@@ -1,0 +1,45 @@
+"""Tests for learning-rate schedules."""
+
+import pytest
+
+from repro.optim import ConstantSchedule, ExponentialDecay, LinearDecay
+
+
+def test_constant_schedule():
+    schedule = ConstantSchedule(0.05)
+    assert schedule.rate(0) == 0.05
+    assert schedule.rate(100) == 0.05
+
+
+def test_linear_decay_endpoints_and_midpoint():
+    schedule = LinearDecay(1.0, 0.0, num_epochs=11)
+    assert schedule.rate(0) == pytest.approx(1.0)
+    assert schedule.rate(10) == pytest.approx(0.0)
+    assert schedule.rate(5) == pytest.approx(0.5)
+
+
+def test_linear_decay_clamps_out_of_range_epochs():
+    schedule = LinearDecay(1.0, 0.5, num_epochs=3)
+    assert schedule.rate(-5) == pytest.approx(1.0)
+    assert schedule.rate(99) == pytest.approx(0.5)
+
+
+def test_linear_decay_single_epoch():
+    assert LinearDecay(0.3, 0.1, num_epochs=1).rate(0) == pytest.approx(0.3)
+
+
+def test_exponential_decay():
+    schedule = ExponentialDecay(1.0, gamma=0.5)
+    assert schedule.rate(0) == 1.0
+    assert schedule.rate(2) == pytest.approx(0.25)
+
+
+@pytest.mark.parametrize("cls, args", [
+    (ConstantSchedule, (0.0,)),
+    (LinearDecay, (0.0, 0.1, 5)),
+    (LinearDecay, (0.1, 0.1, 0)),
+    (ExponentialDecay, (0.1, 0.0)),
+])
+def test_invalid_parameters_rejected(cls, args):
+    with pytest.raises(ValueError):
+        cls(*args)

@@ -1,0 +1,82 @@
+"""Property-based tests for the relational substrate (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.db import Database
+from repro.datasets.movies import movies_schema
+
+
+def _random_movie_rows(draw, count):
+    rows = []
+    for index in range(count):
+        rows.append(
+            {
+                "mid": f"m{index}",
+                "studio": draw(st.sampled_from(["s1", "s2", None])),
+                "title": draw(st.text(min_size=0, max_size=6)),
+                "genre": draw(st.sampled_from(["Drama", "SciFi", None])),
+                "budget": draw(st.integers(min_value=0, max_value=500) | st.none()),
+            }
+        )
+    return rows
+
+
+@st.composite
+def movie_databases(draw):
+    """Random databases over the Figure-2 schema with consistent FKs."""
+    db = Database(movies_schema())
+    for sid in ("s1", "s2"):
+        db.insert("STUDIOS", {"sid": sid, "name": f"Studio {sid}", "loc": "LA"})
+    count = draw(st.integers(min_value=0, max_value=12))
+    for row in _random_movie_rows(draw, count):
+        db.insert("MOVIES", row)
+    return db
+
+
+@given(movie_databases())
+@settings(max_examples=30, deadline=None)
+def test_generated_databases_satisfy_constraints(db):
+    assert db.check_foreign_keys() == []
+    # key index agrees with fact listing
+    for fact in db.facts("MOVIES"):
+        assert db.lookup_by_key("MOVIES", fact.key_values()) is fact
+
+
+@given(movie_databases(), st.randoms(use_true_random=False))
+@settings(max_examples=30, deadline=None)
+def test_delete_then_reinsert_is_identity(db, random):
+    movies = list(db.facts("MOVIES"))
+    if not movies:
+        return
+    victim = random.choice(movies)
+    before_ids = {f.fact_id for f in db}
+    db.delete(victim)
+    db.reinsert(victim)
+    assert {f.fact_id for f in db} == before_ids
+    assert db.check_foreign_keys() == []
+
+
+@given(movie_databases(), st.randoms(use_true_random=False))
+@settings(max_examples=30, deadline=None)
+def test_cascade_delete_leaves_consistent_database(db, random):
+    facts = list(db)
+    if not facts:
+        return
+    victim = random.choice(facts)
+    deleted = db.delete_cascade(victim)
+    assert db.check_foreign_keys() == []
+    deleted_ids = {f.fact_id for f in deleted}
+    assert victim.fact_id in deleted_ids
+    for fact in db:
+        assert fact.fact_id not in deleted_ids
+
+
+@given(movie_databases())
+@settings(max_examples=20, deadline=None)
+def test_copy_is_deep_with_respect_to_fact_sets(db):
+    clone = db.copy()
+    assert {f.fact_id for f in clone} == {f.fact_id for f in db}
+    for fact in list(clone.facts("MOVIES")):
+        clone.delete(fact)
+    assert db.num_facts("MOVIES") >= clone.num_facts("MOVIES")
+    assert clone.num_facts("MOVIES") == 0

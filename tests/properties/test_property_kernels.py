@@ -1,0 +1,79 @@
+"""Property-based tests for kernel invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels import EditDistanceKernel, EqualityKernel, GaussianKernel, TokenJaccardKernel
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+short_text = st.text(min_size=0, max_size=12)
+
+
+@given(finite_floats, finite_floats, st.floats(min_value=1e-3, max_value=1e6))
+@settings(max_examples=100, deadline=None)
+def test_gaussian_symmetric_bounded_and_maximal_on_diagonal(a, b, variance):
+    kernel = GaussianKernel(variance)
+    value = kernel(a, b)
+    assert 0.0 <= value <= 1.0
+    assert value == kernel(b, a)
+    assert kernel(a, a) == 1.0
+    assert value <= kernel(a, a)
+
+
+@given(st.one_of(short_text, st.integers()), st.one_of(short_text, st.integers()))
+@settings(max_examples=100, deadline=None)
+def test_equality_kernel_is_an_indicator(a, b):
+    kernel = EqualityKernel()
+    assert kernel(a, b) == (1.0 if a == b else 0.0)
+    assert kernel(a, b) == kernel(b, a)
+
+
+@given(short_text, short_text)
+@settings(max_examples=100, deadline=None)
+def test_edit_distance_kernel_symmetric_and_bounded(a, b):
+    kernel = EditDistanceKernel()
+    value = kernel(a, b)
+    assert 0.0 <= value <= 1.0
+    assert value == kernel(b, a)
+    assert kernel(a, a) == 1.0
+
+
+@given(short_text, short_text)
+@settings(max_examples=100, deadline=None)
+def test_token_jaccard_symmetric_and_bounded(a, b):
+    kernel = TokenJaccardKernel()
+    value = kernel(a, b)
+    assert 0.0 <= value <= 1.0
+    assert value == kernel(b, a)
+
+
+@given(
+    st.lists(st.sampled_from(["x", "y", "z"]), min_size=1, max_size=4, unique=True),
+    st.lists(st.sampled_from(["x", "y", "z"]), min_size=1, max_size=4, unique=True),
+    st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_expected_similarity_is_a_convex_combination(values_a, values_b, data):
+    kernel = EqualityKernel()
+    probs_a = np.array(
+        data.draw(
+            st.lists(
+                st.floats(min_value=0.01, max_value=1.0),
+                min_size=len(values_a),
+                max_size=len(values_a),
+            )
+        )
+    )
+    probs_b = np.array(
+        data.draw(
+            st.lists(
+                st.floats(min_value=0.01, max_value=1.0),
+                min_size=len(values_b),
+                max_size=len(values_b),
+            )
+        )
+    )
+    probs_a = probs_a / probs_a.sum()
+    probs_b = probs_b / probs_b.sum()
+    value = kernel.expected_similarity(values_a, probs_a, values_b, probs_b)
+    assert -1e-9 <= value <= 1.0 + 1e-9

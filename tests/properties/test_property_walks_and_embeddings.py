@@ -1,0 +1,77 @@
+"""Property-based tests for walk distributions and embedding invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import TupleEmbedding, embedding_drift, is_stable_extension
+from repro.datasets.movies import movies_database
+from repro.walks import enumerate_walk_schemes, destination_distribution
+
+
+@st.composite
+def embeddings(draw, dimension=4, max_facts=10):
+    count = draw(st.integers(min_value=0, max_value=max_facts))
+    embedding = TupleEmbedding(dimension)
+    for fact_id in range(count):
+        vector = draw(
+            st.lists(
+                st.floats(min_value=-10, max_value=10, allow_nan=False),
+                min_size=dimension,
+                max_size=dimension,
+            )
+        )
+        embedding.set(fact_id, np.array(vector))
+    return embedding
+
+
+@given(embeddings())
+@settings(max_examples=50, deadline=None)
+def test_extension_with_new_facts_is_always_stable(embedding):
+    extended = embedding.copy()
+    new_id = max(embedding.fact_ids, default=-1) + 1
+    extended.set(new_id, np.zeros(embedding.dimension))
+    assert is_stable_extension(embedding, extended)
+    assert embedding_drift(embedding, extended).max_drift == 0.0
+
+
+@given(embeddings(), st.integers(min_value=0, max_value=9))
+@settings(max_examples=50, deadline=None)
+def test_modifying_an_old_fact_breaks_stability(embedding, index):
+    if len(embedding) == 0:
+        return
+    fact_id = embedding.fact_ids[index % len(embedding)]
+    modified = embedding.copy()
+    modified.set(fact_id, embedding.vector(fact_id) + 1.0)
+    assert not is_stable_extension(embedding, modified)
+
+
+@given(embeddings())
+@settings(max_examples=50, deadline=None)
+def test_drift_is_zero_iff_embeddings_identical(embedding):
+    report = embedding_drift(embedding, embedding.copy())
+    assert report.is_zero
+    assert report.shared_facts == len(embedding)
+
+
+# --- walk distributions on the Figure-2 database -----------------------------
+
+_MOVIES_DB = movies_database()
+_ALL_SCHEMES = [
+    scheme
+    for relation in _MOVIES_DB.schema.relation_names
+    for scheme in enumerate_walk_schemes(_MOVIES_DB.schema, relation, 2)
+]
+
+
+@given(st.sampled_from(_ALL_SCHEMES), st.data())
+@settings(max_examples=80, deadline=None)
+def test_destination_distributions_are_probability_distributions(scheme, data):
+    facts = _MOVIES_DB.facts(scheme.start_relation)
+    fact = data.draw(st.sampled_from(list(facts)))
+    dist = destination_distribution(_MOVIES_DB, fact, scheme)
+    if dist.is_empty:
+        return
+    assert np.all(dist.probabilities >= 0)
+    assert np.isclose(dist.probabilities.sum(), 1.0)
+    for destination in dist.facts:
+        assert destination.relation == scheme.end_relation

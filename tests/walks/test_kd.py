@@ -1,0 +1,56 @@
+"""Tests for the Expected Kernel Distance (Equation (2))."""
+
+import pytest
+
+from repro.datasets.movies import movies_database
+from repro.kernels import EqualityKernel, GaussianKernel
+from repro.walks import (
+    Direction,
+    WalkScheme,
+    WalkStep,
+    attribute_distribution,
+    expected_kernel_distance,
+)
+
+
+def _scheme_backward_from_studio(schema):
+    fk = schema.foreign_keys_from("MOVIES")[0]  # MOVIES[studio] ⊆ STUDIOS[sid]
+    return WalkScheme("STUDIOS", (WalkStep(fk, Direction.BACKWARD),))
+
+
+def test_kd_equality_kernel_matches_collision_probability():
+    db = movies_database()
+    scheme = _scheme_backward_from_studio(db.schema)
+    warner = db.lookup_by_key("STUDIOS", ["s01"])
+    paramount = db.lookup_by_key("STUDIOS", ["s03"])
+    dist_w = attribute_distribution(db, warner, scheme, "genre")
+    dist_p = attribute_distribution(db, paramount, scheme, "genre")
+    # Warner's non-null genres: SciFi (1/2 after conditioning), Bio (1/2).
+    # Paramount's genres: Drama (1/2), SciFi (1/2).  Collision prob = 1/4.
+    value = expected_kernel_distance(dist_w, dist_p, EqualityKernel())
+    assert value == pytest.approx(0.25)
+
+
+def test_kd_with_itself_is_self_collision_probability():
+    db = movies_database()
+    scheme = _scheme_backward_from_studio(db.schema)
+    paramount = db.lookup_by_key("STUDIOS", ["s03"])
+    dist = attribute_distribution(db, paramount, scheme, "genre")
+    value = expected_kernel_distance(dist, dist, EqualityKernel())
+    assert value == pytest.approx(0.5)  # 0.5² + 0.5²
+
+
+def test_kd_gaussian_on_budgets():
+    db = movies_database()
+    scheme = _scheme_backward_from_studio(db.schema)
+    warner = db.lookup_by_key("STUDIOS", ["s01"])
+    universal = db.lookup_by_key("STUDIOS", ["s02"])
+    kernel = GaussianKernel(variance=100.0)
+    dist_w = attribute_distribution(db, warner, scheme, "budget")
+    dist_u = attribute_distribution(db, universal, scheme, "budget")
+    value = expected_kernel_distance(dist_w, dist_u, kernel)
+    assert 0.0 < value < 1.0
+
+
+def test_kd_none_when_distribution_missing():
+    assert expected_kernel_distance(None, None, EqualityKernel()) is None

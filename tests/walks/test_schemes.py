@@ -1,0 +1,121 @@
+"""Tests for walk-scheme enumeration (Section V-A, Figure 4)."""
+
+import pytest
+
+from repro.datasets.movies import movies_schema
+from repro.walks import Direction, WalkScheme, WalkStep, enumerate_walk_schemes, walk_targets
+
+
+@pytest.fixture
+def schema():
+    return movies_schema()
+
+
+class TestWalkStep:
+    def test_forward_step_orientation(self, schema):
+        fk = schema.foreign_keys_from("MOVIES")[0]
+        step = WalkStep(fk, Direction.FORWARD)
+        assert step.from_relation == "MOVIES"
+        assert step.to_relation == "STUDIOS"
+        assert step.from_attrs == ("studio",)
+        assert step.to_attrs == ("sid",)
+
+    def test_backward_step_orientation(self, schema):
+        fk = schema.foreign_keys_from("MOVIES")[0]
+        step = WalkStep(fk, Direction.BACKWARD)
+        assert step.from_relation == "STUDIOS"
+        assert step.to_relation == "MOVIES"
+        assert step.from_attrs == ("sid",)
+        assert step.to_attrs == ("studio",)
+
+
+class TestWalkScheme:
+    def test_zero_length_scheme(self):
+        scheme = WalkScheme("MOVIES")
+        assert scheme.length == 0
+        assert scheme.end_relation == "MOVIES"
+
+    def test_extend_builds_connected_scheme(self, schema):
+        fk = schema.foreign_keys_from("MOVIES")[0]
+        scheme = WalkScheme("MOVIES").extend(WalkStep(fk, Direction.FORWARD))
+        assert scheme.length == 1
+        assert scheme.end_relation == "STUDIOS"
+
+    def test_disconnected_scheme_rejected(self, schema):
+        fk = schema.foreign_keys_from("MOVIES")[0]
+        with pytest.raises(ValueError):
+            WalkScheme("ACTORS", (WalkStep(fk, Direction.FORWARD),))
+
+
+class TestEnumeration:
+    def test_example_5_1_scheme_s5_exists(self, schema):
+        """Example 5.1: ACTORS[aid]—COLLAB[actor2], COLLAB[movie]—MOVIES[mid]."""
+        schemes = enumerate_walk_schemes(schema, "ACTORS", 2)
+        found = False
+        for scheme in schemes:
+            if scheme.length != 2:
+                continue
+            first, second = scheme.steps
+            if (
+                first.direction is Direction.BACKWARD
+                and first.foreign_key.source_attrs == ("actor2",)
+                and second.direction is Direction.FORWARD
+                and second.to_relation == "MOVIES"
+            ):
+                found = True
+        assert found
+
+    def test_length_counts_from_actors(self, schema):
+        """By the formal definition: 1 scheme of length 0, 2 of length 1,
+        6 of length 2 and 12 of length 3 start from ACTORS."""
+        schemes = enumerate_walk_schemes(schema, "ACTORS", 3)
+        by_length = {}
+        for scheme in schemes:
+            by_length[scheme.length] = by_length.get(scheme.length, 0) + 1
+        assert by_length == {0: 1, 1: 2, 2: 6, 3: 12}
+
+    def test_zero_length_can_be_excluded(self, schema):
+        schemes = enumerate_walk_schemes(schema, "ACTORS", 1, include_zero_length=False)
+        assert all(s.length >= 1 for s in schemes)
+        assert len(schemes) == 2
+
+    def test_max_length_zero(self, schema):
+        schemes = enumerate_walk_schemes(schema, "MOVIES", 0)
+        assert len(schemes) == 1 and schemes[0].length == 0
+
+    def test_negative_length_rejected(self, schema):
+        with pytest.raises(ValueError):
+            enumerate_walk_schemes(schema, "MOVIES", -1)
+
+    def test_unknown_start_relation_rejected(self, schema):
+        with pytest.raises(KeyError):
+            enumerate_walk_schemes(schema, "NOPE", 1)
+
+    def test_all_schemes_start_and_connect_correctly(self, schema):
+        for scheme in enumerate_walk_schemes(schema, "MOVIES", 3):
+            assert scheme.start_relation == "MOVIES"
+            previous = "MOVIES"
+            for step in scheme.steps:
+                assert step.from_relation == previous
+                previous = step.to_relation
+            assert previous == scheme.end_relation
+
+
+class TestWalkTargets:
+    def test_targets_exclude_fk_attributes(self, schema):
+        targets = walk_targets(schema, "MOVIES", 1)
+        for scheme, attr in targets:
+            assert attr.name not in schema.fk_attributes(scheme.end_relation)
+
+    def test_zero_length_targets_are_own_non_fk_attributes(self, schema):
+        targets = walk_targets(schema, "MOVIES", 0)
+        names = {attr.name for _, attr in targets}
+        assert names == {"title", "genre", "budget"}
+
+    def test_collaborations_has_no_zero_length_targets(self, schema):
+        # Every attribute of COLLABORATIONS is part of a foreign key.
+        targets = walk_targets(schema, "COLLABORATIONS", 0)
+        assert targets == []
+
+    def test_target_count_grows_with_length(self, schema):
+        assert len(walk_targets(schema, "MOVIES", 2)) > len(walk_targets(schema, "MOVIES", 1))
