@@ -34,6 +34,7 @@ from repro.core import (
 )
 from repro.datasets import Dataset, list_datasets, load_dataset
 from repro.db import Database, Fact, ForeignKey, RelationSchema, Schema
+from repro.engine import CompiledDatabase, WalkEngine
 
 __version__ = "1.0.0"
 
@@ -57,6 +58,9 @@ __all__ = [
     "Schema",
     "RelationSchema",
     "ForeignKey",
+    # compiled walk engine
+    "CompiledDatabase",
+    "WalkEngine",
     # datasets
     "Dataset",
     "load_dataset",

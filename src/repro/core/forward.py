@@ -23,10 +23,11 @@ import numpy as np
 from repro.core.base import TupleEmbedding
 from repro.core.config import ForwardConfig
 from repro.db.database import Database, Fact
+from repro.engine import WalkEngine, sample_codes, sample_distinct_pairs
 from repro.kernels.base import Kernel
 from repro.kernels.registry import KernelRegistry, default_kernels
 from repro.utils.rng import ensure_rng
-from repro.walks.random_walks import AttributeDistribution, RandomWalker
+from repro.walks.random_walks import AttributeDistribution
 from repro.walks.schemes import WalkScheme, walk_targets
 
 
@@ -134,7 +135,15 @@ class ForwardModel:
 
 
 class ForwardEmbedder:
-    """Static-phase FoRWaRD trainer for one relation of a database."""
+    """Static-phase FoRWaRD trainer for one relation of a database.
+
+    Destination distributions and training batches are computed by the
+    compiled walk engine (:mod:`repro.engine`): all facts of the relation
+    are propagated at once through sparse transition matrices, and the
+    stochastic samples of Equation (5) are drawn in vectorised batches.
+    Pass an existing ``engine`` to share compiled arrays (and their caches)
+    across embedders and methods; one is compiled on demand otherwise.
+    """
 
     def __init__(
         self,
@@ -143,13 +152,23 @@ class ForwardEmbedder:
         config: ForwardConfig | None = None,
         kernels: KernelRegistry | None = None,
         rng: int | np.random.Generator | None = None,
+        engine: WalkEngine | None = None,
     ):
         self.db = db
         self.relation = relation
         self.config = config or ForwardConfig()
         self.kernels = kernels or default_kernels(db)
         self.rng = ensure_rng(rng)
+        if engine is not None and engine.db is not db:
+            raise ValueError("engine is compiled from a different database")
+        self._engine = engine
         db.schema.relation(relation)
+
+    @property
+    def engine(self) -> WalkEngine:
+        if self._engine is None:
+            self._engine = WalkEngine(self.db)
+        return self._engine
 
     # -------------------------------------------------------------- targets
 
@@ -163,61 +182,63 @@ class ForwardEmbedder:
 
     # ------------------------------------------------------------- sampling
 
-    def _compute_distributions(
-        self, facts: Sequence[Fact], targets: Sequence[WalkTarget], walker: RandomWalker
-    ) -> dict[tuple[int, int], AttributeDistribution | None]:
-        distributions: dict[tuple[int, int], AttributeDistribution | None] = {}
-        for target in targets:
-            for fact in facts:
-                distributions[(fact.fact_id, target.index)] = walker.attribute_distribution(
-                    fact, target.scheme, target.attribute
-                )
-        return distributions
+    def _prepare_training(
+        self, facts: Sequence[Fact], targets: Sequence[WalkTarget]
+    ) -> tuple[dict[tuple[int, int], AttributeDistribution | None], list[_TargetSamples]]:
+        """Compute all attribute distributions and draw the training set.
 
-    def _sample_value(self, dist: AttributeDistribution) -> object:
-        index = int(self.rng.choice(len(dist.values), p=dist.probabilities))
-        return dist.values[index]
-
-    def _draw_samples(
-        self,
-        facts: Sequence[Fact],
-        targets: Sequence[WalkTarget],
-        distributions: dict[tuple[int, int], AttributeDistribution | None],
-    ) -> list[_TargetSamples]:
-        """Draw the stochastic training set of Section V-D.
-
-        For every target ``(s, A)`` we draw ``n_samples`` tuples
+        For every target ``(s, A)`` the engine computes the distributions of
+        ``d_{f,s}[A]`` for *all* facts at once as one sparse matrix; the
+        stochastic samples of Section V-D — ``n_samples`` tuples
         ``(f, f', g[A], g'[A])`` with ``f ≠ f'`` both having an existing
-        destination distribution; the kernel value ``κ(g[A], g'[A])`` is the
-        stochastic estimate of the expected kernel distance.
+        destination distribution — are then drawn in vectorised batches, with
+        ``κ(g[A], g'[A])`` as the stochastic estimate of the expected kernel
+        distance.
         """
+        engine = self.engine
+        engine.refresh()
+        compiled_rel = engine.compiled.relations[self.relation]
+        engine_rows = np.array(
+            [compiled_rel.row_of[f.fact_id] for f in facts], dtype=np.int64
+        )
+        distributions: dict[tuple[int, int], AttributeDistribution | None] = {}
         samples: list[_TargetSamples] = []
         for target in targets:
-            valid_rows = [
-                row
-                for row, fact in enumerate(facts)
-                if distributions[(fact.fact_id, target.index)] is not None
-            ]
-            if len(valid_rows) < 2:
-                continue
-            count = self.config.n_samples
-            left = self.rng.choice(valid_rows, size=count)
-            right = self.rng.choice(valid_rows, size=count)
-            clash = left == right
-            while np.any(clash):
-                right[clash] = self.rng.choice(valid_rows, size=int(clash.sum()))
-                clash = left == right
-            kernel_values = np.empty(count, dtype=np.float64)
-            for i in range(count):
-                dist_left = distributions[(facts[left[i]].fact_id, target.index)]
-                dist_right = distributions[(facts[right[i]].fact_id, target.index)]
-                value_left = self._sample_value(dist_left)
-                value_right = self._sample_value(dist_right)
-                kernel_values[i] = target.kernel(value_left, value_right)
-            samples.append(
-                _TargetSamples(target.index, left.astype(np.int64), right.astype(np.int64), kernel_values)
-            )
-        return samples
+            matrix, vocab = engine.attribute_matrix(target.scheme, target.attribute)
+            matrix = matrix[engine_rows]  # align matrix rows with ``facts``/φ rows
+            indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
+            for row, fact in enumerate(facts):
+                lo, hi = indptr[row], indptr[row + 1]
+                if lo == hi:
+                    distributions[(fact.fact_id, target.index)] = None
+                else:
+                    distributions[(fact.fact_id, target.index)] = AttributeDistribution(
+                        target.scheme,
+                        target.attribute,
+                        tuple(vocab[indices[lo:hi]]),
+                        data[lo:hi].copy(),
+                    )
+            drawn = self._draw_target_samples(target, matrix, vocab)
+            if drawn is not None:
+                samples.append(drawn)
+        return distributions, samples
+
+    def _draw_target_samples(self, target: WalkTarget, matrix, vocab) -> _TargetSamples | None:
+        """Vectorised draw of one target's ``(f, f', g[A], g'[A])`` samples."""
+        valid_rows = np.nonzero(np.diff(matrix.indptr) > 0)[0]
+        if valid_rows.size < 2:
+            return None
+        count = self.config.n_samples
+        left, right = sample_distinct_pairs(valid_rows, count, self.rng)
+        left_codes = sample_codes(matrix, left, self.rng)
+        right_codes = sample_codes(matrix, right, self.rng)
+        kernel_values = target.kernel.elementwise(vocab[left_codes], vocab[right_codes])
+        return _TargetSamples(
+            target.index,
+            left.astype(np.int64),
+            right.astype(np.int64),
+            np.asarray(kernel_values, dtype=np.float64),
+        )
 
     # ------------------------------------------------------------- training
 
@@ -235,9 +256,7 @@ class ForwardEmbedder:
                 f"no walk targets found for relation {self.relation!r}: every "
                 "reachable attribute participates in a foreign key"
             )
-        walker = RandomWalker(self.db, self.rng)
-        distributions = self._compute_distributions(facts, targets, walker)
-        samples = self._draw_samples(facts, targets, distributions)
+        distributions, samples = self._prepare_training(facts, targets)
         if not samples:
             raise ValueError(
                 f"no usable training samples for relation {self.relation!r}; "

@@ -8,20 +8,29 @@ Equation (9): each sampled triple ``(f_old, s, A)`` contributes one equation
 
 i.e. a row ``C_i = ψ(s, A)·φ(f_old)`` and right-hand side ``b_i``; the
 minimum-norm least-squares solution (Equation (10)) is ``φ(f_new)``.
+
+Distributions are computed by the compiled walk engine: the new fact's
+distribution is a single sparse row propagation, and inserted facts are
+*appended* to the compiled arrays (no recompilation), so one-by-one arrival
+streams stay cheap.  In the all-at-once setting (``recompute_old_paths``)
+the old facts' distributions are recomputed for a whole walk target at once
+from the engine's batched attribute matrix.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 import numpy as np
 
 from repro.core.base import TupleEmbedding
 from repro.core.forward import ForwardModel, WalkTarget
 from repro.db.database import Database, Fact
+from repro.engine import WalkEngine
+from repro.kernels.base import Kernel
 from repro.utils.linalg import solve_least_squares
 from repro.utils.rng import ensure_rng
-from repro.walks.random_walks import AttributeDistribution, RandomWalker
+from repro.walks.random_walks import AttributeDistribution
 
 
 class ForwardDynamicExtender:
@@ -40,6 +49,10 @@ class ForwardDynamicExtender:
         the current database (the paper's all-at-once setting); when false
         the training-time distributions are reused (the one-by-one setting,
         where recomputing for every arrival would be too slow).
+    engine:
+        An optional shared :class:`WalkEngine` compiled from ``db``; one is
+        compiled lazily otherwise.  Call :meth:`notify_inserted` after
+        inserting facts so the engine appends them incrementally.
     """
 
     def __init__(
@@ -48,13 +61,25 @@ class ForwardDynamicExtender:
         db: Database,
         recompute_old_paths: bool = False,
         rng: int | np.random.Generator | None = None,
+        engine: WalkEngine | None = None,
     ):
         self.model = model
         self.db = db
         self.recompute_old_paths = recompute_old_paths
         self.rng = ensure_rng(rng)
-        self._walker = RandomWalker(db, self.rng)
-        self._old_cache: dict[tuple[int, int], AttributeDistribution | None] = {}
+        if engine is not None and engine.db is not db:
+            raise ValueError("engine is compiled from a different database")
+        self._engine = engine
+        # target index -> (engine version, fact_id -> distribution or None)
+        self._old_cache: dict[int, tuple[int, dict[int, AttributeDistribution | None]]] = {}
+        # target index -> training-time distributions (static, cached once)
+        self._trained_cache: dict[int, dict[int, AttributeDistribution | None]] = {}
+
+    @property
+    def engine(self) -> WalkEngine:
+        if self._engine is None:
+            self._engine = WalkEngine(self.db)
+        return self._engine
 
     # ----------------------------------------------------------------- API
 
@@ -75,70 +100,122 @@ class ForwardDynamicExtender:
         return result
 
     def notify_inserted(self, facts: Iterable[Fact]) -> None:
-        """Invalidate walker caches after facts were inserted into ``db``.
+        """Append facts inserted into ``db`` to the compiled engine.
 
-        Call this between one-by-one insertion steps so that distributions of
-        *new* facts always see the current database.  Old facts' cached
-        training-time distributions are unaffected (they are only recomputed
-        when ``recompute_old_paths`` is set).
+        Call this between insertion steps so that distributions of *new*
+        facts always see the current database.  The append is incremental —
+        no arrays are recompiled — and version-keyed caches (including the
+        recomputed old-fact distributions of the all-at-once setting)
+        invalidate automatically.
         """
-        del facts  # the whole cache is dropped; argument kept for symmetry
-        self._walker.clear_cache()
-        if self.recompute_old_paths:
-            self._old_cache.clear()
+        self.engine.add_facts(facts)
 
     # ------------------------------------------------------------ internals
+
+    def _old_distributions(self, target: WalkTarget) -> dict[int, AttributeDistribution | None]:
+        """Training-time (or recomputed) distributions of all old facts."""
+        if not self.recompute_old_paths:
+            cached = self._trained_cache.get(target.index)
+            if cached is None:
+                cached = {
+                    fact_id: self.model.distribution(fact_id, target.index)
+                    for fact_id in self.model.fact_ids
+                }
+                self._trained_cache[target.index] = cached
+            return cached
+        engine = self.engine
+        cached = self._old_cache.get(target.index)
+        if cached is not None and cached[0] == engine.version:
+            return cached[1]
+        matrix, vocab = engine.attribute_matrix(target.scheme, target.attribute)
+        compiled_rel = engine.compiled.relations[self.model.relation]
+        indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
+        result: dict[int, AttributeDistribution | None] = {}
+        for fact_id in self.model.fact_ids:
+            row = compiled_rel.row_of[fact_id]
+            lo, hi = indptr[row], indptr[row + 1]
+            if lo == hi:
+                result[fact_id] = None
+            else:
+                result[fact_id] = AttributeDistribution(
+                    target.scheme,
+                    target.attribute,
+                    tuple(vocab[indices[lo:hi]]),
+                    data[lo:hi].copy(),
+                )
+        self._old_cache[target.index] = (engine.version, result)
+        return result
 
     def _old_distribution(
         self, fact_id: int, target: WalkTarget
     ) -> AttributeDistribution | None:
         if not self.recompute_old_paths:
             return self.model.distribution(fact_id, target.index)
-        key = (fact_id, target.index)
-        if key not in self._old_cache:
-            fact = self.db.fact(fact_id)
-            self._old_cache[key] = self._walker.attribute_distribution(
-                fact, target.scheme, target.attribute
-            )
-        return self._old_cache[key]
+        return self._old_distributions(target).get(fact_id)
 
     def embed_fact(self, fact: Fact) -> np.ndarray:
         """Compute ``φ(f_new)`` for one new fact (does not modify the model)."""
+        engine = self.engine
+        if not engine.compiled.has_fact(fact) or engine.compiled.num_facts != len(self.db):
+            # insertions the caller did not pass to notify_inserted; catch up
+            engine.refresh()
         rows: list[np.ndarray] = []
-        rhs: list[float] = []
+        rhs: list[np.ndarray] = []
         n_per_target = self.model.config.n_new_samples
         for target in self.model.targets:
-            new_dist = self._walker.attribute_distribution(fact, target.scheme, target.attribute)
+            new_dist = engine.attribute_distribution(fact, target.scheme, target.attribute)
             if new_dist is None:
                 continue
-            candidates = [
-                fid
-                for fid in self.model.fact_ids
-                if self._old_distribution(fid, target) is not None
-            ]
+            old_dists = self._old_distributions(target)
+            candidates = [fid for fid in self.model.fact_ids if old_dists[fid] is not None]
             if not candidates:
                 continue
             chosen = self._choose_candidates(candidates, n_per_target)
+            kd = _expected_kernels(
+                target.kernel, [old_dists[fid] for fid in chosen], new_dist
+            )
+            chosen_rows = np.array([self.model.fact_row[fid] for fid in chosen])
             matrix = self.model.psi[target.index]
-            for old_id in chosen:
-                old_dist = self._old_distribution(old_id, target)
-                kd = target.kernel.expected_similarity(
-                    old_dist.values,
-                    old_dist.probabilities,
-                    new_dist.values,
-                    new_dist.probabilities,
-                )
-                rows.append(matrix @ self.model.phi[self.model.fact_row[old_id]])
-                rhs.append(kd)
+            rows.append(self.model.phi[chosen_rows] @ matrix.T)
+            rhs.append(kd)
         if not rows:
             # A fact with no completable walk to any kernelized attribute gives
             # an empty system; fall back to the centroid of the trained facts
             # so downstream consumers still receive a usable vector.
             return self.model.phi.mean(axis=0)
-        return solve_least_squares(np.vstack(rows), np.asarray(rhs))
+        return solve_least_squares(np.vstack(rows), np.concatenate(rhs))
 
     def _choose_candidates(self, candidates: Sequence[int], count: int) -> list[int]:
         if len(candidates) <= count:
             return list(candidates)
         picked = self.rng.choice(len(candidates), size=count, replace=False)
         return [candidates[int(i)] for i in picked]
+
+
+def _expected_kernels(
+    kernel: Kernel,
+    old_dists: Sequence[AttributeDistribution],
+    new_dist: AttributeDistribution,
+) -> np.ndarray:
+    """``KD(d_old, d_new)`` for many old distributions against one new one.
+
+    Equivalent to per-pair :meth:`Kernel.expected_similarity`, but the kernel
+    matrix against the new support is evaluated once over the union of old
+    supports (old distributions share their vocabularies almost entirely), so
+    the cost is ``|union| · |new|`` instead of ``Σ_i |old_i| · |new|``.
+    """
+    index: dict[Any, int] = {}
+    for dist in old_dists:
+        for value in dist.values:
+            if value not in index:
+                index[value] = len(index)
+    union = list(index)
+    new_probs = np.asarray(new_dist.probabilities, dtype=np.float64)
+    similarity_to_new = kernel.cross_matrix(union, list(new_dist.values)) @ new_probs
+    out = np.empty(len(old_dists), dtype=np.float64)
+    for i, dist in enumerate(old_dists):
+        positions = [index[value] for value in dist.values]
+        out[i] = float(
+            np.asarray(dist.probabilities, dtype=np.float64) @ similarity_to_new[positions]
+        )
+    return out

@@ -9,7 +9,7 @@ The embedding of a fact is the learned input vector of its fact node.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
@@ -22,6 +22,9 @@ from repro.nn.corpus import build_training_pairs
 from repro.nn.negative_sampling import UnigramNegativeSampler
 from repro.nn.skipgram import SkipGramConfig, SkipGramModel
 from repro.utils.rng import ensure_rng, spawn_rngs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine import WalkEngine
 
 
 class Node2VecModel:
@@ -75,15 +78,23 @@ class Node2VecEmbedder:
         db: Database,
         config: Node2VecConfig | None = None,
         rng: int | np.random.Generator | None = None,
+        engine: "WalkEngine | None" = None,
     ):
         self.db = db
         self.config = config or Node2VecConfig()
         self.rng = ensure_rng(rng)
+        if engine is not None and engine.db is not db:
+            raise ValueError("engine is compiled from a different database")
+        self.engine = engine
 
     def fit(self) -> Node2VecModel:
         """Build the graph, sample walks, train skip-gram; return the model."""
         walk_rng, model_rng, sampler_rng = spawn_rngs(self.rng, 3)
-        graph = DatabaseGraph(self.db, identify_foreign_keys=self.config.identify_foreign_keys)
+        graph = DatabaseGraph(
+            self.db,
+            identify_foreign_keys=self.config.identify_foreign_keys,
+            engine=self.engine,
+        )
         walker = Node2VecWalker(
             graph,
             walks_per_node=self.config.walks_per_node,

@@ -45,11 +45,7 @@ class Fact:
 
     def __getitem__(self, attribute: str) -> Value:
         """The value ``f[A]`` of this fact in attribute ``A``."""
-        try:
-            idx = self.schema.attribute_names.index(attribute)
-        except ValueError:
-            raise UnknownAttributeError(self.relation, attribute) from None
-        return self.values[idx]
+        return self.values[self.schema.index_of(attribute)]
 
     def project(self, attributes: Sequence[str]) -> tuple[Value, ...]:
         """The tuple ``f[B1, ..., Bl]``."""

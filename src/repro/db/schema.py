@@ -125,19 +125,26 @@ class RelationSchema:
         object.__setattr__(self, "name", name)
         object.__setattr__(self, "attributes", tuple(normalized))
         object.__setattr__(self, "key", key_tuple)
+        object.__setattr__(
+            self, "_positions", {a.name: i for i, a in enumerate(normalized)}
+        )
 
     @property
     def attribute_names(self) -> tuple[str, ...]:
         return tuple(a.name for a in self.attributes)
 
+    def index_of(self, attribute: str) -> int:
+        """The position of ``attribute`` in the value tuple (O(1))."""
+        try:
+            return self._positions[attribute]
+        except KeyError:
+            raise UnknownAttributeError(self.name, attribute) from None
+
     def attribute(self, name: str) -> Attribute:
-        for a in self.attributes:
-            if a.name == name:
-                return a
-        raise UnknownAttributeError(self.name, name)
+        return self.attributes[self.index_of(name)]
 
     def has_attribute(self, name: str) -> bool:
-        return any(a.name == name for a in self.attributes)
+        return name in self._positions
 
     @property
     def arity(self) -> int:

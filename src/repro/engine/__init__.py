@@ -1,0 +1,26 @@
+"""Compiled walk engine: vectorised destination distributions on CSR arrays.
+
+This package compiles a :class:`~repro.db.database.Database` into flat
+integer arrays (:mod:`repro.engine.compiled`) and computes the walk
+destination distributions of Section V-A for all facts of a relation at once
+as products of sparse row-stochastic matrices (:mod:`repro.engine.engine`),
+plus vectorised training-batch sampling (:mod:`repro.engine.sampling`).
+
+The reference per-fact BFS lives in :mod:`repro.walks.random_walks` and
+remains the executable specification; the engine is the production hot path
+and is verified against the reference by the equivalence test-suite
+(``tests/engine/``).
+"""
+
+from repro.engine.compiled import CompiledDatabase, CompiledRelation, ValueColumn
+from repro.engine.engine import WalkEngine
+from repro.engine.sampling import sample_codes, sample_distinct_pairs
+
+__all__ = [
+    "CompiledDatabase",
+    "CompiledRelation",
+    "ValueColumn",
+    "WalkEngine",
+    "sample_codes",
+    "sample_distinct_pairs",
+]

@@ -1,0 +1,215 @@
+"""Compilation of a :class:`~repro.db.database.Database` into flat arrays.
+
+The object-per-fact representation of :mod:`repro.db` is convenient for
+constraint checking and incremental maintenance, but it makes the random-walk
+hot path (Section V-A) traverse boxed :class:`Fact` objects one at a time.
+This module compiles a database into integer arrays once, so the walk
+machinery can run as vectorised array programs:
+
+* every relation gets a dense row numbering of its facts (``fact_ids`` /
+  ``row_of``);
+* every foreign key gets a forward pointer array ``fk_target_rows[fk]`` —
+  for each source row the row of the referenced target fact, or ``-1`` for a
+  dangling/null reference — from which forward and backward transition
+  matrices in CSR form are derived;
+* every ``(relation, attribute)`` column is dictionary-encoded into integer
+  codes over a per-column vocabulary (``-1`` encodes ⊥).
+
+The compiled form supports *incremental extension*: :meth:`CompiledDatabase.
+add_fact` appends a fact inserted into the backing database without
+recompiling, mirroring ``Database.insert`` / ``DatabaseGraph.add_fact`` so
+the dynamic scenarios (Section V-E) stay cheap.  Deletions are not tracked
+incrementally; :meth:`CompiledDatabase.refresh` detects them and recompiles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.db.database import Database, Fact
+from repro.db.schema import RelationSchema
+
+Value = Any
+
+
+class ValueColumn:
+    """Dictionary-encoded values of one ``(relation, attribute)`` column.
+
+    ``codes[row]`` is the index of the row's value in ``vocab``, or ``-1``
+    when the value is ⊥ (None).  The vocabulary grows append-only so codes
+    remain stable under incremental extension.
+    """
+
+    __slots__ = ("codes", "vocab", "code_of")
+
+    def __init__(self) -> None:
+        self.codes: list[int] = []
+        self.vocab: list[Value] = []
+        self.code_of: dict[Value, int] = {}
+
+    def append(self, value: Value) -> None:
+        if value is None:
+            self.codes.append(-1)
+            return
+        code = self.code_of.get(value)
+        if code is None:
+            code = len(self.vocab)
+            self.code_of[value] = code
+            self.vocab.append(value)
+        self.codes.append(code)
+
+    def codes_array(self) -> np.ndarray:
+        return np.asarray(self.codes, dtype=np.int64)
+
+    def vocab_array(self) -> np.ndarray:
+        out = np.empty(len(self.vocab), dtype=object)
+        out[:] = self.vocab
+        return out
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+
+class CompiledRelation:
+    """The facts of one relation, numbered densely and column-encoded."""
+
+    __slots__ = ("schema", "fact_ids", "row_of", "columns")
+
+    def __init__(self, schema: RelationSchema):
+        self.schema = schema
+        self.fact_ids: list[int] = []
+        self.row_of: dict[int, int] = {}
+        self.columns: dict[str, ValueColumn] = {
+            name: ValueColumn() for name in schema.attribute_names
+        }
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.fact_ids)
+
+    def append(self, fact: Fact) -> int:
+        row = len(self.fact_ids)
+        self.row_of[fact.fact_id] = row
+        self.fact_ids.append(fact.fact_id)
+        for name, value in zip(self.schema.attribute_names, fact.values):
+            self.columns[name].append(value)
+        return row
+
+    def fact_ids_array(self) -> np.ndarray:
+        return np.asarray(self.fact_ids, dtype=np.int64)
+
+
+class CompiledDatabase:
+    """Flat-array view of a database, kept in sync by incremental appends.
+
+    The backing :class:`Database` stays the source of truth; the compiled
+    arrays are a performance structure.  ``version`` increases on every
+    mutation so downstream caches (transition matrices, distribution
+    matrices) can invalidate cheaply.
+    """
+
+    def __init__(self, db: Database):
+        self.db = db
+        self.schema = db.schema
+        self.relations: dict[str, CompiledRelation] = {}
+        self.fk_target_rows: dict[str, list[int]] = {}
+        self.version = 0
+        self._fk_array_cache: dict[str, tuple[int, np.ndarray]] = {}
+        self._compile()
+
+    # ------------------------------------------------------------- building
+
+    def _compile(self) -> None:
+        self.relations = {rel.name: CompiledRelation(rel) for rel in self.schema}
+        for rel_name in self.schema.relation_names:
+            compiled_rel = self.relations[rel_name]
+            for fact in self.db.facts(rel_name):
+                compiled_rel.append(fact)
+        self.fk_target_rows = {}
+        for fk in self.schema.foreign_keys:
+            target_rel = self.relations[fk.target]
+            pointers: list[int] = []
+            for fact_id in self.relations[fk.source].fact_ids:
+                target = self.db.referenced_fact(self.db.fact(fact_id), fk)
+                if target is None:
+                    pointers.append(-1)
+                else:
+                    pointers.append(target_rel.row_of[target.fact_id])
+            self.fk_target_rows[fk.name] = pointers
+
+    # --------------------------------------------------------------- lookup
+
+    @property
+    def num_facts(self) -> int:
+        return sum(rel.num_rows for rel in self.relations.values())
+
+    def has_fact(self, fact: Fact | int) -> bool:
+        if isinstance(fact, Fact):
+            return fact.fact_id in self.relations[fact.relation].row_of
+        return any(fact in rel.row_of for rel in self.relations.values())
+
+    def relation(self, name: str) -> CompiledRelation:
+        return self.relations[name]
+
+    def fk_pointer_array(self, fk_name: str) -> np.ndarray:
+        hit = self._fk_array_cache.get(fk_name)
+        if hit is not None and hit[0] == self.version:
+            return hit[1]
+        array = np.asarray(self.fk_target_rows[fk_name], dtype=np.int64)
+        self._fk_array_cache[fk_name] = (self.version, array)
+        return array
+
+    # ------------------------------------------------------------ extension
+
+    def add_fact(self, fact: Fact) -> int:
+        """Append one fact already inserted into the backing database.
+
+        Returns the fact's row in its relation.  Foreign-key pointers are
+        updated in both directions: links from the new fact are resolved via
+        the database's FK index, and previously dangling references *to* the
+        new fact are repaired.
+        """
+        relation = self.relations[fact.relation]
+        existing = relation.row_of.get(fact.fact_id)
+        if existing is not None:
+            return existing
+        row = relation.append(fact)
+        for fk in self.schema.foreign_keys_from(fact.relation):
+            target = self.db.referenced_fact(fact, fk)
+            if target is None:
+                pointer = -1
+            else:
+                pointer = self.relations[fk.target].row_of.get(target.fact_id, -1)
+            self.fk_target_rows[fk.name].append(pointer)
+        for fk in self.schema.foreign_keys_to(fact.relation):
+            pointers = self.fk_target_rows[fk.name]
+            source_rel = self.relations[fk.source]
+            for source in self.db.referencing_facts(fact, fk):
+                source_row = source_rel.row_of.get(source.fact_id)
+                if source_row is not None:
+                    pointers[source_row] = row
+        self.version += 1
+        return row
+
+    def add_facts(self, facts: Iterable[Fact]) -> None:
+        for fact in facts:
+            self.add_fact(fact)
+
+    def refresh(self) -> bool:
+        """Bring the compiled arrays in sync with the backing database.
+
+        Facts inserted since compilation are appended incrementally; if any
+        compiled fact was deleted the whole database is recompiled.  Returns
+        True when anything changed.
+        """
+        missing = [fact for fact in self.db if not self.has_fact(fact)]
+        if len(self.db) - len(missing) != self.num_facts:
+            self._compile()
+            self.version += 1
+            return True
+        if missing:
+            self.add_facts(missing)
+            return True
+        return False

@@ -1,0 +1,331 @@
+"""Batched destination-distribution propagation on compiled arrays.
+
+The reference implementation (:mod:`repro.walks.random_walks`) computes the
+destination distribution ``W(f, s)`` of Section V-A by a per-fact BFS over
+boxed :class:`Fact` objects.  :class:`WalkEngine` instead compiles every walk
+step into a row-stochastic sparse transition matrix and computes the
+distributions of **all facts of a relation at once** as a product of sparse
+matrices:
+
+* a FORWARD step through foreign key ``fk`` is the 0/1 matrix ``T`` with
+  ``T[i, j] = 1`` iff source row ``i`` references target row ``j``;
+* a BACKWARD step is its transpose with each row divided by the in-degree,
+  i.e. uniform choice among the referencing facts.
+
+``destination_matrix(s)`` is then ``I · T_1 · ... · T_l`` with rows
+renormalised at the end (walk prefixes that dead-end drop their mass, exactly
+like the reference BFS), and ``attribute_matrix(s, A)`` additionally
+aggregates destination mass over the dictionary-encoded values of ``A`` and
+renormalises over non-⊥ values (the paper's posterior convention).
+
+All products are cached per ``(scheme, compiled-version)`` so consumers that
+share an engine — FoRWaRD training, the dynamic extender, the experiment
+drivers — never recompute a distribution the engine has already seen.
+Single-fact queries slice a cached matrix row when one is current; otherwise
+they run an index-backed BFS (O(walk support), so one-by-one dynamic
+insertion stays O(walk) instead of O(database)), and only a second
+*distinct* fact querying the same scheme promotes to the batched matrix.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+from scipy import sparse
+
+from repro.db.database import Database, Fact
+from repro.engine.compiled import CompiledDatabase
+from repro.walks.schemes import Direction, WalkScheme, WalkStep
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (walks -> engine)
+    from repro.walks.random_walks import AttributeDistribution, DestinationDistribution
+
+
+def _normalize_rows(matrix: sparse.csr_matrix) -> sparse.csr_matrix:
+    """Divide every non-empty row by its sum; empty rows stay empty."""
+    matrix = matrix.tocsr()
+    if matrix.data.size and not np.all(matrix.data > 0):
+        # stored zeros (possible only through extreme underflow) would put
+        # zero-probability entries into the support; prune them first
+        matrix.eliminate_zeros()
+    row_counts = np.diff(matrix.indptr)
+    sums = np.zeros(row_counts.size, dtype=np.float64)
+    non_empty = row_counts > 0
+    if matrix.data.size:
+        # reduceat over non-empty rows only: their start offsets are strictly
+        # increasing, so each segment ends exactly at the next row's start
+        sums[non_empty] = np.add.reduceat(matrix.data, matrix.indptr[:-1][non_empty])
+    scale = np.divide(1.0, sums, out=np.zeros_like(sums), where=sums > 0)
+    matrix.data = matrix.data * np.repeat(scale, row_counts)
+    return matrix
+
+
+class WalkEngine:
+    """Vectorised walk-distribution computation over a compiled database."""
+
+    def __init__(self, db: Database, compiled: CompiledDatabase | None = None):
+        self.db = db
+        self.compiled = compiled if compiled is not None else CompiledDatabase(db)
+        if self.compiled.db is not db:
+            raise ValueError("compiled database is backed by a different Database")
+        # cache value -> (compiled version at build time, payload)
+        self._step_cache: dict[tuple[str, Direction], tuple[int, sparse.csr_matrix]] = {}
+        self._mass_cache: dict[WalkScheme, tuple[int, sparse.csr_matrix]] = {}
+        self._dest_cache: dict[WalkScheme, tuple[int, sparse.csr_matrix]] = {}
+        self._attr_cache: dict[
+            tuple[WalkScheme, str], tuple[int, sparse.csr_matrix, np.ndarray]
+        ] = {}
+        self._column_cache: dict[
+            tuple[str, str], tuple[int, sparse.csr_matrix, np.ndarray, np.ndarray]
+        ] = {}
+        # single-row BFS results for the current version, and the first fact
+        # to query each scheme — a *different* fact querying the same scheme
+        # promotes to the full batched matrix (valid per version only)
+        self._row_cache: dict[tuple[int, WalkScheme], tuple[np.ndarray, np.ndarray]] = {}
+        self._row_queries: dict[WalkScheme, int] = {}
+        self._row_cache_version = self.compiled.version
+
+    # ----------------------------------------------------------------- sync
+
+    @property
+    def version(self) -> int:
+        return self.compiled.version
+
+    def refresh(self) -> bool:
+        """Sync with the backing database (append new facts or recompile)."""
+        return self.compiled.refresh()
+
+    def add_facts(self, facts: Iterable[Fact]) -> None:
+        """Append facts inserted into the database since compilation."""
+        self.compiled.add_facts(facts)
+
+    # ----------------------------------------------------------- transitions
+
+    def step_matrix(self, step: WalkStep) -> sparse.csr_matrix:
+        """The row-stochastic transition matrix of one walk step."""
+        fk = step.foreign_key
+        key = (fk.name, step.direction)
+        hit = self._step_cache.get(key)
+        if hit is not None and hit[0] == self.version:
+            return hit[1]
+        pointers = self.compiled.fk_pointer_array(fk.name)
+        n_source = self.compiled.relations[fk.source].num_rows
+        n_target = self.compiled.relations[fk.target].num_rows
+        has_link = pointers >= 0
+        linked = np.nonzero(has_link)[0]
+        targets = pointers[linked]
+        # Both directions are built directly in canonical CSR form (rows
+        # sorted, no duplicates), skipping scipy's COO round-trip.
+        if step.direction is Direction.FORWARD:
+            indptr = np.concatenate(([0], np.cumsum(has_link)))
+            matrix = sparse.csr_matrix(
+                (np.ones(linked.size), targets, indptr), shape=(n_source, n_target)
+            )
+        else:
+            counts = np.bincount(targets, minlength=n_target)
+            order = np.argsort(targets, kind="stable")
+            indptr = np.concatenate(([0], np.cumsum(counts)))
+            data = 1.0 / counts[targets[order]]
+            matrix = sparse.csr_matrix(
+                (data, linked[order], indptr), shape=(n_target, n_source)
+            )
+        self._step_cache[key] = (self.version, matrix)
+        return matrix
+
+    # -------------------------------------------------------- distributions
+
+    def destination_matrix(self, scheme: WalkScheme) -> sparse.csr_matrix:
+        """Row ``i`` is the destination distribution of start-relation row ``i``.
+
+        Shape is ``(n_start, n_end)`` in compiled row numbering; rows of
+        facts with no complete walk are empty.
+        """
+        hit = self._dest_cache.get(scheme)
+        if hit is not None and hit[0] == self.version:
+            return hit[1]
+        matrix = _normalize_rows(self._mass_matrix(scheme).copy())
+        self._dest_cache[scheme] = (self.version, matrix)
+        return matrix
+
+    def _mass_matrix(self, scheme: WalkScheme) -> sparse.csr_matrix:
+        """Unnormalised walk mass, with prefix products shared across schemes.
+
+        Scheme enumeration (Figure 4) grows schemes step by step, so sibling
+        schemes share all but their last step; caching the unnormalised mass
+        per scheme makes every scheme cost a single sparse product on top of
+        its prefix.  The returned matrix is cached — callers must copy before
+        mutating.
+        """
+        hit = self._mass_cache.get(scheme)
+        if hit is not None and hit[0] == self.version:
+            return hit[1]
+        if not scheme.steps:
+            n_start = self.compiled.relations[scheme.start_relation].num_rows
+            mass = sparse.identity(n_start, format="csr")
+        elif len(scheme.steps) == 1:
+            mass = self.step_matrix(scheme.steps[0])
+        else:
+            prefix = WalkScheme(scheme.start_relation, scheme.steps[:-1])
+            mass = self._mass_matrix(prefix) @ self.step_matrix(scheme.steps[-1])
+        self._mass_cache[scheme] = (self.version, mass)
+        return mass
+
+    def destination_row(self, fact: Fact, scheme: WalkScheme) -> tuple[np.ndarray, np.ndarray]:
+        """``(end-relation rows, probabilities)`` of ``d_{f,s}``; empty if none.
+
+        A single fact never pays for whole-relation matrices up front: as
+        long as only one fact queries a scheme at the current compiled
+        version, its distribution comes from an index-backed BFS — O(walk
+        support), exactly like the reference, and cached per (fact, scheme) —
+        so a one-by-one insertion stream stays cheap even though every
+        arrival bumps the version.  As soon as a *second* fact queries the
+        same scheme, the full batched matrix is built once and amortised.
+        """
+        if fact.relation != scheme.start_relation:
+            raise ValueError(
+                f"fact is from relation {fact.relation!r} but scheme starts at "
+                f"{scheme.start_relation!r}"
+            )
+        if fact.fact_id not in self.compiled.relations[scheme.start_relation].row_of:
+            # the fact was inserted without add_facts/refresh; catch up
+            self.refresh()
+        hit = self._dest_cache.get(scheme)
+        if hit is None or hit[0] != self.version:
+            if self._row_cache_version != self.version:
+                self._row_cache.clear()
+                self._row_queries.clear()
+                self._row_cache_version = self.version
+            row_key = (fact.fact_id, scheme)
+            cached_row = self._row_cache.get(row_key)
+            if cached_row is not None:
+                return cached_row
+            first_querier = self._row_queries.setdefault(scheme, fact.fact_id)
+            if first_querier == fact.fact_id:
+                result = self._bfs_row(fact, scheme)
+                if self._row_cache_version == self.version:  # unchanged by a refresh
+                    self._row_cache[row_key] = result
+                return result
+            # a second distinct fact wants this scheme: batch it
+        matrix = self.destination_matrix(scheme)
+        row = self.compiled.relations[scheme.start_relation].row_of[fact.fact_id]
+        lo, hi = matrix.indptr[row], matrix.indptr[row + 1]
+        return matrix.indices[lo:hi].astype(np.int64), matrix.data[lo:hi].copy()
+
+    def _bfs_row(self, fact: Fact, scheme: WalkScheme) -> tuple[np.ndarray, np.ndarray]:
+        """Single-source propagation through the database's own FK indexes."""
+        from repro.walks.random_walks import destination_distribution
+
+        distribution = destination_distribution(self.db, fact, scheme)
+        if distribution.is_empty:
+            return np.zeros(0, dtype=np.int64), np.zeros(0)
+        end_rel = self.compiled.relations[scheme.end_relation]
+        try:
+            rows = np.array(
+                [end_rel.row_of[f.fact_id] for f in distribution.facts], dtype=np.int64
+            )
+        except KeyError:
+            # destinations include facts the compiled arrays have not seen yet
+            self.refresh()
+            end_rel = self.compiled.relations[scheme.end_relation]
+            rows = np.array(
+                [end_rel.row_of[f.fact_id] for f in distribution.facts], dtype=np.int64
+            )
+        return rows, np.asarray(distribution.probabilities, dtype=np.float64)
+
+    def _column(
+        self, relation: str, attribute: str
+    ) -> tuple[sparse.csr_matrix, np.ndarray, np.ndarray]:
+        """(one-hot indicator over non-⊥ codes, vocabulary, codes) of a column."""
+        key = (relation, attribute)
+        hit = self._column_cache.get(key)
+        if hit is not None and hit[0] == self.version:
+            return hit[1], hit[2], hit[3]
+        column = self.compiled.relations[relation].columns[attribute]
+        codes = column.codes_array()
+        non_null = np.nonzero(codes >= 0)[0]
+        indicator = sparse.csr_matrix(
+            (np.ones(non_null.size), (non_null, codes[non_null])),
+            shape=(codes.size, len(column.vocab)),
+        )
+        vocab = column.vocab_array()
+        self._column_cache[key] = (self.version, indicator, vocab, codes)
+        return indicator, vocab, codes
+
+    def attribute_matrix(
+        self, scheme: WalkScheme, attribute: str
+    ) -> tuple[sparse.csr_matrix, np.ndarray]:
+        """``(matrix, vocabulary)``: row ``i`` is the distribution of
+        ``d_{f_i,s}[A]`` over value codes, already conditioned on non-⊥.
+
+        Empty rows mean the attribute distribution does not exist for that
+        fact (no complete walk, or every destination has ⊥ in ``A``).
+        """
+        key = (scheme, attribute)
+        hit = self._attr_cache.get(key)
+        if hit is not None and hit[0] == self.version:
+            return hit[1], hit[2]
+        destinations = self.destination_matrix(scheme)
+        indicator, vocab, _codes = self._column(scheme.end_relation, attribute)
+        matrix = _normalize_rows(destinations @ indicator)
+        self._attr_cache[key] = (self.version, matrix, vocab)
+        return matrix, vocab
+
+    def attribute_row(
+        self, fact: Fact, scheme: WalkScheme, attribute: str
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """``(values, probabilities)`` of ``d_{f,s}[A]``, or None if absent."""
+        if fact.relation != scheme.start_relation:
+            raise ValueError(
+                f"fact is from relation {fact.relation!r} but scheme starts at "
+                f"{scheme.start_relation!r}"
+            )
+        hit = self._attr_cache.get((scheme, attribute))
+        if hit is not None and hit[0] == self.version:
+            matrix, vocab = hit[1], hit[2]
+            row = self.compiled.relations[scheme.start_relation].row_of.get(fact.fact_id)
+            if row is not None:
+                lo, hi = matrix.indptr[row], matrix.indptr[row + 1]
+                if lo == hi:
+                    return None
+                return vocab[matrix.indices[lo:hi]], matrix.data[lo:hi].copy()
+            # unknown fact: fall through to the row path, which self-syncs
+        rows, probabilities = self.destination_row(fact, scheme)
+        if rows.size == 0:
+            return None
+        _indicator, vocab, codes = self._column(scheme.end_relation, attribute)
+        row_codes = codes[rows]
+        non_null = row_codes >= 0
+        if not np.any(non_null):
+            return None
+        mass = np.bincount(
+            row_codes[non_null], weights=probabilities[non_null], minlength=len(vocab)
+        )
+        used = np.nonzero(mass > 0)[0]
+        probs = mass[used]
+        return vocab[used], probs / probs.sum()
+
+    # ------------------------------------------- reference-compatible views
+
+    def destination_distribution(self, fact: Fact, scheme: WalkScheme) -> "DestinationDistribution":
+        """The exact ``W(f, s)`` as a reference-compatible dataclass."""
+        from repro.walks.random_walks import DestinationDistribution
+
+        rows, probabilities = self.destination_row(fact, scheme)
+        if rows.size == 0:
+            return DestinationDistribution(scheme, (), np.zeros(0))
+        end_ids = self.compiled.relations[scheme.end_relation].fact_ids
+        facts = tuple(self.db.fact(end_ids[row]) for row in rows)
+        return DestinationDistribution(scheme, facts, probabilities)
+
+    def attribute_distribution(
+        self, fact: Fact, scheme: WalkScheme, attribute: str
+    ) -> "AttributeDistribution | None":
+        """The distribution of ``d_{f,s}[A]``, or None when it does not exist."""
+        from repro.walks.random_walks import AttributeDistribution
+
+        result = self.attribute_row(fact, scheme, attribute)
+        if result is None:
+            return None
+        values, probabilities = result
+        return AttributeDistribution(scheme, attribute, tuple(values), probabilities)

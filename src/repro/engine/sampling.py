@@ -1,0 +1,58 @@
+"""Vectorised sampling from row-stochastic sparse matrices.
+
+FoRWaRD's stochastic objective (Equation (5)) draws, per walk target, many
+tuples ``(f, f', g[A], g'[A])``.  The reference implementation samples one
+categorical value at a time with ``rng.choice``; here entire batches are
+drawn with one cumulative-sum + ``searchsorted`` pass over the CSR data of
+an attribute-distribution matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+
+def sample_codes(
+    matrix: sparse.csr_matrix, rows: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample one column index per requested row of a row-stochastic matrix.
+
+    ``rows`` may contain repeats; every listed row must be non-empty.  The
+    draw inverts each row's CDF: a global cumulative sum over ``matrix.data``
+    turns per-row inversion into a single vectorised ``searchsorted``.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    starts = matrix.indptr[rows]
+    ends = matrix.indptr[rows + 1]
+    if np.any(starts == ends):
+        raise ValueError("cannot sample from an empty distribution row")
+    cumulative = np.cumsum(matrix.data)
+    base = np.where(starts > 0, cumulative[starts - 1], 0.0)
+    totals = cumulative[ends - 1] - base
+    targets = base + rng.random(rows.size) * totals
+    positions = np.searchsorted(cumulative, targets, side="right")
+    positions = np.clip(positions, starts, ends - 1)
+    return matrix.indices[positions].astype(np.int64)
+
+
+def sample_distinct_pairs(
+    population: np.ndarray, count: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """``count`` pairs drawn uniformly from ``population`` with left ≠ right.
+
+    Matches the reference rejection loop: both sides are uniform over the
+    population and clashes are redrawn on the right side only.
+    """
+    population = np.asarray(population)
+    if population.size < 2:
+        raise ValueError("need at least two distinct population entries")
+    left = rng.choice(population, size=count)
+    right = rng.choice(population, size=count)
+    clash = left == right
+    while np.any(clash):
+        right[clash] = rng.choice(population, size=int(clash.sum()))
+        clash = left == right
+    return left, right

@@ -27,6 +27,7 @@ from repro.core.stability import embedding_drift
 from repro.datasets.base import Dataset
 from repro.dynamic.partition import Partition, partition_dataset
 from repro.dynamic.replay import replay_all_at_once, replay_one_by_one
+from repro.engine import WalkEngine
 from repro.evaluation.baselines import majority_baseline_accuracy
 from repro.evaluation.downstream import (
     ClassifierFactory,
@@ -90,9 +91,13 @@ def _run_once(
     labels = dataset.labels()
     partition = partition_dataset(dataset, ratio_new, rng=rng)
 
-    # Step 2: static embedding on the old data only.
+    # Step 2: static embedding on the old data only.  The old database is
+    # compiled once; the same engine is later extended incrementally as the
+    # new facts arrive (step 4).  Compilation is part of the reported static
+    # training time, as the walk preprocessing was before the engine existed.
     start = time.perf_counter()
-    model = method.fit(partition.db, dataset.prediction_relation, rng=rng)
+    engine = WalkEngine(partition.db)
+    model = method.fit(partition.db, dataset.prediction_relation, rng=rng, engine=engine)
     static_seconds = time.perf_counter() - start
 
     old_prediction_facts = list(partition.db.facts(dataset.prediction_relation))
@@ -104,14 +109,21 @@ def _run_once(
 
     # Step 4: insert the new data and extend the embedding.
     extender = method.make_extender(
-        model, partition.db, recompute_old_paths=(mode == "all_at_once"), rng=rng
+        model,
+        partition.db,
+        recompute_old_paths=(mode == "all_at_once"),
+        rng=rng,
+        engine=engine,
     )
     extension_seconds = 0.0
 
     def embed_batch(batch: Sequence) -> None:
         nonlocal extension_seconds
-        extender.notify_inserted(batch)
+        # notify_inserted is inside the timed region: appending the batch to
+        # the compiled engine is real per-arrival work, part of the cost of
+        # embedding a newly inserted tuple (Table VI)
         start_batch = time.perf_counter()
+        extender.notify_inserted(batch)
         extender.extend(batch)
         extension_seconds += time.perf_counter() - start_batch
 

@@ -22,6 +22,7 @@ from repro.core.forward_dynamic import ForwardDynamicExtender
 from repro.core.node2vec import Node2VecEmbedder, Node2VecModel
 from repro.core.node2vec_dynamic import Node2VecDynamicExtender
 from repro.db.database import Database, Fact
+from repro.engine import WalkEngine
 from repro.utils.rng import ensure_rng
 
 
@@ -42,8 +43,15 @@ class EmbeddingMethod(abc.ABC):
     name: str
 
     @abc.abstractmethod
-    def fit(self, db: Database, prediction_relation: str, rng=None) -> Any:
-        """Train the static embedding on ``db``; returns the method's model."""
+    def fit(
+        self, db: Database, prediction_relation: str, rng=None, engine: WalkEngine | None = None
+    ) -> Any:
+        """Train the static embedding on ``db``; returns the method's model.
+
+        ``engine`` optionally shares a :class:`WalkEngine` compiled from
+        ``db`` so several methods (and the dynamic extender) reuse one set
+        of compiled arrays and distribution caches.
+        """
 
     @abc.abstractmethod
     def embedding(self, model: Any, facts: Iterable[Fact]) -> TupleEmbedding:
@@ -51,7 +59,12 @@ class EmbeddingMethod(abc.ABC):
 
     @abc.abstractmethod
     def make_extender(
-        self, model: Any, db: Database, recompute_old_paths: bool, rng=None
+        self,
+        model: Any,
+        db: Database,
+        recompute_old_paths: bool,
+        rng=None,
+        engine: WalkEngine | None = None,
     ) -> DynamicExtender:
         """A dynamic extender bound to the current (post-insertion) database."""
 
@@ -63,18 +76,27 @@ class ForwardMethod(EmbeddingMethod):
     config: ForwardConfig = field(default_factory=ForwardConfig)
     name: str = "forward"
 
-    def fit(self, db: Database, prediction_relation: str, rng=None) -> ForwardModel:
-        return ForwardEmbedder(db, prediction_relation, self.config, rng=rng).fit()
+    def fit(
+        self, db: Database, prediction_relation: str, rng=None, engine: WalkEngine | None = None
+    ) -> ForwardModel:
+        return ForwardEmbedder(db, prediction_relation, self.config, rng=rng, engine=engine).fit()
 
     def embedding(self, model: ForwardModel, facts: Iterable[Fact]) -> TupleEmbedding:
         full = model.embedding()
         return full.restrict([f for f in facts if f in full])
 
     def make_extender(
-        self, model: ForwardModel, db: Database, recompute_old_paths: bool, rng=None
+        self,
+        model: ForwardModel,
+        db: Database,
+        recompute_old_paths: bool,
+        rng=None,
+        engine: WalkEngine | None = None,
     ) -> DynamicExtender:
         return _ForwardExtenderAdapter(
-            ForwardDynamicExtender(model, db, recompute_old_paths=recompute_old_paths, rng=rng)
+            ForwardDynamicExtender(
+                model, db, recompute_old_paths=recompute_old_paths, rng=rng, engine=engine
+            )
         )
 
 
@@ -96,17 +118,24 @@ class Node2VecMethod(EmbeddingMethod):
     config: Node2VecConfig = field(default_factory=Node2VecConfig)
     name: str = "node2vec"
 
-    def fit(self, db: Database, prediction_relation: str, rng=None) -> Node2VecModel:
+    def fit(
+        self, db: Database, prediction_relation: str, rng=None, engine: WalkEngine | None = None
+    ) -> Node2VecModel:
         del prediction_relation  # Node2Vec embeds every fact of the database
-        return Node2VecEmbedder(db, self.config, rng=rng).fit()
+        return Node2VecEmbedder(db, self.config, rng=rng, engine=engine).fit()
 
     def embedding(self, model: Node2VecModel, facts: Iterable[Fact]) -> TupleEmbedding:
         return model.embedding(facts)
 
     def make_extender(
-        self, model: Node2VecModel, db: Database, recompute_old_paths: bool, rng=None
+        self,
+        model: Node2VecModel,
+        db: Database,
+        recompute_old_paths: bool,
+        rng=None,
+        engine: WalkEngine | None = None,
     ) -> DynamicExtender:
-        del db, recompute_old_paths  # the model's graph is extended in place
+        del db, recompute_old_paths, engine  # the model's graph is extended in place
         return _Node2VecExtenderAdapter(Node2VecDynamicExtender(model, rng=rng))
 
 

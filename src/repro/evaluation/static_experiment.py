@@ -18,6 +18,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.datasets.base import Dataset
+from repro.db.database import Database
+from repro.engine import WalkEngine
 from repro.evaluation.baselines import FlatFeatureBaseline, majority_baseline_accuracy
 from repro.evaluation.downstream import (
     ClassifierFactory,
@@ -46,6 +48,8 @@ class StaticResult:
 
 def _evaluate_embedding_folds(
     dataset: Dataset,
+    masked: Database,
+    engine: WalkEngine,
     method: EmbeddingMethod,
     n_splits: int,
     fresh_embedding_per_fold: bool,
@@ -53,14 +57,13 @@ def _evaluate_embedding_folds(
     rng: np.random.Generator,
 ) -> StaticResult:
     labels = dataset.labels()
-    masked = dataset.masked_database()
     prediction_facts = list(dataset.prediction_facts())
     fold_accuracies: list[float] = []
     train_seconds = 0.0
 
     if not fresh_embedding_per_fold:
         start = time.perf_counter()
-        model = method.fit(masked, dataset.prediction_relation, rng=rng)
+        model = method.fit(masked, dataset.prediction_relation, rng=rng, engine=engine)
         train_seconds += time.perf_counter() - start
         data = align_embedding(method.embedding(model, prediction_facts), labels)
         mean, std, scores = cross_val_accuracy(
@@ -74,7 +77,7 @@ def _evaluate_embedding_folds(
     splitter = StratifiedKFold(n_splits=n_splits, rng=rng)
     for train_idx, test_idx in splitter.split(label_array):
         start = time.perf_counter()
-        model = method.fit(masked, dataset.prediction_relation, rng=rng)
+        model = method.fit(masked, dataset.prediction_relation, rng=rng, engine=engine)
         train_seconds += time.perf_counter() - start
         data = align_embedding(method.embedding(model, prediction_facts), labels)
         row_of = {fid: row for row, fid in enumerate(data.fact_ids)}
@@ -134,13 +137,27 @@ def run_static_experiment(
     classifier_factory: ClassifierFactory = default_classifier_factory,
     rng=None,
 ) -> list[StaticResult]:
-    """Run the static experiment for one dataset; one result row per method."""
+    """Run the static experiment for one dataset; one result row per method.
+
+    The masked database is compiled into a :class:`WalkEngine` once and the
+    engine is shared across all methods and folds, so walk-destination
+    distributions are computed a single time per experiment.
+    """
     generator = ensure_rng(rng)
+    masked = dataset.masked_database()
+    engine = WalkEngine(masked)
     results: list[StaticResult] = []
     for method, method_rng in zip(methods, spawn_rngs(generator, len(methods))):
         results.append(
             _evaluate_embedding_folds(
-                dataset, method, n_splits, fresh_embedding_per_fold, classifier_factory, method_rng
+                dataset,
+                masked,
+                engine,
+                method,
+                n_splits,
+                fresh_embedding_per_fold,
+                classifier_factory,
+                method_rng,
             )
         )
     if include_baselines:

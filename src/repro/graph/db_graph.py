@@ -22,12 +22,15 @@ dynamic Node2Vec extension requires.
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Hashable, Iterable, Sequence
 
 import networkx as nx
 
 from repro.db.database import Database, Fact
 from repro.db.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine import CompiledDatabase, WalkEngine
 
 
 class _UnionFind:
@@ -37,11 +40,16 @@ class _UnionFind:
         self._parent: dict[Hashable, Hashable] = {}
 
     def find(self, item: Hashable) -> Hashable:
+        # Iterative two-pass find with path compression: the recursive
+        # variant can exceed the interpreter recursion limit on long chains
+        # of foreign-key identifications.
         parent = self._parent.setdefault(item, item)
-        if parent == item:
-            return item
-        root = self.find(parent)
-        self._parent[item] = root
+        root = item
+        while parent != root:
+            root = parent
+            parent = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
         return root
 
     def union(self, a: Hashable, b: Hashable) -> None:
@@ -58,6 +66,7 @@ class DatabaseGraph:
         db: Database,
         schema: Schema | None = None,
         identify_foreign_keys: bool = True,
+        engine: "WalkEngine | CompiledDatabase | None" = None,
     ):
         self.db = db
         self.schema = schema or db.schema
@@ -77,8 +86,15 @@ class DatabaseGraph:
         self._node_index: dict[tuple, int] = {}
         self._adjacency: list[list[int]] = []
         self._fact_nodes: dict[int, int] = {}
-        for fact in db:
-            self.add_fact(fact)
+        if engine is not None:
+            compiled = getattr(engine, "compiled", engine)
+            if compiled.db is not db:
+                raise ValueError("engine is compiled from a different database")
+            compiled.refresh()
+            self._build_from_compiled(compiled)
+        else:
+            for fact in db:
+                self.add_fact(fact)
 
     # ------------------------------------------------------------ structure
 
@@ -97,6 +113,45 @@ class DatabaseGraph:
             for rel in schema
             for attr in rel.attributes
         }
+
+    def _build_from_compiled(self, compiled: "CompiledDatabase") -> None:
+        """Construction from a compiled database's dictionary-encoded columns.
+
+        Produces exactly the same graph — including node numbering and
+        adjacency order — as per-fact :meth:`add_fact` over the whole
+        database, but value nodes are resolved through per-column code
+        tables, so each distinct value is hashed once per column instead of
+        once per occurrence.
+        """
+        # per (relation, attribute): value-node index per vocabulary code,
+        # filled in on first occurrence to preserve node creation order
+        code_nodes: dict[tuple[str, str], list[int | None]] = {}
+        columns = {
+            (rel_name, attr_name): compiled_rel.columns[attr_name]
+            for rel_name, compiled_rel in compiled.relations.items()
+            for attr_name in compiled_rel.schema.attribute_names
+        }
+        for fact in self.db:
+            compiled_rel = compiled.relations[fact.relation]
+            row = compiled_rel.row_of[fact.fact_id]
+            fact_node = self._intern_node(("fact", fact.fact_id))
+            self._fact_nodes[fact.fact_id] = fact_node
+            for attr_name in compiled_rel.schema.attribute_names:
+                column_key = (fact.relation, attr_name)
+                column = columns[column_key]
+                code = column.codes[row]
+                if code < 0:
+                    continue
+                table = code_nodes.get(column_key)
+                if table is None:
+                    table = [None] * len(column.vocab)
+                    code_nodes[column_key] = table
+                value_node = table[code]
+                if value_node is None:
+                    group = self._groups[column_key]
+                    value_node = self._intern_node(("value", group, column.vocab[code]))
+                    table[code] = value_node
+                self._add_edge(fact_node, value_node)
 
     def _intern_node(self, key: tuple) -> int:
         index = self._node_index.get(key)

@@ -32,6 +32,18 @@ class Kernel(abc.ABC):
                 out[i, j] = self(x, y)
         return out
 
+    def elementwise(self, xs: Sequence[Any], ys: Sequence[Any]) -> np.ndarray:
+        """The vector ``[κ(xs[i], ys[i])]`` for aligned value sequences.
+
+        Subclasses override this when a vectorised evaluation is available;
+        the base implementation loops.  The engine's batched training-sample
+        drawing calls this once per batch instead of once per pair.
+        """
+        out = np.empty(len(xs), dtype=np.float64)
+        for i, (x, y) in enumerate(zip(xs, ys)):
+            out[i] = self(x, y)
+        return out
+
     def expected_similarity(
         self,
         values_a: Sequence[Any],

@@ -29,5 +29,17 @@ class EqualityKernel(Kernel):
                 out[i, j] = 1.0
         return out
 
+    def elementwise(self, xs: Sequence[Any], ys: Sequence[Any]) -> np.ndarray:
+        return (_object_array(xs) == _object_array(ys)).astype(np.float64)
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return "EqualityKernel()"
+
+
+def _object_array(values: Sequence[Any]) -> np.ndarray:
+    """A 1-d object array (safe for tuple-valued entries, unlike asarray)."""
+    if isinstance(values, np.ndarray) and values.dtype == object and values.ndim == 1:
+        return values
+    out = np.empty(len(values), dtype=object)
+    out[:] = list(values)
+    return out

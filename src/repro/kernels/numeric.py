@@ -38,6 +38,15 @@ class GaussianKernel(Kernel):
         diff = xa[:, None] - ya[None, :]
         return np.exp(-(diff * diff) / (2.0 * self.variance))
 
+    def elementwise(self, xs: Sequence[Any], ys: Sequence[Any]) -> np.ndarray:
+        try:
+            xa = np.asarray([float(x) for x in xs], dtype=np.float64)
+            ya = np.asarray([float(y) for y in ys], dtype=np.float64)
+        except (TypeError, ValueError):
+            return super().elementwise(xs, ys)
+        diff = xa - ya
+        return np.exp(-(diff * diff) / (2.0 * self.variance))
+
     @classmethod
     def for_values(cls, values: Sequence[float], min_variance: float = 1e-6) -> "GaussianKernel":
         """A kernel whose variance is the empirical variance of ``values``.

@@ -13,13 +13,16 @@ training objective (Equation (5)).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
 from repro.db.database import Database, Fact
 from repro.utils.rng import ensure_rng
 from repro.walks.schemes import Direction, WalkScheme, WalkStep
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine -> walks)
+    from repro.engine import WalkEngine
 
 
 @dataclass(frozen=True)
@@ -173,38 +176,51 @@ class RandomWalker:
     (fact, scheme) pairs; caching the exact destination distribution once and
     sampling from it afterwards is equivalent to sampling fresh walks but far
     cheaper on databases with high-degree backward steps.
+
+    Since the compiled walk engine (:mod:`repro.engine`) landed, the walker
+    is a thin compatibility façade: distributions are computed by the engine
+    (batched sparse propagation, shared across all facts of a relation) and
+    only wrapped into the reference dataclasses here.  Pass ``engine=None``
+    (the default) to have one compiled lazily on first use.
+
+    Cache entries are keyed by the *value* of the scheme, not by ``id()`` —
+    schemes are frozen dataclasses, and two structurally equal schemes must
+    share one cached distribution (``id()`` can even be reused after garbage
+    collection, which would silently return a wrong distribution).
     """
 
-    def __init__(self, db: Database, rng: int | np.random.Generator | None = None):
+    def __init__(
+        self,
+        db: Database,
+        rng: int | np.random.Generator | None = None,
+        engine: "WalkEngine | None" = None,
+    ):
         self.db = db
         self.rng = ensure_rng(rng)
-        self._cache: dict[tuple[int, int], DestinationDistribution] = {}
+        self._engine = engine
+        self._cache: dict[tuple[int, WalkScheme], DestinationDistribution] = {}
+
+    @property
+    def engine(self) -> "WalkEngine":
+        """The backing walk engine, compiled lazily from the database."""
+        if self._engine is None:
+            from repro.engine import WalkEngine
+
+            self._engine = WalkEngine(self.db)
+        return self._engine
 
     def destination_distribution(self, fact: Fact, scheme: WalkScheme) -> DestinationDistribution:
-        key = (fact.fact_id, id(scheme))
+        key = (fact.fact_id, scheme)
         cached = self._cache.get(key)
         if cached is None:
-            cached = destination_distribution(self.db, fact, scheme)
+            cached = self.engine.destination_distribution(fact, scheme)
             self._cache[key] = cached
         return cached
 
     def attribute_distribution(
         self, fact: Fact, scheme: WalkScheme, attribute: str
     ) -> AttributeDistribution | None:
-        destinations = self.destination_distribution(fact, scheme)
-        if destinations.is_empty:
-            return None
-        value_mass: dict[Any, float] = {}
-        for destination, prob in zip(destinations.facts, destinations.probabilities):
-            value = destination[attribute]
-            if value is None:
-                continue
-            value_mass[value] = value_mass.get(value, 0.0) + float(prob)
-        if not value_mass:
-            return None
-        values = tuple(value_mass.keys())
-        probs = np.array([value_mass[v] for v in values], dtype=np.float64)
-        return AttributeDistribution(scheme, attribute, values, probs / probs.sum())
+        return self.engine.attribute_distribution(fact, scheme, attribute)
 
     def sample_destination(self, fact: Fact, scheme: WalkScheme) -> Fact | None:
         """Sample the destination of one random walk (None if no walk exists)."""
@@ -225,4 +241,7 @@ class RandomWalker:
         return dist.values[index]
 
     def clear_cache(self) -> None:
+        """Drop cached distributions and re-sync the engine with the database."""
         self._cache.clear()
+        if self._engine is not None:
+            self._engine.refresh()

@@ -104,38 +104,49 @@ class TestExtension:
 
 class TestQualityOfExtension:
     def test_new_embeddings_close_to_same_class_old_embeddings(self, genes):
-        """A newly embedded gene should be nearer to old genes of its own class."""
+        """A newly embedded gene should be nearer to old genes of its own class.
+
+        A single partition yields only ~9 evaluable new tuples, which makes a
+        majority check fragile against any legitimate change of the RNG
+        stream; aggregating three independent partition/seed runs keeps the
+        assertion about the same property but on ~27 samples.
+        """
         labels = genes.labels()
-        partition = partition_dataset(genes, ratio_new=0.2, rng=9)
-        model = ForwardEmbedder(partition.db, genes.prediction_relation, CONFIG, rng=5).fit()
-        extender = ForwardDynamicExtender(model, partition.db, recompute_old_paths=True, rng=5)
-
-        def on_batch(batch):
-            extender.notify_inserted(batch)
-            extender.extend(batch)
-
-        replay_all_at_once(partition, on_batch)
-        embedding = model.embedding()
-
-        old_by_class = {}
-        for fid in partition.old_prediction_ids:
-            old_by_class.setdefault(labels[fid], []).append(embedding.vector(fid))
-
         wins = total = 0
-        for fid in partition.new_prediction_ids:
-            label = labels[fid]
-            if label not in old_by_class:
-                continue
-            vector = embedding.vector(fid)
-            same = np.mean([np.linalg.norm(vector - v) for v in old_by_class[label]])
-            others = [
-                np.linalg.norm(vector - v)
-                for other_label, vectors in old_by_class.items()
-                if other_label != label
-                for v in vectors
-            ]
-            total += 1
-            wins += same < np.mean(others)
+        for partition_rng, model_rng in ((4, 0), (5, 1), (6, 2)):
+            partition = partition_dataset(genes, ratio_new=0.2, rng=partition_rng)
+            model = ForwardEmbedder(
+                partition.db, genes.prediction_relation, CONFIG, rng=model_rng
+            ).fit()
+            extender = ForwardDynamicExtender(
+                model, partition.db, recompute_old_paths=True, rng=model_rng
+            )
+
+            def on_batch(batch):
+                extender.notify_inserted(batch)
+                extender.extend(batch)
+
+            replay_all_at_once(partition, on_batch)
+            embedding = model.embedding()
+
+            old_by_class = {}
+            for fid in partition.old_prediction_ids:
+                old_by_class.setdefault(labels[fid], []).append(embedding.vector(fid))
+
+            for fid in partition.new_prediction_ids:
+                label = labels[fid]
+                if label not in old_by_class:
+                    continue
+                vector = embedding.vector(fid)
+                same = np.mean([np.linalg.norm(vector - v) for v in old_by_class[label]])
+                others = [
+                    np.linalg.norm(vector - v)
+                    for other_label, vectors in old_by_class.items()
+                    if other_label != label
+                    for v in vectors
+                ]
+                total += 1
+                wins += same < np.mean(others)
         # The majority of new tuples land nearer their own class than other classes.
         assert total > 0
         assert wins / total > 0.5
