@@ -1,0 +1,76 @@
+"""Streaming service benchmark — Mondial insert stream, served online.
+
+Replays a 10% insert stream of the Mondial dataset through a live
+:class:`~repro.service.service.EmbeddingService` and records what a server
+operator watches: ingest throughput (facts/second) and per-batch apply
+latency (p50/p95).  The run is self-verifying — the final store must match
+a one-shot dynamic-extender run on the same final database to 1e-9 — and
+must commit at least two store versions.
+
+The full JSON report is written to ``benchmarks/results/BENCH_streaming.json``
+(uploaded as a CI artifact); a rendered summary goes to
+``benchmarks/results/streaming_service.txt``.
+
+Run under pytest (``python -m pytest benchmarks/bench_streaming_service.py``)
+or directly (``python benchmarks/bench_streaming_service.py``).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core import ForwardConfig
+from repro.service.replay import run_streaming_replay, render_report
+
+try:  # pytest-style result persistence when run by the harness
+    from conftest import FULL_SCALE, RESULTS_DIR, write_result
+except ImportError:  # direct script execution from the repository root
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).parent))
+    from conftest import FULL_SCALE, RESULTS_DIR, write_result
+
+SCALE = 1.0 if FULL_SCALE else 0.15
+INSERT_RATIO = 0.1
+
+#: Tiny hyper-parameters: the benchmark measures the serving layer, not
+#: embedding quality, so training is kept as small as the pipeline allows.
+TINY_CONFIG = ForwardConfig(
+    dimension=16, n_samples=400, batch_size=1024, max_walk_length=2, epochs=4,
+    learning_rate=0.02, n_new_samples=30,
+)
+
+
+def _run() -> dict:
+    report = run_streaming_replay(
+        "mondial",
+        insert_ratio=INSERT_RATIO,
+        scale=SCALE,
+        seed=0,
+        policy="recompute",
+        config=TINY_CONFIG,
+    )
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "BENCH_streaming.json").write_text(json.dumps(report, indent=2))
+    write_result("streaming_service", render_report(report))
+    return report
+
+
+def test_streaming_service_on_mondial():
+    report = _run()
+    assert report["store_versions_committed"] >= 2
+    assert report["verified_against_one_shot"], (
+        f"streamed store deviates from the one-shot run by "
+        f"{report['one_shot_max_abs_diff']:.2e} (tolerance {report['one_shot_tolerance']:.0e})"
+    )
+    assert report["facts_per_second"] > 0
+    assert report["latency"]["p95_seconds"] >= report["latency"]["p50_seconds"]
+    assert report["feed_lag"] == 0 and report["version_skew"] == 0
+
+
+if __name__ == "__main__":
+    result = _run()
+    print(render_report(result))
+    if not result["verified_against_one_shot"]:
+        raise SystemExit("streamed store does not match the one-shot run")

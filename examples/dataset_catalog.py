@@ -16,8 +16,9 @@ from repro.datasets import dataset_structure_rows, format_table_i, load_dataset
 from repro.datasets.registry import PAPER_DATASETS
 
 
-def main() -> None:
-    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
+def main(scale: float | None = None) -> None:
+    if scale is None:
+        scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
     datasets = [load_dataset(name, scale=scale, seed=0) for name in PAPER_DATASETS]
     rows = dataset_structure_rows(datasets)
     print(f"Dataset structure at scale={scale} (paper's Table I shape):\n")

@@ -20,8 +20,8 @@ from repro.evaluation import ForwardMethod
 from repro.evaluation.downstream import DownstreamClassifier, align_embedding
 
 
-def main() -> None:
-    dataset = load_dataset("genes", scale=0.15, seed=0)
+def main(scale: float = 0.15, config: ForwardConfig | None = None) -> None:
+    dataset = load_dataset("genes", scale=scale, seed=0)
     labels = dataset.labels()
     print("Dataset:", dataset)
 
@@ -31,7 +31,7 @@ def main() -> None:
           f"arriving later: {partition.num_new_prediction_facts} "
           f"(plus {len(partition.new_facts) - partition.num_new_prediction_facts} related facts)")
 
-    method = ForwardMethod(ForwardConfig(
+    method = ForwardMethod(config or ForwardConfig(
         dimension=32, n_samples=1500, batch_size=2048, max_walk_length=2, epochs=15,
         learning_rate=0.01, n_new_samples=200,
     ))

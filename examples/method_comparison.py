@@ -23,15 +23,21 @@ from repro.evaluation import (
 )
 
 
-def main() -> None:
-    dataset = load_dataset("world", scale=0.3, seed=0)
+def main(
+    scale: float = 0.3,
+    n_splits: int = 5,
+    n_runs: int = 2,
+    forward_config: ForwardConfig | None = None,
+    node2vec_config: Node2VecConfig | None = None,
+) -> None:
+    dataset = load_dataset("world", scale=scale, seed=0)
     print("Dataset:", dataset)
 
-    forward = ForwardMethod(ForwardConfig(
+    forward = ForwardMethod(forward_config or ForwardConfig(
         dimension=32, n_samples=1000, batch_size=2048, max_walk_length=2, epochs=12,
         learning_rate=0.01, n_new_samples=100,
     ))
-    node2vec = Node2VecMethod(Node2VecConfig(
+    node2vec = Node2VecMethod(node2vec_config or Node2VecConfig(
         dimension=32, walks_per_node=10, walk_length=15, window_size=4,
         negatives_per_positive=8, batch_size=8192, epochs=4, dynamic_epochs=3,
         dynamic_walks_per_node=10,
@@ -39,13 +45,13 @@ def main() -> None:
 
     print("\n=== Static experiment (Table III style) ===")
     static = run_static_experiment(
-        dataset, [forward, node2vec], n_splits=5, fresh_embedding_per_fold=False, rng=0
+        dataset, [forward, node2vec], n_splits=n_splits, fresh_embedding_per_fold=False, rng=0
     )
     print(format_static_table(static))
 
     print("\n=== Dynamic experiment at 10% new data (Table IV style) ===")
     dynamic = [
-        run_dynamic_experiment(dataset, method, ratio_new=0.1, mode=mode, n_runs=2, rng=1)
+        run_dynamic_experiment(dataset, method, ratio_new=0.1, mode=mode, n_runs=n_runs, rng=1)
         for method in (forward, node2vec)
         for mode in ("all_at_once", "one_by_one")
     ]

@@ -35,6 +35,7 @@ from repro.core import (
 from repro.datasets import Dataset, list_datasets, load_dataset
 from repro.db import Database, Fact, ForeignKey, RelationSchema, Schema
 from repro.engine import CompiledDatabase, WalkEngine
+from repro.service import ChangeFeed, EmbeddingService, EmbeddingStore
 
 __version__ = "1.0.0"
 
@@ -65,4 +66,8 @@ __all__ = [
     "Dataset",
     "load_dataset",
     "list_datasets",
+    # serving layer
+    "ChangeFeed",
+    "EmbeddingService",
+    "EmbeddingStore",
 ]

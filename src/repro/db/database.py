@@ -12,7 +12,6 @@ VI-E-1).
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
@@ -101,7 +100,7 @@ class Database:
             fk.name: {} for fk in schema.foreign_keys
         }
         self._facts_by_id: dict[int, Fact] = {}
-        self._next_id = itertools.count()
+        self._next_id = 0
 
     # ------------------------------------------------------------------ size
 
@@ -169,7 +168,9 @@ class Database:
                     f"relation {relation!r} has arity {rel_schema.arity}, "
                     f"got {len(row)} values"
                 )
-        fact = Fact(next(self._next_id), relation, row, rel_schema)
+        fact_id = self._next_id
+        self._next_id += 1
+        fact = Fact(fact_id, relation, row, rel_schema)
         if self._validate:
             self._check_key(fact)
         self._index_fact(fact)
@@ -372,9 +373,7 @@ class Database:
         for fact in self._facts_by_id.values():
             new_fact = Fact(fact.fact_id, fact.relation, fact.values, fact.schema)
             clone._index_fact(new_fact)
-        clone._next_id = itertools.count(
-            max(self._facts_by_id, default=-1) + 1
-        )
+        clone._next_id = self._next_id
         return clone
 
     def mask_attribute(self, relation: str, attribute: str) -> "Database":
@@ -397,16 +396,23 @@ class Database:
             else:
                 values = fact.values
             clone._index_fact(Fact(fact.fact_id, fact.relation, values, fact.schema))
-        clone._next_id = itertools.count(max(self._facts_by_id, default=-1) + 1)
+        clone._next_id = self._next_id
         return clone
 
     def reinsert(self, fact: Fact) -> Fact:
-        """Re-insert a previously deleted fact, keeping its original id."""
+        """Re-insert a previously deleted fact, keeping its original id.
+
+        The id allocator is advanced past the re-inserted id, so databases
+        restored from a persisted fact stream (service restarts, the JSON
+        format with ``include_fact_ids``) can keep inserting fresh facts
+        without colliding with restored ids.
+        """
         if fact.fact_id in self._facts_by_id:
             raise KeyViolation(f"fact id {fact.fact_id} already present")
         if self._validate:
             self._check_key(fact)
         self._index_fact(fact)
+        self._next_id = max(self._next_id, fact.fact_id + 1)
         return fact
 
     def structure_summary(self) -> dict[str, int]:

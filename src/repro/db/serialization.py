@@ -13,7 +13,7 @@ import json
 from pathlib import Path
 from typing import Any, Mapping
 
-from repro.db.database import Database
+from repro.db.database import Database, Fact
 from repro.db.schema import Attribute, AttributeType, ForeignKey, RelationSchema, Schema
 
 _NULL_TOKEN = "\\N"
@@ -67,27 +67,46 @@ def schema_from_dict(data: Mapping[str, Any]) -> Schema:
 # ------------------------------------------------------------------- database
 
 
-def database_to_dict(db: Database) -> dict[str, Any]:
-    return {
-        "schema": schema_to_dict(db.schema),
-        "facts": {
+def database_to_dict(db: Database, include_fact_ids: bool = False) -> dict[str, Any]:
+    """A JSON-safe document of schema and facts.
+
+    With ``include_fact_ids`` every fact is stored together with its
+    ``fact_id``, and :func:`database_from_dict` restores those ids exactly.
+    Stable ids are what lets state persisted *about* the database — tuple
+    embeddings, trained models, the serving layer's versioned store, all
+    keyed by ``fact_id`` — rejoin the right facts after a process restart.
+    """
+    if include_fact_ids:
+        facts: dict[str, Any] = {
+            relation: [{"fact_id": f.fact_id, "values": list(f.values)} for f in db.facts(relation)]
+            for relation in db.relations
+        }
+    else:
+        facts = {
             relation: [list(f.values) for f in db.facts(relation)]
             for relation in db.relations
-        },
-    }
+        }
+    return {"schema": schema_to_dict(db.schema), "facts": facts}
 
 
 def database_from_dict(data: Mapping[str, Any]) -> Database:
     schema = schema_from_dict(data["schema"])
     db = Database(schema)
     for relation, rows in data.get("facts", {}).items():
+        rel_schema = schema.relation(relation)
         for row in rows:
-            db.insert(relation, [None if v is None else v for v in row])
+            if isinstance(row, Mapping):  # fact-id-preserving entry
+                values = tuple(None if v is None else v for v in row["values"])
+                db.reinsert(Fact(int(row["fact_id"]), relation, values, rel_schema))
+            else:
+                db.insert(relation, [None if v is None else v for v in row])
     return db
 
 
-def save_database_json(db: Database, path: str | Path) -> None:
-    Path(path).write_text(json.dumps(database_to_dict(db), indent=2, default=str))
+def save_database_json(db: Database, path: str | Path, include_fact_ids: bool = False) -> None:
+    Path(path).write_text(
+        json.dumps(database_to_dict(db, include_fact_ids=include_fact_ids), indent=2, default=str)
+    )
 
 
 def load_database_json(path: str | Path) -> Database:

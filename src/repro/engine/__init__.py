@@ -14,6 +14,7 @@ and is verified against the reference by the equivalence test-suite
 
 from repro.engine.compiled import CompiledDatabase, CompiledRelation, ValueColumn
 from repro.engine.engine import WalkEngine
+from repro.engine.persistence import load_compiled, save_compiled
 from repro.engine.sampling import sample_codes, sample_distinct_pairs
 
 __all__ = [
@@ -21,6 +22,8 @@ __all__ = [
     "CompiledRelation",
     "ValueColumn",
     "WalkEngine",
+    "load_compiled",
+    "save_compiled",
     "sample_codes",
     "sample_distinct_pairs",
 ]

@@ -86,6 +86,26 @@ class WalkEngine:
         self._row_queries: dict[WalkScheme, int] = {}
         self._row_cache_version = self.compiled.version
 
+    # ---------------------------------------------------------- persistence
+
+    def save(self, path) -> None:
+        """Snapshot the compiled arrays to a single ``.npz`` file.
+
+        A restarted process warm-starts with :meth:`load` instead of paying
+        recompilation; distributions computed from the restored arrays are
+        bit-identical to this engine's.
+        """
+        from repro.engine.persistence import save_compiled
+
+        save_compiled(self.compiled, path)
+
+    @classmethod
+    def load(cls, db: Database, path, verify: bool = True) -> "WalkEngine":
+        """An engine restored from a snapshot written by :meth:`save`."""
+        from repro.engine.persistence import load_compiled
+
+        return cls(db, load_compiled(db, path, verify=verify))
+
     # ----------------------------------------------------------------- sync
 
     @property

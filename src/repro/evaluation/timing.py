@@ -9,8 +9,35 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.evaluation.dynamic_experiment import DynamicResult
 from repro.evaluation.static_experiment import StaticResult
+
+
+def latency_summary(seconds: Sequence[float]) -> dict[str, float]:
+    """Summary statistics of a latency sample (p50/p95/mean/max, in seconds).
+
+    The serving layer reports per-batch apply latencies through this helper
+    so the streaming benchmark and the replay CLI emit identical fields.
+    An empty sample yields all zeros.
+    """
+    values = np.asarray(list(seconds), dtype=np.float64)
+    if values.size == 0:
+        return {
+            "count": 0,
+            "mean_seconds": 0.0,
+            "p50_seconds": 0.0,
+            "p95_seconds": 0.0,
+            "max_seconds": 0.0,
+        }
+    return {
+        "count": int(values.size),
+        "mean_seconds": float(values.mean()),
+        "p50_seconds": float(np.percentile(values, 50)),
+        "p95_seconds": float(np.percentile(values, 95)),
+        "max_seconds": float(values.max()),
+    }
 
 
 def static_timing_rows(results: Sequence[StaticResult]) -> list[dict]:

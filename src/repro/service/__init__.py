@@ -1,0 +1,35 @@
+"""Online embedding serving layer.
+
+The experiment drivers exercise the paper's central claim — embeddings stay
+consistent under database updates without retraining — as offline batch
+jobs.  This package turns that machinery into a long-lived *service*:
+
+* :mod:`repro.service.store` — :class:`EmbeddingStore`, a versioned,
+  snapshotable store of tuple embeddings with batched queries (fetch by
+  fact, k-nearest-neighbour, per-relation slices);
+* :mod:`repro.service.feed` — :class:`ChangeFeed` (a.k.a. ``UpdateLog``),
+  an ordered stream of insert batches with idempotent batch ids, plus the
+  :func:`partition_feed` adapter that replays a dataset's dynamic split;
+* :mod:`repro.service.service` — :class:`EmbeddingService`, the
+  orchestrator that owns one shared :class:`~repro.engine.WalkEngine`,
+  applies feed batches through the dynamic extender and commits one store
+  version per batch;
+* :mod:`repro.service.replay` — the streaming scenario driver and CLI
+  (``python -m repro.service.replay``).
+"""
+
+from repro.service.feed import ChangeFeed, InsertBatch, UpdateLog, partition_feed
+from repro.service.service import ApplyOutcome, EmbeddingService, ServiceStats
+from repro.service.store import EmbeddingStore, StoreSnapshot
+
+__all__ = [
+    "ApplyOutcome",
+    "ChangeFeed",
+    "EmbeddingService",
+    "EmbeddingStore",
+    "InsertBatch",
+    "ServiceStats",
+    "StoreSnapshot",
+    "UpdateLog",
+    "partition_feed",
+]

@@ -1,0 +1,122 @@
+"""The change feed: an ordered stream of insert batches.
+
+A :class:`ChangeFeed` (alias :class:`UpdateLog`) is an append-only log of
+:class:`InsertBatch` entries.  Consumers read by *sequence number* and may
+see the same batch more than once (at-least-once delivery — a consumer that
+crashes mid-apply re-reads from its last acknowledged sequence), so every
+batch carries a deterministic, idempotent ``batch_id`` that lets the
+service and the store deduplicate re-deliveries exactly once.
+
+:func:`partition_feed` adapts the repo's dynamic-experiment machinery to
+the feed: the cascade batches of a
+:class:`~repro.dynamic.partition.Partition` are replayed in arrival order
+(the inverse of deletion order, referenced facts before referencing ones —
+the same order :mod:`repro.dynamic.replay` uses), optionally grouped into
+larger insert batches the way a real ingest pipeline coalesces arrivals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.db.database import Fact
+from repro.dynamic.partition import Partition
+
+
+@dataclass(frozen=True)
+class InsertBatch:
+    """One ordered batch of facts to insert, with an idempotent identity."""
+
+    sequence: int
+    batch_id: str
+    facts: tuple[Fact, ...]
+
+    def __len__(self) -> int:
+        return len(self.facts)
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self.facts)
+
+
+class ChangeFeed:
+    """Append-only, totally ordered log of insert batches."""
+
+    def __init__(self, name: str = "feed"):
+        self.name = name
+        self._batches: list[InsertBatch] = []
+        self._ids: set[str] = set()
+
+    def append(self, facts: Iterable[Fact], batch_id: str | None = None) -> InsertBatch:
+        """Append one batch; a deterministic id is derived when none is given."""
+        facts = tuple(facts)
+        sequence = len(self._batches)
+        if batch_id is None:
+            batch_id = f"{self.name}:{sequence:06d}"
+        if batch_id in self._ids:
+            raise ValueError(f"batch id {batch_id!r} already in the feed")
+        batch = InsertBatch(sequence, batch_id, facts)
+        self._batches.append(batch)
+        self._ids.add(batch_id)
+        return batch
+
+    def __len__(self) -> int:
+        return len(self._batches)
+
+    def __iter__(self) -> Iterator[InsertBatch]:
+        return iter(self._batches)
+
+    def __getitem__(self, sequence: int) -> InsertBatch:
+        return self._batches[sequence]
+
+    @property
+    def last_sequence(self) -> int:
+        """Sequence number of the newest batch (-1 when the feed is empty)."""
+        return len(self._batches) - 1
+
+    @property
+    def num_facts(self) -> int:
+        return sum(len(batch) for batch in self._batches)
+
+    def read(self, after: int = -1) -> Iterator[InsertBatch]:
+        """All batches with ``sequence > after``, in order.
+
+        Reading never consumes: a consumer that re-reads from an earlier
+        sequence sees the same batches again (at-least-once delivery); the
+        batch ids make the duplicates detectable.
+        """
+        for batch in self._batches[after + 1 :]:
+            yield batch
+
+
+UpdateLog = ChangeFeed
+"""The feed doubles as the durable update log of the serving layer."""
+
+
+def partition_feed(
+    partition: Partition,
+    group_size: int = 1,
+    name: str | None = None,
+) -> ChangeFeed:
+    """A partition's removed facts as an insert feed, in arrival order.
+
+    Each cascade batch is emitted referenced-facts-first (the inverse of its
+    deletion order); ``group_size`` coalesces that many consecutive cascade
+    batches into one :class:`InsertBatch`.  Batch ids embed the prediction
+    fact ids they deliver, so regenerating the feed from an identical
+    partition yields identical ids — the idempotence anchor for replays.
+    """
+    if group_size < 1:
+        raise ValueError("group_size must be at least 1")
+    feed = ChangeFeed(name or f"replay-{partition.prediction_relation}")
+    arrival: list[list[Fact]] = [
+        list(reversed(batch)) for batch in reversed(partition.new_batches)
+    ]
+    for start in range(0, len(arrival), group_size):
+        group = arrival[start : start + group_size]
+        facts = [fact for cascade in group for fact in cascade]
+        anchor_ids = "+".join(
+            str(cascade[-1].fact_id) for cascade in group if cascade
+        )
+        feed.append(facts, batch_id=f"{feed.name}:{len(feed):06d}:{anchor_ids}")
+    return feed

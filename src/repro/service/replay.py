@@ -1,0 +1,257 @@
+"""Streaming scenario driver: replay a dataset's insert stream online.
+
+This is the serving-layer counterpart of the offline dynamic experiment
+(:mod:`repro.evaluation.dynamic_experiment`): a dataset is partitioned at a
+chosen insert ratio, the static model is trained on the old part, and the
+removed facts are then replayed *as a change feed* through a live
+:class:`~repro.service.service.EmbeddingService`, measuring what a server
+operator cares about — apply latency per batch, ingest throughput, store
+versions committed — instead of downstream accuracy.
+
+Under the default ``recompute`` policy the run is self-verifying: after the
+stream drains, a one-shot :class:`~repro.core.forward_dynamic.
+ForwardDynamicExtender` run on an independently reconstructed copy of the
+final database must reproduce the head store's embeddings to 1e-9.
+
+Run as a module::
+
+    python -m repro.service.replay --dataset mondial --insert-ratio 0.1
+
+and a ``BENCH_streaming.json`` with throughput and latency statistics is
+written next to the current working directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import ForwardConfig
+from repro.core.forward import ForwardEmbedder
+from repro.core.forward_dynamic import ForwardDynamicExtender
+from repro.datasets import load_dataset
+from repro.dynamic.partition import partition_dataset
+from repro.engine import WalkEngine
+from repro.evaluation.timing import latency_summary
+from repro.service.feed import partition_feed
+from repro.service.service import EmbeddingService
+
+VERIFY_TOLERANCE = 1e-9
+
+#: Hyper-parameters sized so the replay finishes in minutes on a laptop CPU.
+DEFAULT_CONFIG = ForwardConfig(
+    dimension=32,
+    n_samples=1500,
+    batch_size=2048,
+    max_walk_length=2,
+    epochs=15,
+    learning_rate=0.01,
+    n_new_samples=60,
+)
+
+
+def run_streaming_replay(
+    dataset_name: str,
+    insert_ratio: float = 0.1,
+    scale: float = 0.2,
+    seed: int = 0,
+    policy: str = "recompute",
+    group_size: int | None = None,
+    config: ForwardConfig | None = None,
+    verify: bool | None = None,
+) -> dict:
+    """Replay one dataset's insert stream through an embedding service.
+
+    Returns a JSON-safe report with throughput/latency statistics and — for
+    the ``recompute`` policy, unless ``verify`` is false — the maximum
+    absolute difference against a one-shot dynamic-extender run on the same
+    final database.
+    """
+    config = config or DEFAULT_CONFIG
+    if verify is None:
+        verify = policy == "recompute"
+    dataset = load_dataset(dataset_name, scale=scale, seed=seed)
+    partition = partition_dataset(dataset, ratio_new=insert_ratio, rng=seed)
+
+    start = time.perf_counter()
+    engine = WalkEngine(partition.db)
+    model = ForwardEmbedder(
+        partition.db, dataset.prediction_relation, config, rng=seed, engine=engine
+    ).fit()
+    static_seconds = time.perf_counter() - start
+
+    if group_size is None:
+        # ~8 feed batches regardless of stream length: a batch per "commit
+        # window", the way an ingest pipeline coalesces arrivals
+        group_size = max(1, len(partition.new_batches) // 8)
+    feed = partition_feed(partition, group_size=group_size)
+    service = EmbeddingService(
+        model, partition.db, engine=engine, policy=policy, seed=seed
+    )
+    outcomes = service.sync(feed)
+    stats = service.stats(feed)
+
+    report: dict = {
+        "dataset": dataset_name,
+        "scale": scale,
+        "seed": seed,
+        "insert_ratio": insert_ratio,
+        "policy": policy,
+        "feed_batches": len(feed),
+        "feed_facts": feed.num_facts,
+        "prediction_facts_streamed": stats.facts_embedded if policy == "on_arrival" else len(
+            [f for f in partition.new_facts if f.relation == dataset.prediction_relation]
+        ),
+        "facts_inserted": stats.facts_inserted,
+        "store_versions_committed": stats.store_version,
+        "engine_version": stats.engine_version,
+        "feed_lag": stats.feed_lag,
+        "version_skew": stats.version_skew,
+        "static_train_seconds": static_seconds,
+        "total_apply_seconds": stats.total_apply_seconds,
+        "facts_per_second": stats.facts_per_second,
+        "latency": latency_summary(stats.apply_seconds),
+        "batches": [
+            {
+                "sequence": o.sequence,
+                "batch_id": o.batch_id,
+                "facts_inserted": o.facts_inserted,
+                "facts_embedded": o.facts_embedded,
+                "seconds": o.seconds,
+                "store_version": o.store_version,
+            }
+            for o in outcomes
+        ],
+    }
+
+    if verify:
+        if policy != "recompute":
+            raise ValueError("one-shot verification requires the 'recompute' policy")
+        max_diff = _one_shot_max_difference(
+            dataset, model, service, insert_ratio=insert_ratio, seed=seed
+        )
+        report["verified_against_one_shot"] = bool(max_diff <= VERIFY_TOLERANCE)
+        report["one_shot_max_abs_diff"] = max_diff
+        report["one_shot_tolerance"] = VERIFY_TOLERANCE
+    return report
+
+
+def _one_shot_max_difference(
+    dataset,
+    model,
+    service: EmbeddingService,
+    insert_ratio: float,
+    seed: int,
+) -> float:
+    """Max |streamed − one-shot| over all streamed prediction embeddings.
+
+    The final database is reconstructed independently (same dataset, same
+    partition seed, all batches re-inserted at once) and every streamed
+    prediction fact is embedded by a fresh one-shot extender; the service's
+    head store must agree to machine precision.
+    """
+    twin = partition_dataset(dataset, ratio_new=insert_ratio, rng=seed)
+    for batch in reversed(twin.new_batches):
+        for fact in reversed(batch):
+            twin.db.reinsert(fact)
+    extender = ForwardDynamicExtender(
+        model, twin.db, recompute_old_paths=True, rng=seed, engine=WalkEngine(twin.db)
+    )
+    head = service.store.head
+    arrival_order = [
+        fact
+        for batch in reversed(twin.new_batches)
+        for fact in reversed(batch)
+        if fact.relation == dataset.prediction_relation
+    ]
+    max_diff = 0.0
+    for fact in arrival_order:
+        one_shot = extender.embed_fact(fact)
+        streamed = head.vector(fact.fact_id)
+        max_diff = max(max_diff, float(np.max(np.abs(one_shot - streamed))))
+    return max_diff
+
+
+def render_report(report: dict) -> str:
+    """A short human-readable summary of a replay report."""
+    latency = report["latency"]
+    lines = [
+        f"Streaming replay — {report['dataset']} "
+        f"(scale {report['scale']}, insert ratio {report['insert_ratio']}, "
+        f"policy {report['policy']})",
+        f"{'feed batches':<28}{report['feed_batches']:>12}",
+        f"{'facts inserted':<28}{report['facts_inserted']:>12}",
+        f"{'store versions committed':<28}{report['store_versions_committed']:>12}",
+        f"{'static train seconds':<28}{report['static_train_seconds']:>12.3f}",
+        f"{'total apply seconds':<28}{report['total_apply_seconds']:>12.3f}",
+        f"{'facts / second':<28}{report['facts_per_second']:>12.1f}",
+        f"{'apply p50 seconds':<28}{latency['p50_seconds']:>12.4f}",
+        f"{'apply p95 seconds':<28}{latency['p95_seconds']:>12.4f}",
+    ]
+    if "one_shot_max_abs_diff" in report:
+        lines.append(
+            f"{'one-shot max |diff|':<28}{report['one_shot_max_abs_diff']:>12.2e}"
+            f"  ({'OK' if report['verified_against_one_shot'] else 'MISMATCH'})"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.replay",
+        description="Replay a dataset's insert stream through the embedding service.",
+    )
+    parser.add_argument("--dataset", default="mondial", help="bundled dataset name")
+    parser.add_argument("--insert-ratio", type=float, default=0.1)
+    parser.add_argument("--scale", type=float, default=0.2, help="dataset generation scale")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--policy", choices=("recompute", "on_arrival"), default="recompute")
+    parser.add_argument(
+        "--group-size", type=int, default=None,
+        help="cascade batches coalesced per feed batch (default: ~8 feed batches)",
+    )
+    parser.add_argument("--epochs", type=int, default=DEFAULT_CONFIG.epochs)
+    parser.add_argument("--dimension", type=int, default=DEFAULT_CONFIG.dimension)
+    parser.add_argument(
+        "--output", type=Path, default=Path("BENCH_streaming.json"),
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the one-shot equivalence verification",
+    )
+    args = parser.parse_args(argv)
+
+    config = ForwardConfig(
+        dimension=args.dimension,
+        n_samples=DEFAULT_CONFIG.n_samples,
+        batch_size=DEFAULT_CONFIG.batch_size,
+        max_walk_length=DEFAULT_CONFIG.max_walk_length,
+        epochs=args.epochs,
+        learning_rate=DEFAULT_CONFIG.learning_rate,
+        n_new_samples=DEFAULT_CONFIG.n_new_samples,
+    )
+    report = run_streaming_replay(
+        args.dataset,
+        insert_ratio=args.insert_ratio,
+        scale=args.scale,
+        seed=args.seed,
+        policy=args.policy,
+        group_size=args.group_size,
+        config=config,
+        verify=(not args.no_verify) and args.policy == "recompute",
+    )
+    args.output.write_text(json.dumps(report, indent=2))
+    print(render_report(report))
+    print(f"\nReport written to {args.output}")
+    if report.get("verified_against_one_shot") is False:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,305 @@
+"""The embedding service: feed in, versioned embeddings out.
+
+:class:`EmbeddingService` is the long-lived orchestrator of the serving
+layer.  It owns one shared :class:`~repro.engine.WalkEngine` compiled from
+the live database, a trained :class:`~repro.core.forward.ForwardModel`, and
+an :class:`~repro.service.store.EmbeddingStore`.  Each
+:class:`~repro.service.feed.InsertBatch` applied from the change feed
+
+1. inserts the batch's facts into the database (facts already present —
+   at-least-once overlap — are skipped),
+2. appends them to the compiled engine incrementally (no recompilation),
+3. embeds through the :class:`~repro.core.forward_dynamic.
+   ForwardDynamicExtender` under the configured policy, and
+4. commits exactly one new store version tagged with the batch id.
+
+Duplicate batch ids are acknowledged without re-applying, so an
+at-least-once feed converges to exactly-once effects.
+
+Two embedding policies mirror the paper's two dynamic settings:
+
+* ``"on_arrival"`` (the one-by-one setting): every new prediction fact is
+  embedded once, on the version of the database it arrived into, and never
+  touched again.  Cheapest, and stability extends to streamed facts.
+* ``"recompute"`` (the all-at-once setting): after every commit the service
+  re-embeds *all* streamed facts against the current database in one
+  batched pass (trained embeddings stay frozen — stability by
+  construction).  After the final batch the store is exactly what a
+  one-shot :class:`ForwardDynamicExtender` run on the final database
+  produces: the per-pass RNG is re-seeded from the service seed, so the
+  replay is reproducible and verifiable to machine precision.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.forward import ForwardModel
+from repro.core.forward_dynamic import ForwardDynamicExtender
+from repro.db.database import Database, Fact
+from repro.engine import WalkEngine
+from repro.service.feed import ChangeFeed, InsertBatch
+from repro.service.store import EmbeddingStore, StoreSnapshot
+from repro.utils.rng import ensure_rng
+
+POLICIES = ("recompute", "on_arrival")
+
+
+@dataclass(frozen=True)
+class ApplyOutcome:
+    """What applying one feed batch did."""
+
+    sequence: int
+    batch_id: str
+    applied: bool
+    """False when the batch id had been applied before (duplicate delivery)."""
+    facts_inserted: int
+    facts_embedded: int
+    seconds: float
+    store_version: int
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Synchronisation statistics of a running service."""
+
+    store_version: int
+    engine_version: int
+    batches_applied: int
+    duplicates_skipped: int
+    facts_inserted: int
+    facts_embedded: int
+    total_apply_seconds: float
+    facts_per_second: float
+    feed_lag: int
+    """Feed batches published but not yet applied (0 when fully caught up)."""
+    version_skew: int
+    """Engine mutations since the last store commit (0 when every insert the
+    engine has seen is reflected in the head store version)."""
+    apply_seconds: tuple[float, ...] = field(repr=False, default=())
+    """Per-batch apply latencies, for percentile reporting."""
+
+
+class EmbeddingService:
+    """Applies a change feed to a model/engine pair and versions the results.
+
+    Parameters
+    ----------
+    model:
+        The static-phase model trained on the database's current facts.
+    db:
+        The live database the feed inserts into.
+    engine:
+        An optional shared :class:`WalkEngine` compiled from ``db`` (the one
+        used for training, typically); compiled on demand otherwise.
+    store:
+        An optional pre-existing store (service restart); a fresh store is
+        created — and seeded with the model's current embeddings as version
+        1 — otherwise.
+    policy:
+        ``"recompute"`` or ``"on_arrival"`` (see the module docstring).
+    seed:
+        Seed of the extension RNG.  Under ``"recompute"`` each batched pass
+        re-seeds from this value, which makes the final store independent of
+        how arrivals were batched.
+    retain_versions:
+        How many store versions to keep resolvable (older ones are pruned
+        after each commit — each snapshot holds a full copy of the
+        embedding matrix, so an unbounded history grows linearly with
+        applied batches).  ``None`` keeps every version.
+    """
+
+    def __init__(
+        self,
+        model: ForwardModel,
+        db: Database,
+        *,
+        engine: WalkEngine | None = None,
+        store: EmbeddingStore | None = None,
+        policy: str = "recompute",
+        seed: int = 0,
+        retain_versions: int | None = 16,
+    ):
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
+        if policy == "on_arrival" and not model.distributions:
+            # a model restored from disk has no training-time distribution
+            # cache; under on_arrival every extension would silently fall
+            # back to the trained centroid (see save_forward_model)
+            raise ValueError(
+                "policy 'on_arrival' needs the model's training-time destination "
+                "distributions, which are not persisted; a model loaded from disk "
+                "must be served with policy 'recompute'"
+            )
+        if retain_versions is not None and retain_versions < 1:
+            raise ValueError("retain_versions must be at least 1 (or None)")
+        self.model = model
+        self.db = db
+        self.policy = policy
+        self.retain_versions = retain_versions
+        self._seed = seed
+        self._extender = ForwardDynamicExtender(
+            model,
+            db,
+            recompute_old_paths=(policy == "recompute"),
+            rng=ensure_rng(seed),
+            engine=engine,
+        )
+        self._arrived: list[Fact] = []  # streamed prediction facts, arrival order
+        self._arrived_ids: set[int] = set()
+        self._last_sequence = -1
+        self._batches_applied = 0
+        self._duplicates = 0
+        self._facts_inserted = 0
+        self._facts_embedded = 0
+        self._latencies: list[float] = []
+        if store is None:
+            store = EmbeddingStore(model.dimension)
+        self.store = store
+        if self.store.version == 0:
+            # version 1 is the baseline: the trained (and any already
+            # extended) embeddings, before the feed delivers anything
+            baseline = {
+                self.db.fact(fid): model.vector(fid)
+                for fid in (*model.fact_ids, *model.extended_fact_ids)
+                if fid in self.db._facts_by_id  # noqa: SLF001 - cheap membership
+            }
+            self.store.commit(baseline, batch_id="__baseline__")
+        else:
+            # restart with a persisted store: rebuild the arrival log, so
+            # the recompute policy's one-shot-equivalence guarantee survives
+            # a mid-stream restart — re-delivered batches are skipped as
+            # duplicates and would otherwise never repopulate it.  The log
+            # is read from the store metadata the previous service instance
+            # recorded; pre-service extended embeddings (frozen by contract)
+            # are never in it, only genuinely streamed facts are.
+            arrived_ids = self.store.metadata.get("arrived_fact_ids")
+            if arrived_ids is None:
+                # store not produced by a service: fall back to head row
+                # order (arrival-ordered), excluding the trained facts
+                head = self.store.head
+                arrived_ids = [
+                    int(fid)
+                    for fid, relation in zip(head.fact_ids, head.relations)
+                    if relation == model.relation and int(fid) not in model.fact_row
+                ]
+            for fid in arrived_ids:
+                fid = int(fid)
+                if fid not in self.db._facts_by_id:  # noqa: SLF001
+                    raise ValueError(
+                        f"restored store holds streamed fact {fid}, which is not "
+                        "in the database; restore the database (with preserved "
+                        "fact ids) before restarting the service"
+                    )
+                self._arrived.append(self.db.fact(fid))
+                self._arrived_ids.add(fid)
+        self._engine_version_at_commit = self.engine.version
+
+    @property
+    def engine(self) -> WalkEngine:
+        return self._extender.engine
+
+    @property
+    def last_sequence(self) -> int:
+        return self._last_sequence
+
+    # --------------------------------------------------------------- apply
+
+    def apply(self, batch: InsertBatch) -> ApplyOutcome:
+        """Apply one feed batch: insert, extend, commit one store version."""
+        start = time.perf_counter()
+        if self.store.has_batch(batch.batch_id):
+            self._duplicates += 1
+            self._last_sequence = max(self._last_sequence, batch.sequence)
+            return ApplyOutcome(
+                batch.sequence, batch.batch_id, False, 0, 0,
+                time.perf_counter() - start, self.store.version,
+            )
+        inserted = []
+        for fact in batch.facts:
+            if fact in self.db:  # at-least-once overlap with an earlier batch
+                continue
+            self.db.reinsert(fact)
+            inserted.append(fact)
+        self._extender.notify_inserted(inserted)
+        for fact in batch.facts:
+            if (
+                fact.relation == self.model.relation
+                and fact.fact_id not in self.model.fact_row
+                and fact.fact_id not in self._arrived_ids
+            ):
+                self._arrived.append(fact)
+                self._arrived_ids.add(fact.fact_id)
+        updates = self._embed(batch)
+        snapshot = self.store.commit(updates, batch_id=batch.batch_id)
+        # the arrival log travels with the store so a restarted service
+        # (which only sees duplicate re-deliveries) can rebuild it exactly
+        self.store.metadata["arrived_fact_ids"] = [f.fact_id for f in self._arrived]
+        if self.retain_versions is not None:
+            self.store.prune(keep_last=self.retain_versions)
+        self._engine_version_at_commit = self.engine.version
+        seconds = time.perf_counter() - start
+        self._latencies.append(seconds)
+        self._batches_applied += 1
+        self._facts_inserted += len(inserted)
+        self._facts_embedded += len(updates)
+        self._last_sequence = max(self._last_sequence, batch.sequence)
+        return ApplyOutcome(
+            batch.sequence, batch.batch_id, True, len(inserted), len(updates),
+            seconds, snapshot.version,
+        )
+
+    def _embed(self, batch: InsertBatch) -> dict[Fact, np.ndarray]:
+        if self.policy == "on_arrival":
+            new_facts = [f for f in batch.facts if f.fact_id in self._arrived_ids]
+            embedded = self._extender.extend(new_facts)
+            return {
+                fact: embedded.vector(fact)
+                for fact in new_facts
+                if fact in embedded
+            }
+        # recompute: one batched pass over every streamed fact against the
+        # current database; re-seeding makes the pass deterministic
+        self._extender.rng = ensure_rng(self._seed)
+        updates: dict[Fact, np.ndarray] = {}
+        for fact in self._arrived:
+            vector = self._extender.embed_fact(fact)
+            self.model.add_extended(fact, vector)
+            updates[fact] = vector
+        return updates
+
+    def sync(self, feed: ChangeFeed) -> list[ApplyOutcome]:
+        """Apply every feed batch newer than the last applied sequence."""
+        return [self.apply(batch) for batch in feed.read(self._last_sequence)]
+
+    # --------------------------------------------------------------- stats
+
+    def stats(self, feed: ChangeFeed | None = None) -> ServiceStats:
+        total = float(sum(self._latencies))
+        return ServiceStats(
+            store_version=self.store.version,
+            engine_version=self.engine.version,
+            batches_applied=self._batches_applied,
+            duplicates_skipped=self._duplicates,
+            facts_inserted=self._facts_inserted,
+            facts_embedded=self._facts_embedded,
+            total_apply_seconds=total,
+            facts_per_second=(self._facts_inserted / total) if total > 0 else 0.0,
+            feed_lag=(feed.last_sequence - self._last_sequence) if feed is not None else 0,
+            version_skew=self.engine.version - self._engine_version_at_commit,
+            apply_seconds=tuple(self._latencies),
+        )
+
+    # ------------------------------------------------------------- queries
+
+    def snapshot(self) -> StoreSnapshot:
+        """The current head snapshot (stable under later applies)."""
+        return self.store.head
+
+    def embeddings_of(self, facts: Sequence[Fact | int]) -> np.ndarray:
+        """Batched fetch from the head snapshot."""
+        return self.store.head.fetch(facts)

@@ -1,0 +1,326 @@
+"""A versioned, snapshotable store of tuple embeddings.
+
+The serving layer separates *computing* embeddings (the dynamic extender,
+driven by the change feed) from *querying* them.  Queries run against a
+:class:`StoreSnapshot` — an immutable, monotonically versioned view whose
+arrays never change after creation — so readers are never torn by a
+concurrent apply: they keep the snapshot they resolved and see a fully
+consistent embedding matrix, while the service commits new versions behind
+them.
+
+Commits are copy-on-write: :meth:`EmbeddingStore.commit` builds the next
+version's arrays from the head snapshot plus the batch of updated vectors
+and leaves every earlier snapshot untouched.  Each commit records the feed
+batch id that produced it, which makes replays idempotent at the store
+level too: committing an already-applied batch id returns the snapshot that
+batch originally produced instead of minting a new version.
+
+Persistence is ``.npz``-backed through :mod:`repro.core.persistence`: a
+saved store directory holds the head snapshot's embedding matrix plus a
+JSON sidecar with the version counter, per-fact relations and the applied
+batch-id log, so a restarted service resumes at the persisted version.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.core.base import TupleEmbedding
+from repro.core.persistence import load_embedding, save_embedding
+from repro.db.database import Fact
+
+
+class StoreSnapshot:
+    """One immutable version of the store: fact ids, relations and vectors."""
+
+    __slots__ = (
+        "version", "batch_id", "fact_ids", "relations", "vectors", "row_of",
+        "_normalized", "_relations_array",
+    )
+
+    def __init__(
+        self,
+        version: int,
+        batch_id: str | None,
+        fact_ids: np.ndarray,
+        relations: tuple[str, ...],
+        vectors: np.ndarray,
+    ):
+        self.version = int(version)
+        self.batch_id = batch_id
+        self.fact_ids = np.asarray(fact_ids, dtype=np.int64)
+        self.relations = tuple(relations)
+        self.vectors = np.asarray(vectors, dtype=np.float64)
+        if self.vectors.shape[0] != self.fact_ids.size or len(self.relations) != self.fact_ids.size:
+            raise ValueError("fact_ids, relations and vectors must align")
+        self.fact_ids.setflags(write=False)
+        self.vectors.setflags(write=False)
+        self.row_of = {int(fid): row for row, fid in enumerate(self.fact_ids)}
+        self._normalized: np.ndarray | None = None
+        self._relations_array = np.empty(len(self.relations), dtype=object)
+        self._relations_array[:] = self.relations
+
+    # -------------------------------------------------------------- basics
+
+    @property
+    def num_facts(self) -> int:
+        return self.fact_ids.size
+
+    @property
+    def dimension(self) -> int:
+        return self.vectors.shape[1]
+
+    def __contains__(self, fact: Fact | int) -> bool:
+        return _key(fact) in self.row_of
+
+    def __len__(self) -> int:
+        return self.num_facts
+
+    # ------------------------------------------------------------- queries
+
+    def vector(self, fact: Fact | int) -> np.ndarray:
+        """The embedding of one fact (a copy; snapshots are immutable)."""
+        return self.vectors[self.row_of[_key(fact)]].copy()
+
+    def fetch(self, facts: Iterable[Fact | int]) -> np.ndarray:
+        """Batched fetch-by-fact: the ``(len(facts), dimension)`` matrix."""
+        rows = [self.row_of[_key(f)] for f in facts]
+        if not rows:
+            return np.zeros((0, self.dimension))
+        return self.vectors[np.asarray(rows, dtype=np.int64)].copy()
+
+    def relation_slice(self, relation: str) -> tuple[np.ndarray, np.ndarray]:
+        """``(fact_ids, vectors)`` of every stored fact of one relation."""
+        mask = self._relations_array == relation
+        return self.fact_ids[mask].copy(), self.vectors[mask].copy()
+
+    def normalized(self) -> np.ndarray:
+        """The row-normalised embedding matrix (cached per snapshot)."""
+        if self._normalized is None:
+            norms = np.linalg.norm(self.vectors, axis=1, keepdims=True)
+            normalized = self.vectors / np.maximum(norms, 1e-12)
+            normalized.setflags(write=False)
+            self._normalized = normalized
+        return self._normalized
+
+    def nearest(
+        self,
+        query: Fact | int | np.ndarray,
+        k: int = 5,
+        relation: str | None = None,
+    ) -> list[tuple[int, float]]:
+        """The ``k`` facts most cosine-similar to ``query``, best first.
+
+        ``query`` may be a stored fact (excluded from its own result) or a
+        raw vector; ``relation`` restricts the candidate pool.  One matrix
+        product against the cached normalised matrix, then a top-``k``
+        partial sort — the batched analogue of
+        :func:`repro.core.similarity.most_similar`.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if isinstance(query, np.ndarray):
+            query_vector = np.asarray(query, dtype=np.float64)
+            query_row = None
+        else:
+            query_row = self.row_of[_key(query)]
+            query_vector = self.vectors[query_row]
+        norm = float(np.linalg.norm(query_vector))
+        scores = self.normalized() @ (query_vector / max(norm, 1e-12))
+        excluded = np.zeros(self.num_facts, dtype=bool)
+        if query_row is not None:
+            excluded[query_row] = True
+        if relation is not None:
+            excluded |= self._relations_array != relation
+        scores = np.where(excluded, -np.inf, scores)
+        k = min(k, int(np.sum(~excluded)))
+        if k == 0:
+            return []
+        top = np.argpartition(-scores, k - 1)[:k]
+        top = top[np.argsort(-scores[top], kind="stable")]
+        return [(int(self.fact_ids[row]), float(scores[row])) for row in top]
+
+    def embedding(self) -> TupleEmbedding:
+        """This snapshot as a :class:`TupleEmbedding` (a mutable copy)."""
+        result = TupleEmbedding(self.dimension)
+        for fid, vector in zip(self.fact_ids, self.vectors):
+            result.set(int(fid), vector)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StoreSnapshot(version={self.version}, facts={self.num_facts}, "
+            f"batch_id={self.batch_id!r})"
+        )
+
+
+def _key(fact: Fact | int) -> int:
+    return fact.fact_id if isinstance(fact, Fact) else int(fact)
+
+
+class EmbeddingStore:
+    """Monotonically versioned store of tuple embeddings.
+
+    ``commit`` produces a new :class:`StoreSnapshot`; every snapshot remains
+    readable (and immutable) until the store is pruned.  Updates keyed by
+    :class:`Fact` carry their relation; plain ``int`` keys are only valid
+    for facts the store has already seen.
+    """
+
+    def __init__(self, dimension: int):
+        if dimension <= 0:
+            raise ValueError("dimension must be positive")
+        self.dimension = int(dimension)
+        empty = StoreSnapshot(
+            0, None, np.zeros(0, dtype=np.int64), (), np.zeros((0, self.dimension))
+        )
+        self._snapshots: dict[int, StoreSnapshot] = {0: empty}
+        self._head = empty
+        self._applied: dict[str, int] = {}  # batch id -> version it produced
+        self.metadata: dict = {}
+        """JSON-safe side data persisted with the store (e.g. the service's
+        arrival log); survives :meth:`save`/:meth:`load`."""
+
+    # -------------------------------------------------------------- lookup
+
+    @property
+    def head(self) -> StoreSnapshot:
+        return self._head
+
+    @property
+    def version(self) -> int:
+        return self._head.version
+
+    def snapshot(self, version: int) -> StoreSnapshot:
+        return self._snapshots[version]
+
+    def versions(self) -> tuple[int, ...]:
+        return tuple(self._snapshots.keys())
+
+    def has_batch(self, batch_id: str) -> bool:
+        """Whether a feed batch id has already been committed (idempotence)."""
+        return batch_id in self._applied
+
+    @property
+    def applied_batch_ids(self) -> tuple[str, ...]:
+        return tuple(self._applied.keys())
+
+    # -------------------------------------------------------------- commit
+
+    def commit(
+        self,
+        updates: Mapping[Fact | int, np.ndarray] | Iterable[tuple[Fact | int, np.ndarray]],
+        batch_id: str | None = None,
+    ) -> StoreSnapshot:
+        """Copy-on-write commit of a batch of new/updated vectors.
+
+        Returns the new head snapshot — or, when ``batch_id`` was already
+        committed, the snapshot that commit produced (at-least-once feeds
+        re-deliver; the store applies each batch exactly once).
+        """
+        if batch_id is not None and batch_id in self._applied:
+            # the producing snapshot may have been pruned (or predate a
+            # restart); the head is then the closest still-resolvable view
+            return self._snapshots.get(self._applied[batch_id], self._head)
+        items = updates.items() if isinstance(updates, Mapping) else updates
+        head = self._head
+        vectors = head.vectors.copy()
+        appended_ids: list[int] = []
+        appended_relations: list[str] = []
+        appended_vectors: list[np.ndarray] = []
+        for fact, vector in items:
+            vector = np.asarray(vector, dtype=np.float64)
+            if vector.shape != (self.dimension,):
+                raise ValueError(
+                    f"expected a vector of dimension {self.dimension}, got {vector.shape}"
+                )
+            fid = _key(fact)
+            row = head.row_of.get(fid)
+            if row is not None:
+                vectors[row] = vector
+            elif isinstance(fact, Fact):
+                appended_ids.append(fid)
+                appended_relations.append(fact.relation)
+                appended_vectors.append(vector)
+            else:
+                raise KeyError(
+                    f"fact id {fid} is not in the store; pass a Fact so the "
+                    "store learns its relation"
+                )
+        if appended_ids:
+            fact_ids = np.concatenate([head.fact_ids, np.asarray(appended_ids, dtype=np.int64)])
+            relations = head.relations + tuple(appended_relations)
+            vectors = np.vstack([vectors, np.vstack(appended_vectors)])
+        else:
+            fact_ids = head.fact_ids
+            relations = head.relations
+        snapshot = StoreSnapshot(head.version + 1, batch_id, fact_ids, relations, vectors)
+        self._snapshots[snapshot.version] = snapshot
+        self._head = snapshot
+        if batch_id is not None:
+            self._applied[batch_id] = snapshot.version
+        return snapshot
+
+    def prune(self, keep_last: int = 1) -> int:
+        """Drop all but the last ``keep_last`` snapshots; returns #dropped.
+
+        Readers holding a pruned snapshot keep using it (arrays are theirs);
+        it just can no longer be resolved by version number.
+        """
+        if keep_last < 1:
+            raise ValueError("keep_last must be at least 1")
+        versions = sorted(self._snapshots)
+        to_drop = versions[:-keep_last]
+        for version in to_drop:
+            del self._snapshots[version]
+        return len(to_drop)
+
+    # --------------------------------------------------------- persistence
+
+    def save(self, directory: str | Path) -> Path:
+        """Persist the head snapshot and the store metadata to a directory."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        head = self._head
+        save_embedding(head.embedding(), directory / "embedding.npz")
+        metadata = {
+            "dimension": self.dimension,
+            "version": head.version,
+            "batch_id": head.batch_id,
+            "applied": self._applied,
+            "relations": {int(fid): rel for fid, rel in zip(head.fact_ids, head.relations)},
+            "metadata": self.metadata,
+        }
+        (directory / "store.json").write_text(json.dumps(metadata, indent=2))
+        return directory
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "EmbeddingStore":
+        """Restore a store saved by :meth:`save` (history restarts at the head)."""
+        directory = Path(directory)
+        metadata = json.loads((directory / "store.json").read_text())
+        embedding = load_embedding(directory / "embedding.npz")
+        relations = {int(fid): rel for fid, rel in metadata["relations"].items()}
+        # row order is preserved through the round trip: it encodes arrival
+        # order, which the service needs to rebuild its replay state
+        fact_ids = np.asarray(embedding.fact_ids, dtype=np.int64)
+        vectors = embedding.matrix(fact_ids) if fact_ids.size else np.zeros(
+            (0, metadata["dimension"])
+        )
+        store = cls(metadata["dimension"])
+        snapshot = StoreSnapshot(
+            metadata["version"],
+            metadata["batch_id"],
+            fact_ids,
+            tuple(relations[int(fid)] for fid in fact_ids),
+            vectors,
+        )
+        store._snapshots = {snapshot.version: snapshot}
+        store._head = snapshot
+        store._applied = dict(metadata["applied"])
+        store.metadata = dict(metadata.get("metadata", {}))
+        return store

@@ -99,6 +99,98 @@ class TestForwardModelPersistence:
         vectors = extender.extend([new_fact])
         assert new_fact in vectors
 
+    def test_kernel_state_is_self_contained(self, tmp_path):
+        """Loading must not refit kernels to whatever data ``db`` now holds."""
+        from repro.db.database import Database
+        from repro.kernels.numeric import GaussianKernel
+
+        dataset = load_dataset("world", scale=0.15, seed=3)
+        db = dataset.masked_database()
+        model = ForwardEmbedder(db, dataset.prediction_relation, self.CONFIG, rng=0).fit()
+        save_forward_model(model, tmp_path / "model")
+
+        # an empty database over the same schema: only the schema is read
+        restored = load_forward_model(tmp_path / "model", Database(db.schema))
+        assert len(restored.targets) == len(model.targets)
+        gaussians = 0
+        for original, loaded in zip(model.targets, restored.targets):
+            assert type(original.kernel) is type(loaded.kernel)
+            if isinstance(original.kernel, GaussianKernel):
+                assert loaded.kernel.variance == original.kernel.variance
+                gaussians += 1
+        assert gaussians > 0  # world has numeric columns; the test is not vacuous
+
+    def test_restored_model_extends_identically(self, tmp_path):
+        """A restart (model reloaded from disk) embeds new facts identically."""
+        dataset = load_dataset("genes", scale=0.05, seed=43)
+        db = dataset.masked_database()
+        model = ForwardEmbedder(db, dataset.prediction_relation, self.CONFIG, rng=0).fit()
+        save_forward_model(model, tmp_path / "model")
+        new_fact = db.insert("CLASSIFICATION", {"gene_id": "G_NEW2", "localization": None})
+
+        original = ForwardDynamicExtender(model, db, recompute_old_paths=True, rng=0)
+        expected = original.embed_fact(new_fact)
+
+        restored = load_forward_model(tmp_path / "model", db)
+        extender = ForwardDynamicExtender(restored, db, recompute_old_paths=True, rng=0)
+        np.testing.assert_allclose(extender.embed_fact(new_fact), expected, atol=1e-12)
+
+    def test_unserializable_kernel_warns_on_save(self, tmp_path):
+        from repro.core.forward import WalkTarget
+        from repro.kernels.base import Kernel
+
+        class OddKernel(Kernel):
+            def __call__(self, a, b):
+                return 1.0 if a == b else 0.5
+
+        dataset = load_dataset("genes", scale=0.04, seed=45)
+        db = dataset.masked_database()
+        model = ForwardEmbedder(db, dataset.prediction_relation, self.CONFIG, rng=0).fit()
+        first = model.targets[0]
+        model.targets = (
+            WalkTarget(first.index, first.scheme, first.attribute, OddKernel()),
+        ) + model.targets[1:]
+        with pytest.warns(UserWarning, match="OddKernel"):
+            save_forward_model(model, tmp_path / "model")
+        # the save still loads; the odd target falls back to default kernels
+        restored = load_forward_model(tmp_path / "model", db)
+        assert len(restored.targets) == len(model.targets)
+
+    def test_subclassed_builtin_kernel_also_warns(self, tmp_path):
+        """A subclass computes different similarities: it must not be
+        silently serialized as its base class."""
+        from repro.core.forward import WalkTarget
+        from repro.kernels.categorical import EqualityKernel
+
+        class FuzzyEquality(EqualityKernel):
+            def __call__(self, a, b):
+                return 1.0 if a == b else 0.1
+
+        dataset = load_dataset("genes", scale=0.04, seed=46)
+        db = dataset.masked_database()
+        model = ForwardEmbedder(db, dataset.prediction_relation, self.CONFIG, rng=0).fit()
+        first = model.targets[0]
+        model.targets = (
+            WalkTarget(first.index, first.scheme, first.attribute, FuzzyEquality()),
+        ) + model.targets[1:]
+        with pytest.warns(UserWarning, match="FuzzyEquality"):
+            save_forward_model(model, tmp_path / "model")
+
+    def test_legacy_save_without_kernel_state_still_loads(self, tmp_path):
+        import json
+
+        dataset = load_dataset("genes", scale=0.04, seed=44)
+        db = dataset.masked_database()
+        model = ForwardEmbedder(db, dataset.prediction_relation, self.CONFIG, rng=0).fit()
+        save_forward_model(model, tmp_path / "model")
+        metadata_path = tmp_path / "model" / "model.json"
+        metadata = json.loads(metadata_path.read_text())
+        for target in metadata["targets"]:
+            target.pop("kernel", None)  # simulate a pre-kernel-state save
+        metadata_path.write_text(json.dumps(metadata))
+        restored = load_forward_model(tmp_path / "model", db)
+        assert len(restored.targets) == len(model.targets)
+
     def test_schema_mismatch_detected(self, tmp_path):
         dataset = load_dataset("genes", scale=0.04, seed=42)
         db = dataset.masked_database()

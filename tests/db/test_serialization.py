@@ -62,3 +62,33 @@ def test_csv_round_trip_on_synthetic_dataset(tmp_path):
     restored = load_database_csv_dir(tmp_path / "muta")
     assert len(restored) == len(dataset.db)
     assert restored.check_foreign_keys() == []
+
+
+def test_database_dict_round_trip_with_fact_ids():
+    db = movies_database()
+    # make the id space non-contiguous, as after cascade deletions
+    victim = db.lookup_by_key("MOVIES", ["m03"])
+    db.delete_cascade(victim)
+    restored = database_from_dict(database_to_dict(db, include_fact_ids=True))
+    assert {f.fact_id for f in restored} == {f.fact_id for f in db}
+    for fact in db:
+        twin = restored.fact(fact.fact_id)
+        assert twin.relation == fact.relation and twin.values == fact.values
+    # the id allocator resumes past the restored ids: fresh inserts never
+    # collide with ids persisted before the restart
+    new_fact = restored.insert(
+        "MOVIES", {"mid": "mXX", "studio": "s01", "title": "New", "genre": None, "budget": 1}
+    )
+    assert new_fact.fact_id > max(f.fact_id for f in db)
+
+
+def test_reinsert_advances_id_allocator():
+    db = movies_database()
+    fact = db.lookup_by_key("MOVIES", ["m03"])
+    removed = db.delete_cascade(fact)
+    for f in reversed(removed):
+        db.reinsert(f)
+    fresh = db.insert(
+        "MOVIES", {"mid": "mYY", "studio": "s01", "title": "Fresh", "genre": None, "budget": 2}
+    )
+    assert fresh.fact_id not in {f.fact_id for f in removed}

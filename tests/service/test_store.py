@@ -1,0 +1,140 @@
+"""Tests for the versioned embedding store."""
+
+import numpy as np
+import pytest
+
+from repro.service import EmbeddingStore
+
+
+def _facts(movies_db, relation="MOVIES"):
+    return list(movies_db.facts(relation))
+
+
+class TestCommit:
+    def test_versions_are_monotonic_and_snapshots_immutable(self, movies_db):
+        store = EmbeddingStore(3)
+        facts = _facts(movies_db)
+        v1 = store.commit({facts[0]: [1.0, 0.0, 0.0], facts[1]: [0.0, 1.0, 0.0]})
+        assert v1.version == 1 and store.version == 1
+        v2 = store.commit({facts[0]: [0.5, 0.5, 0.0]})
+        assert v2.version == 2
+        # copy-on-write: the old snapshot still shows the old vector
+        assert np.allclose(v1.vector(facts[0]), [1.0, 0.0, 0.0])
+        assert np.allclose(v2.vector(facts[0]), [0.5, 0.5, 0.0])
+        assert np.allclose(v2.vector(facts[1]), [0.0, 1.0, 0.0])
+        with pytest.raises((ValueError, RuntimeError)):
+            v2.vectors[0, 0] = 99.0
+
+    def test_commit_appends_and_overwrites(self, movies_db):
+        store = EmbeddingStore(2)
+        facts = _facts(movies_db)
+        store.commit({facts[0]: [1.0, 2.0]})
+        snap = store.commit({facts[0]: [3.0, 4.0], facts[1]: [5.0, 6.0]})
+        assert snap.num_facts == 2
+        assert np.allclose(snap.fetch([facts[0], facts[1]]), [[3.0, 4.0], [5.0, 6.0]])
+
+    def test_int_keys_require_known_facts(self, movies_db):
+        store = EmbeddingStore(2)
+        facts = _facts(movies_db)
+        store.commit({facts[0]: [1.0, 0.0]})
+        store.commit({facts[0].fact_id: [0.0, 1.0]})  # known id: fine
+        with pytest.raises(KeyError):
+            store.commit({facts[1].fact_id: [1.0, 1.0]})  # unknown id: no relation
+
+    def test_dimension_checked(self, movies_db):
+        store = EmbeddingStore(3)
+        with pytest.raises(ValueError):
+            store.commit({_facts(movies_db)[0]: [1.0, 2.0]})
+
+    def test_idempotent_batch_ids(self, movies_db):
+        store = EmbeddingStore(2)
+        facts = _facts(movies_db)
+        first = store.commit({facts[0]: [1.0, 0.0]}, batch_id="b0")
+        again = store.commit({facts[0]: [9.0, 9.0]}, batch_id="b0")
+        assert again is first
+        assert store.version == 1
+        assert np.allclose(store.head.vector(facts[0]), [1.0, 0.0])
+        assert store.has_batch("b0") and not store.has_batch("b1")
+
+
+class TestQueries:
+    @pytest.fixture
+    def store(self, movies_db):
+        store = EmbeddingStore(2)
+        movies = _facts(movies_db, "MOVIES")[:3]
+        actors = _facts(movies_db, "ACTORS")[:2]
+        store.commit(
+            {
+                movies[0]: [1.0, 0.0],
+                movies[1]: [0.9, 0.1],
+                movies[2]: [0.0, 1.0],
+                actors[0]: [1.0, 0.05],
+                actors[1]: [-1.0, 0.0],
+            }
+        )
+        self.movies, self.actors = movies, actors
+        return store
+
+    def test_relation_slice(self, store):
+        fact_ids, matrix = store.head.relation_slice("ACTORS")
+        assert set(fact_ids) == {f.fact_id for f in self.actors}
+        assert matrix.shape == (2, 2)
+
+    def test_nearest_orders_by_cosine(self, store):
+        result = store.head.nearest(self.movies[0], k=2, relation="MOVIES")
+        assert [fid for fid, _ in result] == [self.movies[1].fact_id, self.movies[2].fact_id]
+        assert result[0][1] > result[1][1]
+        # the query fact never appears in its own result
+        assert self.movies[0].fact_id not in [fid for fid, _ in result]
+
+    def test_nearest_with_raw_vector_and_all_relations(self, store):
+        result = store.head.nearest(np.array([-1.0, 0.0]), k=1)
+        assert result[0][0] == self.actors[1].fact_id
+
+    def test_nearest_agrees_with_reference_most_similar(self, store):
+        from repro.core.similarity import most_similar
+
+        head = store.head
+        reference = most_similar(head.embedding(), self.movies[0], top_k=4)
+        batched = head.nearest(self.movies[0], k=4)
+        assert [fid for fid, _ in batched] == [fid for fid, _ in reference]
+        for (_, a), (_, b) in zip(batched, reference):
+            assert a == pytest.approx(b, abs=1e-12)
+
+    def test_fetch_and_contains(self, store):
+        head = store.head
+        assert self.movies[0] in head and self.movies[0].fact_id in head
+        assert head.fetch([]).shape == (0, 2)
+        with pytest.raises(KeyError):
+            head.vector(987654)
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, movies_db, tmp_path):
+        store = EmbeddingStore(2)
+        facts = _facts(movies_db)
+        store.commit({facts[0]: [1.0, 2.0], facts[1]: [3.0, 4.0]}, batch_id="b0")
+        store.commit({facts[2]: [5.0, 6.0]}, batch_id="b1")
+        store.save(tmp_path / "store")
+
+        restored = EmbeddingStore.load(tmp_path / "store")
+        assert restored.version == store.version
+        assert restored.dimension == 2
+        assert restored.has_batch("b0") and restored.has_batch("b1")
+        for fact in facts[:3]:
+            assert np.allclose(restored.head.vector(fact), store.head.vector(fact))
+        assert restored.head.relations[restored.head.row_of[facts[0].fact_id]] == "MOVIES"
+        # committing a pre-restart batch id is still a no-op
+        version_before = restored.version
+        restored.commit({facts[0]: [9.0, 9.0]}, batch_id="b0")
+        assert restored.version == version_before
+
+    def test_prune_keeps_head(self, movies_db):
+        store = EmbeddingStore(2)
+        facts = _facts(movies_db)
+        for i in range(4):
+            store.commit({facts[0]: [float(i), 0.0]})
+        dropped = store.prune(keep_last=1)
+        assert dropped == 4  # versions 0..3 dropped, head 4 kept
+        assert store.versions() == (4,)
+        assert store.head.version == 4
