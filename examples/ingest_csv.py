@@ -1,0 +1,103 @@
+"""Ingestion quickstart: plain CSV files → typed database → embeddings → kNN.
+
+This example shows the third entry point of the library (after the offline
+experiments and the streaming service): bringing *your own* relational
+data in.  It writes a tiny CSV corpus — two tables with an implicit
+foreign key and no schema information whatsoever — into a temporary
+directory, then:
+
+1. ingests it (:func:`repro.io.ingest_csv_dir`): per-column types,
+   primary keys and the foreign key are all inferred from the data and
+   explained in the inference report;
+2. trains FoRWaRD embeddings on one relation of the resulting database;
+3. answers a nearest-neighbour query over the embeddings;
+4. replays the tail of the ingested table through the online embedding
+   service (:func:`repro.io.stream_table`), the way external data would
+   arrive in production.
+
+Run with::
+
+    python examples/ingest_csv.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import ForwardConfig, ForwardEmbedder
+from repro.core import most_similar
+from repro.io import ingest_csv_dir, stream_table
+from repro.service import EmbeddingService
+
+PLAYERS = """player_id,team,name,rating
+p01,t1,Quick Quinn,1510
+p02,t1,Steady Sam,1492
+p03,t1,Lofty Lee,1475
+p04,t2,Rapid Ray,1603
+p05,t2,Calm Cam,1588
+p06,t2,Bold Bo,1621
+p07,t3,Merry Mo,1405
+p08,t3,Witty Wes,1398
+p09,t3,Jolly Jo,1412
+p10,t1,Brisk Bea,1501
+p11,t2,Keen Kit,1599
+p12,t3,Sunny Sol,1401
+"""
+
+TEAMS = """team_id,city,founded
+t1,Aachen,1901
+t2,Bonn,1925
+t3,Cologne,1948
+"""
+
+
+def main(scale: float | None = None, config: ForwardConfig | None = None) -> None:
+    del scale  # the corpus has one fixed size; kept for the smoke-test harness
+    config = config or ForwardConfig(
+        dimension=16, n_samples=400, batch_size=1024, max_walk_length=2,
+        epochs=6, learning_rate=0.02, n_new_samples=30,
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        corpus = Path(tmp) / "corpus"
+        corpus.mkdir()
+        (corpus / "players.csv").write_text(PLAYERS)
+        (corpus / "teams.csv").write_text(TEAMS)
+
+        # --- 1. ingest: schema, keys and the players→teams FK are inferred --
+        result = ingest_csv_dir(corpus)
+        print("Ingested:", result.summary())
+        for fk in result.schema.foreign_keys:
+            print("  discovered FK:", fk.name)
+        print("  players key:", result.schema.relation("players").key,
+              "| rating type:", result.schema.attribute_type("players", "rating").value)
+
+        # --- 2. embed the players relation --------------------------------
+        db = result.database
+        model = ForwardEmbedder(db, "players", config, rng=0).fit()
+        embedding = model.embedding()
+        print(f"Embedded {len(embedding)} players in R^{embedding.dimension} "
+              f"(final loss {model.loss_history[-1]:.4f}).")
+
+        # --- 3. nearest neighbours of one player --------------------------
+        anchor = db.facts("players")[0]
+        print(f"Players most similar to {anchor['name']} ({anchor['team']}):")
+        for fact_id, score in most_similar(embedding, anchor, top_k=3):
+            fact = db.fact(fact_id)
+            print(f"  {fact['name']:<12} ({fact['team']})  cosine {score:.3f}")
+
+        # --- 4. stream the tail of the table through the service ----------
+        stream = stream_table(db, "players", count=3, batch_size=2, name="arrivals")
+        served = ForwardEmbedder(
+            stream.base, "players", config, rng=0
+        ).fit()
+        service = EmbeddingService(served, stream.base, policy="recompute", seed=0)
+        for outcome in service.sync(stream.feed):
+            print(f"  applied {outcome.batch_id}: +{outcome.facts_inserted} facts "
+                  f"-> store v{outcome.store_version}")
+        print(f"Service caught up: {service.stats().facts_inserted} streamed players "
+              f"embedded online.")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,8 +15,13 @@ Quickstart::
     model = ForwardEmbedder(db, dataset.prediction_relation).fit()
     embedding = model.embedding()           # γ : facts -> R^d
 
-See the ``examples/`` directory for end-to-end scripts and ``DESIGN.md`` /
-``EXPERIMENTS.md`` for the reproduction details.
+There are three entry points: offline experiments on the bundled datasets
+(above), the online embedding service (``repro.service``,
+``docs/SERVING.md``), and ingestion of external CSV/SQLite corpora with
+inferred schemas (``repro.io``, ``docs/INGESTION.md``).  See the
+``examples/`` directory for end-to-end scripts, ``docs/ARCHITECTURE.md``
+for the layer stack, and ``docs/REPRODUCTION.md`` for the paper-section →
+module map.
 """
 
 from repro.core import (
@@ -32,9 +37,19 @@ from repro.core import (
     embedding_drift,
     is_stable_extension,
 )
-from repro.datasets import Dataset, list_datasets, load_dataset
+from repro.datasets import Dataset, list_datasets, load_dataset, register_dataset
 from repro.db import Database, Fact, ForeignKey, RelationSchema, Schema
 from repro.engine import CompiledDatabase, WalkEngine
+from repro.io import (
+    IngestResult,
+    export_csv_dir,
+    export_sqlite,
+    ingest_csv_dir,
+    ingest_path,
+    ingest_sqlite,
+    register_ingested,
+    stream_table,
+)
 from repro.service import ChangeFeed, EmbeddingService, EmbeddingStore
 
 __version__ = "1.0.0"
@@ -66,6 +81,16 @@ __all__ = [
     "Dataset",
     "load_dataset",
     "list_datasets",
+    "register_dataset",
+    # ingestion layer
+    "IngestResult",
+    "ingest_path",
+    "ingest_csv_dir",
+    "ingest_sqlite",
+    "export_csv_dir",
+    "export_sqlite",
+    "register_ingested",
+    "stream_table",
     # serving layer
     "ChangeFeed",
     "EmbeddingService",

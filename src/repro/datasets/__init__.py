@@ -7,7 +7,10 @@ generates *synthetic* databases that reproduce each dataset's schema shape
 (relation count, foreign-key topology, attribute counts and types, tuple
 counts, class balance) and plant the class signal in attributes that are
 reachable only through foreign-key walks — the property the paper's
-experiments rely on.  See DESIGN.md for the substitution rationale.
+experiments rely on.  See the "note on the datasets" in
+``docs/REPRODUCTION.md`` for the substitution rationale.  External
+corpora ingested through :mod:`repro.io` join the same registry via
+:func:`register_dataset` / :func:`repro.io.register_ingested`.
 """
 
 from repro.datasets.base import Dataset
@@ -17,7 +20,13 @@ from repro.datasets.genes import make_genes
 from repro.datasets.mutagenesis import make_mutagenesis
 from repro.datasets.world import make_world
 from repro.datasets.mondial import make_mondial
-from repro.datasets.registry import DATASET_BUILDERS, list_datasets, load_dataset
+from repro.datasets.registry import (
+    DATASET_BUILDERS,
+    list_datasets,
+    load_dataset,
+    register_dataset,
+    unregister_dataset,
+)
 from repro.datasets.summary import dataset_structure_rows, format_table_i
 
 __all__ = [
@@ -31,6 +40,8 @@ __all__ = [
     "DATASET_BUILDERS",
     "list_datasets",
     "load_dataset",
+    "register_dataset",
+    "unregister_dataset",
     "dataset_structure_rows",
     "format_table_i",
 ]

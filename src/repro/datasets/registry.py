@@ -1,4 +1,11 @@
-"""Dataset registry: name-based access to all benchmark builders."""
+"""Dataset registry: name-based access to bundled and registered builders.
+
+Besides the six bundled generators, external databases brought in through
+the ingestion layer (:mod:`repro.io`) can be registered at runtime with
+:func:`register_dataset`; every consumer that resolves datasets by name —
+the experiment drivers, the streaming replay CLI, the benchmark harness —
+then accepts them like any bundled dataset.
+"""
 
 from __future__ import annotations
 
@@ -23,6 +30,9 @@ DATASET_BUILDERS: dict[str, DatasetBuilder] = {
     "mondial": make_mondial,
 }
 
+BUNDLED_DATASETS = tuple(DATASET_BUILDERS)
+"""The six bundled generators (never unregisterable)."""
+
 PAPER_DATASETS = ("hepatitis", "genes", "mutagenesis", "world", "mondial")
 """The five datasets of Table I, in the paper's order."""
 
@@ -30,6 +40,36 @@ PAPER_DATASETS = ("hepatitis", "genes", "mutagenesis", "world", "mondial")
 def list_datasets() -> tuple[str, ...]:
     """Names of all available datasets."""
     return tuple(DATASET_BUILDERS.keys())
+
+
+def register_dataset(name: str, builder: DatasetBuilder, *, overwrite: bool = False) -> None:
+    """Register a dataset builder under a name.
+
+    ``builder`` must accept the registry calling convention
+    ``builder(scale=..., seed=...)`` and return a
+    :class:`~repro.datasets.base.Dataset` (builders backed by a fixed
+    external corpus are free to ignore both arguments).  Registering over
+    an existing name requires ``overwrite=True``; the bundled builders can
+    never be overwritten.
+    """
+    if not name:
+        raise ValueError("dataset name must be non-empty")
+    if not callable(builder):
+        raise TypeError(f"builder for {name!r} must be callable, got {builder!r}")
+    if name in BUNDLED_DATASETS:
+        raise ValueError(f"cannot overwrite the bundled dataset {name!r}")
+    if name in DATASET_BUILDERS and not overwrite:
+        raise ValueError(
+            f"dataset {name!r} is already registered; pass overwrite=True to replace it"
+        )
+    DATASET_BUILDERS[name] = builder
+
+
+def unregister_dataset(name: str) -> None:
+    """Remove a registered dataset (bundled datasets cannot be removed)."""
+    if name in BUNDLED_DATASETS:
+        raise ValueError(f"cannot unregister the bundled dataset {name!r}")
+    DATASET_BUILDERS.pop(name, None)
 
 
 def load_dataset(name: str, scale: float = 1.0, seed: int | None = 0) -> Dataset:

@@ -1,0 +1,38 @@
+"""Ingestion-layer error types.
+
+Layer: ``io`` (relational ingestion; sits on top of ``db``).
+
+Every error raised by the ingestion layer derives from
+:class:`IngestionError`, and every message is written to be *actionable*:
+it names the offending table/column/row and states what to fix (often a
+pointer to the declarative override spec, :mod:`repro.io.overrides`).
+"""
+
+from __future__ import annotations
+
+
+class IngestionError(Exception):
+    """Base class of all ingestion-layer failures."""
+
+
+class MalformedSourceError(IngestionError):
+    """A source file could not be parsed into a rectangular table.
+
+    Raised for ragged CSV rows, duplicate or blank header names, empty
+    files, unreadable SQLite containers, and similar structural defects.
+    The message always identifies the file and (where applicable) the
+    1-based row number.
+    """
+
+
+class InferenceError(IngestionError):
+    """Schema inference could not make a required decision.
+
+    Raised e.g. when no candidate primary key exists for a table.  The
+    message names the table and the override-spec entry that resolves the
+    situation.
+    """
+
+
+class OverrideError(IngestionError):
+    """A declarative override spec is invalid or conflicts with the data."""

@@ -1,0 +1,126 @@
+"""Exporters: a :class:`Database` as a plain CSV directory or SQLite file.
+
+Layer: ``io`` (relational ingestion; sits on top of ``db``).
+
+These write *schema-less* dumps — one header row per CSV, untyped SQLite
+tables, no key or foreign-key declarations — exactly the kind of corpus
+the ingestion layer is built to re-understand.  (The schema-preserving
+formats live in :mod:`repro.db.serialization`.)  Both exporters write
+relations in schema order and rows in per-relation fact order; together
+with :mod:`repro.io.build` inserting in the same order, this is what makes
+an export → ingest round trip reproduce per-relation fact numbering
+exactly.  Supported value types: ``None``, ``int``, ``float``, ``str``.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+import sqlite3
+from pathlib import Path
+
+from repro.db.database import Database
+from repro.io.errors import IngestionError
+from repro.io.tables import is_number, parse_cell, quote_sqlite_identifier
+
+_CSV_NULL = ""
+"""Nulls are written as empty cells (the common convention of real dumps)."""
+
+
+def _checked(value, relation: str):
+    if isinstance(value, float) and not math.isfinite(value):
+        # NaN silently becomes NULL in SQLite and the *string* "nan" in CSV
+        # (parse_cell deliberately refuses nan/inf spellings), so letting it
+        # through would corrupt the round trip instead of failing loudly.
+        raise IngestionError(
+            f"relation {relation!r}: cannot export non-finite number {value!r}; "
+            "replace it with null (None) before exporting"
+        )
+    if value is None or is_number(value) or isinstance(value, str):
+        return value
+    raise IngestionError(
+        f"relation {relation!r}: cannot export value {value!r} of type "
+        f"{type(value).__name__}; the ingestion formats carry text and numbers only"
+    )
+
+
+def _csv_cell(value, relation: str) -> str:
+    """One CSV cell, refusing values the importer would read back changed.
+
+    CSV has no type channel, so a *string* that spells a number, a null
+    token, or an otherwise re-typed value (``"42"``, ``"NULL"``,
+    ``"04109"`` — leading zeros become the int 4109) cannot survive a
+    text round trip.  Failing loudly beats silent corruption; the SQLite
+    format carries types natively and handles such values fine.
+    """
+    if value is None:
+        return _CSV_NULL
+    value = _checked(value, relation)
+    text = str(value)
+    if isinstance(value, str) and parse_cell(text) != value:
+        raise IngestionError(
+            f"relation {relation!r}: the string value {value!r} would be read "
+            "back as a number or null by the CSV importer; export to SQLite "
+            "instead (it preserves value types exactly)"
+        )
+    return text
+
+
+def export_csv_dir(db: Database, directory: str | Path) -> Path:
+    """Write one plain ``<relation>.csv`` per relation (header + rows).
+
+    Unlike :func:`repro.db.serialization.save_database_csv_dir` no
+    ``schema.json`` is written: types, keys and foreign keys are the
+    re-ingesting side's problem.  Numbers are written with ``str`` (whose
+    ``repr`` round-trips Python ints and floats exactly); nulls become
+    empty cells; string values that a text round trip cannot preserve are
+    rejected (see :func:`_csv_cell`).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for relation in db.relations:
+        rel_schema = db.schema.relation(relation)
+        with open(
+            directory / f"{relation}.csv", "w", newline="", encoding="utf-8"
+        ) as handle:
+            writer = csv.writer(handle)
+            writer.writerow(rel_schema.attribute_names)
+            for fact in db.facts(relation):
+                writer.writerow([_csv_cell(value, relation) for value in fact.values])
+    return directory
+
+
+def export_sqlite(db: Database, path: str | Path) -> Path:
+    """Write the database as an untyped SQLite file (one table per relation).
+
+    Tables are created in schema order — SQLite's ``sqlite_master`` keeps
+    creation order, which the importer reads back, so a SQLite round trip
+    preserves relation order without any hints.  Columns are declared
+    without affinity so SQLite stores each value with its Python type
+    (int → INTEGER, float → REAL, str → TEXT, None → NULL) and returns it
+    unchanged.  An existing file at ``path`` is overwritten.
+    """
+    path = Path(path)
+    if path.exists():
+        path.unlink()
+    connection = sqlite3.connect(path)
+    try:
+        for relation in db.relations:
+            rel_schema = db.schema.relation(relation)
+            table = quote_sqlite_identifier(relation)
+            columns = ", ".join(
+                quote_sqlite_identifier(name) for name in rel_schema.attribute_names
+            )
+            connection.execute(f"CREATE TABLE {table} ({columns})")
+            placeholders = ", ".join("?" for _ in rel_schema.attribute_names)
+            connection.executemany(
+                f"INSERT INTO {table} VALUES ({placeholders})",
+                (
+                    tuple(_checked(value, relation) for value in fact.values)
+                    for fact in db.facts(relation)
+                ),
+            )
+        connection.commit()
+    finally:
+        connection.close()
+    return path

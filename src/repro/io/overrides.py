@@ -1,0 +1,294 @@
+"""The declarative override spec: correcting inference without code.
+
+Layer: ``io`` (relational ingestion; sits on top of ``db``).
+
+Inference is a heuristic; real corpora occasionally need a human to pin a
+decision.  An :class:`OverrideSpec` is a plain dict (loadable from JSON,
+or YAML when ``pyyaml`` is installed) with this shape::
+
+    {
+      "relation_order": ["COUNTRY", "CITY", ...],      # CSV table order
+      "null_values": ["", "\\\\N", "NULL"],              # CSV null spellings
+      "min_fk_score": 0.3,                             # FK acceptance bar
+      "relations": {
+        "CITY": {
+          "key": ["city_id"],                          # pin the primary key
+          "types": {"elevation": "numeric"}            # pin attribute types
+        }
+      },
+      "foreign_keys": {
+        "add":    [{"source": "CITY", "source_attrs": ["state"],
+                    "target": "STATE", "target_attrs": ["id"]}],
+        "remove": ["CITY[mayor]->PERSON[id]"]          # by FK name
+      }
+    }
+
+Every field is optional.  Validation is two-phase: :func:`load_overrides`
+checks the spec's own shape (unknown fields, wrong value types, duplicate
+or conflicting entries), and :meth:`OverrideSpec.validate_against` checks
+it against the discovered tables (unknown relations/attributes, removal
+patterns that match nothing are reported after inference).  All failures
+raise :class:`~repro.io.errors.OverrideError` naming the offending entry.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.db.schema import AttributeType, ForeignKey, Schema, SchemaError
+from repro.io.errors import OverrideError
+from repro.io.tables import RawTable
+
+_TOP_LEVEL_FIELDS = {
+    "relation_order", "null_values", "min_fk_score", "relations", "foreign_keys",
+}
+_RELATION_FIELDS = {"key", "types"}
+_FK_FIELDS = {"add", "remove"}
+_FK_ENTRY_FIELDS = {"source", "source_attrs", "target", "target_attrs"}
+
+
+@dataclass
+class OverrideSpec:
+    """A validated override spec (see the module docstring for the format)."""
+
+    relation_order: tuple[str, ...] | None = None
+    null_values: tuple[str, ...] | None = None
+    min_fk_score: float | None = None
+    key_overrides: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    type_overrides: dict[str, dict[str, AttributeType]] = field(default_factory=dict)
+    fk_additions: tuple[ForeignKey, ...] = ()
+    fk_removals: tuple[str, ...] = ()
+
+    def validate_against(self, tables: Sequence[RawTable]) -> None:
+        """Check every table/attribute the spec names against the raw tables."""
+        by_name = {table.name: table for table in tables}
+        for relation, key in self.key_overrides.items():
+            table = self._table(by_name, relation, "relations")
+            for attr in key:
+                self._attribute(table, attr, f'relations.{relation}.key')
+        for relation, types in self.type_overrides.items():
+            table = self._table(by_name, relation, "relations")
+            for attr in types:
+                self._attribute(table, attr, f'relations.{relation}.types')
+        for fk in self.fk_additions:
+            source = self._table(by_name, fk.source, "foreign_keys.add")
+            target = self._table(by_name, fk.target, "foreign_keys.add")
+            for attr in fk.source_attrs:
+                self._attribute(source, attr, "foreign_keys.add")
+            for attr in fk.target_attrs:
+                self._attribute(target, attr, "foreign_keys.add")
+
+    @staticmethod
+    def _table(by_name: Mapping[str, RawTable], name: str, context: str) -> RawTable:
+        if name not in by_name:
+            raise OverrideError(
+                f"override spec ({context}): unknown relation {name!r}; "
+                f"discovered relations are {', '.join(sorted(by_name))}"
+            )
+        return by_name[name]
+
+    @staticmethod
+    def _attribute(table: RawTable, name: str, context: str) -> None:
+        if name not in table.columns:
+            raise OverrideError(
+                f"override spec ({context}): relation {table.name!r} has no "
+                f"attribute {name!r}; its columns are {', '.join(table.columns)}"
+            )
+
+    # ------------------------------------------------------ FK application
+
+    def apply_foreign_keys(self, schema: Schema) -> Schema:
+        """Apply ``add``/``remove`` entries to an inferred schema.
+
+        Removals are matched by foreign-key name
+        (``SOURCE[attrs]->TARGET[attrs]``); a pattern matching nothing is a
+        conflict and raises.  Additions are validated by the schema itself
+        (the target attributes must form the target's key) — a violation is
+        re-raised with a pointer at the ``relations.<target>.key`` override.
+        """
+        if not self.fk_additions and not self.fk_removals:
+            return schema
+        remaining = list(schema.foreign_keys)
+        for pattern in self.fk_removals:
+            matches = [fk for fk in remaining if fk.name == pattern]
+            if not matches:
+                known = ", ".join(fk.name for fk in remaining) or "none"
+                raise OverrideError(
+                    f"override spec (foreign_keys.remove): {pattern!r} matches no "
+                    f"inferred foreign key; inferred foreign keys are: {known}"
+                )
+            remaining = [fk for fk in remaining if fk.name != pattern]
+        for addition in self.fk_additions:
+            if any(
+                fk.source == addition.source and fk.source_attrs == addition.source_attrs
+                for fk in remaining
+            ):
+                raise OverrideError(
+                    f"override spec (foreign_keys.add): {addition.name} conflicts with "
+                    f"an existing foreign key on {addition.source}"
+                    f"[{', '.join(addition.source_attrs)}]; remove the inferred one "
+                    'first via "foreign_keys": {"remove": [...]}'
+                )
+        rebuilt = Schema(schema.relations, remaining)
+        for addition in self.fk_additions:
+            try:
+                rebuilt.add_foreign_key(addition)
+            except SchemaError as error:
+                raise OverrideError(
+                    f"override spec (foreign_keys.add): {addition.name} is invalid "
+                    f"({error}); if the target attributes are right, pin the target's "
+                    f'key via {{"relations": {{"{addition.target}": {{"key": '
+                    f"{list(addition.target_attrs)}}}}}}}"
+                ) from error
+        return rebuilt
+
+
+def load_overrides(spec: Mapping[str, Any] | str | Path | None) -> OverrideSpec:
+    """Build an :class:`OverrideSpec` from a dict or a JSON/YAML file path.
+
+    ``None`` yields an empty spec.  A str/Path is read from disk: ``.json``
+    via the standard library, ``.yaml``/``.yml`` via ``pyyaml`` when
+    available (a clear error asks for JSON otherwise).
+    """
+    if spec is None:
+        return OverrideSpec()
+    if isinstance(spec, (str, Path)):
+        spec = _read_spec_file(Path(spec))
+    if not isinstance(spec, Mapping):
+        raise OverrideError(
+            f"override spec must be a mapping, got {type(spec).__name__}"
+        )
+    unknown = set(spec) - _TOP_LEVEL_FIELDS
+    if unknown:
+        raise OverrideError(
+            f"override spec: unknown field(s) {', '.join(sorted(unknown))}; "
+            f"valid fields are {', '.join(sorted(_TOP_LEVEL_FIELDS))}"
+        )
+    result = OverrideSpec(
+        relation_order=_string_tuple(spec.get("relation_order"), "relation_order"),
+        null_values=_string_tuple(spec.get("null_values"), "null_values"),
+        min_fk_score=_score(spec.get("min_fk_score")),
+    )
+    for relation, entry in (spec.get("relations") or {}).items():
+        if not isinstance(entry, Mapping):
+            raise OverrideError(
+                f"override spec (relations.{relation}): expected a mapping with "
+                f"{', '.join(sorted(_RELATION_FIELDS))}"
+            )
+        unknown = set(entry) - _RELATION_FIELDS
+        if unknown:
+            raise OverrideError(
+                f"override spec (relations.{relation}): unknown field(s) "
+                f"{', '.join(sorted(unknown))}; valid fields are "
+                f"{', '.join(sorted(_RELATION_FIELDS))}"
+            )
+        if "key" in entry:
+            key = _string_tuple(entry["key"], f"relations.{relation}.key")
+            if not key:
+                raise OverrideError(
+                    f"override spec (relations.{relation}.key): key must name at "
+                    "least one attribute"
+                )
+            result.key_overrides[relation] = key
+        for attr, type_name in (entry.get("types") or {}).items():
+            try:
+                attr_type = AttributeType(type_name)
+            except ValueError:
+                valid = ", ".join(t.value for t in AttributeType)
+                raise OverrideError(
+                    f"override spec (relations.{relation}.types.{attr}): unknown "
+                    f"type {type_name!r}; valid types are {valid}"
+                ) from None
+            result.type_overrides.setdefault(relation, {})[attr] = attr_type
+    fk_spec = spec.get("foreign_keys") or {}
+    unknown = set(fk_spec) - _FK_FIELDS
+    if unknown:
+        raise OverrideError(
+            f"override spec (foreign_keys): unknown field(s) "
+            f"{', '.join(sorted(unknown))}; valid fields are add, remove"
+        )
+    additions = []
+    sources_seen: set[tuple[str, tuple[str, ...]]] = set()
+    for index, entry in enumerate(fk_spec.get("add") or []):
+        if not isinstance(entry, Mapping) or set(entry) != _FK_ENTRY_FIELDS:
+            raise OverrideError(
+                f"override spec (foreign_keys.add[{index}]): each entry needs exactly "
+                f"the fields {', '.join(sorted(_FK_ENTRY_FIELDS))}"
+            )
+        try:
+            addition = ForeignKey(
+                entry["source"], tuple(entry["source_attrs"]),
+                entry["target"], tuple(entry["target_attrs"]),
+            )
+        except SchemaError as error:
+            raise OverrideError(
+                f"override spec (foreign_keys.add[{index}]): {error}"
+            ) from error
+        source_key = (addition.source, addition.source_attrs)
+        if source_key in sources_seen:
+            raise OverrideError(
+                f"override spec (foreign_keys.add[{index}]): duplicate addition on "
+                f"{addition.source}[{', '.join(addition.source_attrs)}]; a source "
+                "column can reference only one target"
+            )
+        sources_seen.add(source_key)
+        additions.append(addition)
+    result.fk_additions = tuple(additions)
+    result.fk_removals = _string_tuple(fk_spec.get("remove"), "foreign_keys.remove") or ()
+    return result
+
+
+def _read_spec_file(path: Path) -> Mapping[str, Any]:
+    if not path.is_file():
+        raise OverrideError(f"override spec file {path} does not exist")
+    text = path.read_text()
+    if path.suffix.lower() in (".yaml", ".yml"):
+        try:
+            import yaml
+        except ImportError:  # pragma: no cover - depends on the environment
+            raise OverrideError(
+                f"override spec {path}: reading YAML needs the optional pyyaml "
+                "dependency; install it or provide the spec as JSON"
+            ) from None
+        loaded = yaml.safe_load(text)
+    else:
+        try:
+            loaded = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise OverrideError(
+                f"override spec {path}: not valid JSON ({error}); YAML specs must "
+                "use a .yaml/.yml suffix"
+            ) from error
+    if loaded is None:
+        return {}
+    if not isinstance(loaded, Mapping):
+        raise OverrideError(f"override spec {path}: top level must be a mapping")
+    return loaded
+
+
+def _string_tuple(value: Any, context: str) -> tuple[str, ...] | None:
+    if value is None:
+        return None
+    if isinstance(value, str) or not isinstance(value, Sequence):
+        raise OverrideError(
+            f"override spec ({context}): expected a list of strings, got {value!r}"
+        )
+    items = tuple(str(item) for item in value)
+    return items
+
+
+def _score(value: Any) -> float | None:
+    if value is None:
+        return None
+    try:
+        score = float(value)
+    except (TypeError, ValueError):
+        raise OverrideError(
+            f"override spec (min_fk_score): expected a number, got {value!r}"
+        ) from None
+    if not 0.0 <= score <= 1.0:
+        raise OverrideError("override spec (min_fk_score): must be between 0 and 1")
+    return score

@@ -1,0 +1,152 @@
+"""Raw tabular data: the untyped intermediate form of every import.
+
+Layer: ``io`` (relational ingestion; sits on top of ``db``).
+
+Both source readers (:mod:`repro.io.readers`) produce :class:`RawTable`
+objects — a name, an ordered column list, and rows of Python values where
+``None`` is the null ``⊥``.  Schema inference (:mod:`repro.io.infer`)
+consumes raw tables and never touches the source files again, so CSV
+directories and SQLite files go through exactly the same inference and
+database-building code.
+
+Cell parsing (CSV sources only — SQLite values arrive typed) is strict
+about what counts as a number: optional sign, digits, one optional decimal
+point or exponent.  Underscore separators, ``nan``/``inf`` spellings, hex
+literals, and numbers with leading zeros stay strings, because
+identifier-like columns ("1_004", "0x2F", the zip code "04109") must not
+silently become numbers — ``int("04109")`` would collapse it with
+``"4109"`` and lose the leading zero forever.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.io.errors import MalformedSourceError
+
+Value = Any
+"""Cell values are ``None`` (null), ``int``, ``float`` or ``str``."""
+
+DEFAULT_NULL_VALUES = ("", "\\N", "NULL", "null")
+"""Cell spellings read as the null value ``⊥`` by the CSV reader."""
+
+_INT_RE = re.compile(r"[+-]?\d+\Z")
+_FLOAT_RE = re.compile(r"[+-]?(\d+\.\d*|\.\d+|\d+)([eE][+-]?\d+)?\Z")
+_LEADING_ZERO_RE = re.compile(r"[+-]?0\d")
+
+
+@dataclass
+class RawTable:
+    """One untyped table read from a source file.
+
+    ``rows`` hold parsed Python values (``None`` for null); ``origin``
+    remembers the source file for error messages and reports.
+    """
+
+    name: str
+    columns: tuple[str, ...]
+    rows: list[tuple[Value, ...]] = field(default_factory=list)
+    origin: str = ""
+
+    def __post_init__(self) -> None:
+        self.columns = tuple(self.columns)
+        if not self.name:
+            raise MalformedSourceError("table name must be non-empty")
+        if not self.columns:
+            raise MalformedSourceError(
+                f"table {self.name!r} ({self.origin or 'in-memory'}): has no columns; "
+                "a relation needs at least one attribute"
+            )
+        blank = [i for i, c in enumerate(self.columns) if not str(c).strip()]
+        if blank:
+            raise MalformedSourceError(
+                f"table {self.name!r} ({self.origin or 'in-memory'}): header has a blank "
+                f"column name at position {blank[0] + 1}; give every column a name"
+            )
+        seen: set[str] = set()
+        for column in self.columns:
+            if column in seen:
+                raise MalformedSourceError(
+                    f"table {self.name!r} ({self.origin or 'in-memory'}): duplicate column "
+                    f"name {column!r} in the header; rename one of the duplicates"
+                )
+            seen.add(column)
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.columns)
+
+    def column_index(self, name: str) -> int:
+        try:
+            return self.columns.index(name)
+        except ValueError:
+            raise MalformedSourceError(
+                f"table {self.name!r} has no column {name!r}; "
+                f"columns are {', '.join(self.columns)}"
+            ) from None
+
+    def column_values(self, name: str) -> list[Value]:
+        """All values (including nulls) of one column, in row order."""
+        index = self.column_index(name)
+        return [row[index] for row in self.rows]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RawTable({self.name!r}, {self.num_columns} columns, {self.num_rows} rows)"
+
+
+def parse_cell(text: str, null_values: Sequence[str] = DEFAULT_NULL_VALUES) -> Value:
+    """Parse one CSV cell into ``None`` / ``int`` / ``float`` / ``str``.
+
+    Integer-looking cells become ``int``, decimal/exponent-looking cells
+    become ``float`` (so ``"100"`` and ``"100.0"`` stay distinguishable —
+    important for exact round trips), everything else stays a string —
+    including numbers whose integer part has a leading zero, which only
+    identifiers spell that way (``"04109"`` must not collapse with
+    ``"4109"``).
+    """
+    if isinstance(null_values, str):
+        # a bare string satisfies Sequence[str] but would turn the
+        # membership test below into substring matching ("U" in "NULL")
+        raise TypeError(
+            "null_values must be a sequence of strings, e.g. (\"NULL\",), "
+            f"not the string {null_values!r}"
+        )
+    if text in null_values:
+        return None
+    if _LEADING_ZERO_RE.match(text):
+        return text
+    if _INT_RE.match(text):
+        return int(text)
+    if _FLOAT_RE.match(text):
+        return float(text)
+    return text
+
+
+def is_number(value: Value) -> bool:
+    """True for int/float values (bools are deliberately *not* numbers)."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def value_class(value: Value) -> str:
+    """The coarse comparison class of a value: ``number`` or ``string``.
+
+    Foreign-key candidates must join columns of the same class; comparing
+    ``1`` with ``"1"`` never links real references.
+    """
+    return "number" if is_number(value) else "string"
+
+
+def quote_sqlite_identifier(name: str) -> str:
+    """A SQLite-quoted identifier, shared by the exporter and the reader.
+
+    One definition keeps the export/import pair symmetric — the round-trip
+    guarantee depends on both sides quoting table and column names the
+    same way.
+    """
+    return '"' + name.replace('"', '""') + '"'

@@ -1,4 +1,11 @@
-"""Feature scaling."""
+"""Feature scaling for the downstream classifiers.
+
+Layer: ``ml`` (self-contained numeric building blocks; no repro imports).
+The downstream-task protocol standardises embedding features before
+fitting the SVM / logistic-regression classifiers; the scaler is fit on
+the training fold only and applied to both folds, so no test-fold
+statistics leak into training.
+"""
 
 from __future__ import annotations
 

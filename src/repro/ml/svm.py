@@ -19,6 +19,8 @@ from repro.utils.rng import ensure_rng
 
 
 class KernelType(enum.Enum):
+    """The SVM kernel: RBF (the paper's downstream setup) or linear."""
+
     RBF = "rbf"
     LINEAR = "linear"
 

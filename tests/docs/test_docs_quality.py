@@ -1,0 +1,62 @@
+"""Documentation quality gates, enforced by the test suite and CI alike.
+
+Runs the two checkers from ``tools/`` in-process: the docstring lint
+(every module and public class in ``src/repro``/``examples`` documents its
+contract) and the markdown link check (every intra-repository link in
+every ``*.md`` file resolves).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def load_tool(name: str):
+    path = REPO_ROOT / "tools" / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"tools_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    return module
+
+
+def test_every_module_and_public_class_has_a_docstring():
+    lint = load_tool("lint_docstrings")
+    problems = lint.run(REPO_ROOT)
+    assert problems == [], "\n".join(problems)
+
+
+def test_docstring_lint_detects_violations(tmp_path):
+    lint = load_tool("lint_docstrings")
+    bad = tmp_path / "src" / "repro" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("class Oops:\n    pass\n")
+    (tmp_path / "examples").mkdir()
+    problems = lint.run(tmp_path)
+    assert len(problems) == 2  # missing module docstring + undocumented class
+    assert any("Oops" in problem for problem in problems)
+
+
+def test_all_intra_repo_markdown_links_resolve():
+    checker = load_tool("check_markdown_links")
+    problems = checker.run(REPO_ROOT)
+    assert problems == [], "\n".join(problems)
+
+
+def test_link_checker_detects_broken_links(tmp_path):
+    checker = load_tool("check_markdown_links")
+    (tmp_path / "README.md").write_text(
+        "See [the docs](docs/MISSING.md) and [the web](https://example.com).\n"
+        "```\n[not a link](inside/a/code/fence.md)\n```\n"
+        "An anchored [link](README.md#section) is fine.\n"
+    )
+    problems = checker.run(tmp_path)
+    assert len(problems) == 1
+    assert "MISSING.md" in problems[0]

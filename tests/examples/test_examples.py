@@ -41,6 +41,7 @@ EXAMPLES: dict[str, dict] = {
         "node2vec_config": TINY_NODE2VEC,
     },
     "streaming_service": {"scale": 0.06, "config": TINY_FORWARD},
+    "ingest_csv": {"config": TINY_FORWARD},
 }
 
 

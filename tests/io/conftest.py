@@ -1,0 +1,30 @@
+"""Shared fixtures for the ingestion tests: a down-scaled Mondial export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.io import export_csv_dir, export_sqlite
+
+
+@pytest.fixture(scope="session")
+def small_mondial():
+    """A down-scaled Mondial dataset (40 relations, full FK topology)."""
+    return load_dataset("mondial", scale=0.15, seed=3)
+
+
+@pytest.fixture(scope="session")
+def mondial_csv_dir(small_mondial, tmp_path_factory):
+    """The small Mondial database exported as a plain CSV directory."""
+    directory = tmp_path_factory.mktemp("mondial_csv")
+    export_csv_dir(small_mondial.db, directory)
+    return directory
+
+
+@pytest.fixture(scope="session")
+def mondial_sqlite(small_mondial, tmp_path_factory):
+    """The small Mondial database exported as an untyped SQLite file."""
+    path = tmp_path_factory.mktemp("mondial_sqlite") / "mondial.sqlite"
+    export_sqlite(small_mondial.db, path)
+    return path

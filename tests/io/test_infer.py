@@ -1,0 +1,203 @@
+"""Schema inference: types, keys, and foreign-key discovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db.schema import AttributeType
+from repro.io import InferenceError, RawTable, infer_schema
+from repro.io.infer import (
+    discover_foreign_keys,
+    infer_column_type,
+    infer_key,
+)
+
+
+class TestTypeInference:
+    def test_all_numbers_is_numeric(self):
+        assert infer_column_type([1, 2.5, 3]).type is AttributeType.NUMERIC
+
+    def test_nulls_are_ignored_as_evidence(self):
+        assert infer_column_type([None, 1, None, 2]).type is AttributeType.NUMERIC
+
+    def test_all_null_defaults_to_categorical(self):
+        decision = infer_column_type([None, None])
+        assert decision.type is AttributeType.CATEGORICAL
+        assert "no non-null values" in decision.reason
+
+    def test_empty_column_defaults_to_categorical(self):
+        assert infer_column_type([]).type is AttributeType.CATEGORICAL
+
+    def test_mixed_numbers_and_strings_tie_goes_to_categorical(self):
+        decision = infer_column_type([1, "abc", 2])
+        assert decision.type is AttributeType.CATEGORICAL
+        assert "type tie" in decision.reason
+        assert "override" in decision.reason  # the fix is named
+
+    def test_repeating_labels_are_categorical(self):
+        values = ["red", "green", "blue"] * 20
+        assert infer_column_type(values).type is AttributeType.CATEGORICAL
+
+    def test_distinct_multiword_strings_are_text(self):
+        values = [f"Town number {i}" for i in range(50)]
+        assert infer_column_type(values).type is AttributeType.TEXT
+
+    def test_distinct_short_codes_are_not_text(self):
+        # distinct but single-token and short: label-like, not prose
+        values = [f"ORG{i:02d}" for i in range(25)]
+        assert infer_column_type(values).type is AttributeType.CATEGORICAL
+
+
+class TestKeyInference:
+    def test_leftmost_unique_column_wins(self):
+        table = RawTable("t", ("a", "b"), rows=[(1, "x"), (2, "x")])
+        key, _ = infer_key(table)
+        assert key == ("a",)
+
+    def test_column_with_nulls_cannot_be_key(self):
+        table = RawTable("t", ("a", "b"), rows=[(None, "x"), (2, "y")])
+        key, _ = infer_key(table)
+        assert key == ("b",)
+
+    def test_falls_back_to_pairs(self):
+        table = RawTable(
+            "t", ("a", "b", "c"),
+            rows=[(1, 1, "x"), (1, 2, "x"), (2, 1, "y"), (2, 2, "y")],
+        )
+        key, reason = infer_key(table)
+        assert key == ("a", "b")
+        assert "pair" in reason
+
+    def test_empty_table_defaults_to_first_column(self):
+        key, reason = infer_key(RawTable("t", ("a", "b")))
+        assert key == ("a",)
+        assert "empty table" in reason
+
+    def test_no_key_is_actionable(self):
+        table = RawTable("t", ("a", "b"), rows=[(1, "x"), (1, "x")])
+        with pytest.raises(InferenceError, match=r'"key"'):
+            infer_key(table)
+
+
+def tables_people_cities():
+    cities = RawTable(
+        "cities", ("city_id", "name"),
+        rows=[("c1", "Aachen"), ("c2", "Bonn"), ("c3", "Essen")],
+    )
+    people = RawTable(
+        "people", ("person_id", "city", "age"),
+        rows=[("p1", "c1", 30), ("p2", "c1", 40), ("p3", "c3", 50)],
+    )
+    return [cities, people]
+
+
+class TestForeignKeyDiscovery:
+    def discover(self, tables, **kwargs):
+        keys = {table.name: infer_key(table)[0] for table in tables}
+        return discover_foreign_keys(tables, keys, **kwargs)
+
+    def test_inclusion_plus_name_match(self):
+        (fk,) = self.discover(tables_people_cities())
+        assert fk.name == "people[city]->cities[city_id]"
+
+    def test_non_included_column_is_not_a_candidate(self):
+        tables = tables_people_cities()
+        tables[1].rows.append(("p4", "nowhere", 60))
+        assert self.discover(tables) == []
+
+    def test_value_classes_must_match(self):
+        # numeric source values never join a string key, even when included…
+        cities = RawTable("cities", ("city_id", "name"), rows=[("1", "A"), ("2", "B")])
+        people = RawTable("people", ("person_id", "city"), rows=[("p1", 1), ("p2", 2)])
+        assert self.discover([cities, people]) == []
+
+    def test_nulls_do_not_block_inclusion(self):
+        tables = tables_people_cities()
+        tables[1].rows.append(("p4", None, 60))
+        (fk,) = self.discover(tables)
+        assert fk.source == "people"
+
+    def test_low_scores_are_rejected_but_reported(self):
+        from repro.io.infer import InferenceReport
+
+        cities = RawTable("cities", ("zz", "name"), rows=[("c1", "A"), ("c2", "B")])
+        people = RawTable("people", ("person_id", "qq"), rows=[("p1", "c1"), ("p2", "c2")])
+        report = InferenceReport()
+        assert self.discover([cities, people], report=report) == []
+        (decision,) = report.foreign_keys
+        assert not decision.accepted
+        assert "min_fk_score" in decision.reason
+
+    def test_ambiguous_targets_pick_best_and_report_runner_up(self):
+        from repro.io.infer import InferenceReport
+
+        stores = RawTable("site_a", ("site_id",), rows=[("s1",), ("s2",)])
+        mirrors = RawTable("site_b", ("site_id",), rows=[("s1",), ("s2",)])
+        visits = RawTable(
+            "visits", ("visit_id", "site"), rows=[("v1", "s1"), ("v2", "s2")],
+        )
+        report = InferenceReport()
+        keys = {t.name: infer_key(t)[0] for t in (stores, mirrors, visits)}
+        fks = discover_foreign_keys([stores, mirrors, visits], keys, report=report)
+        visit_fks = [fk for fk in fks if fk.source == "visits"]
+        assert len(visit_fks) == 1
+        decision = next(
+            d for d in report.foreign_keys if d.accepted and d.source == "visits"
+        )
+        assert decision.runners_up  # the close alternative is surfaced
+
+    def test_mutual_key_inclusion_keeps_better_named_direction(self):
+        countries = RawTable(
+            "country", ("code", "name"), rows=[("DE", "Germany"), ("FR", "France")],
+        )
+        targets = RawTable("target", ("country", "label"), rows=[("DE", 1), ("FR", 0)])
+        fks = self.discover([countries, targets])
+        assert [fk.name for fk in fks] == ["target[country]->country[code]"]
+
+    def test_fk_order_follows_table_then_column_order(self):
+        a = RawTable("alpha", ("aid",), rows=[("a1",), ("a2",)])
+        b = RawTable(
+            "beta", ("bid", "alpha2", "alpha1"),
+            rows=[("b1", "a1", "a2"), ("b2", "a2", "a1")],
+        )
+        fks = self.discover([a, b])
+        assert [fk.source_attrs[0] for fk in fks] == ["alpha2", "alpha1"]
+
+
+class TestInferSchema:
+    def test_end_to_end_schema(self):
+        schema, report = infer_schema(tables_people_cities())
+        assert schema.relation("people").key == ("person_id",)
+        assert schema.attribute_type("people", "age") is AttributeType.NUMERIC
+        # key and FK columns become identifiers
+        assert schema.attribute_type("people", "city") is AttributeType.IDENTIFIER
+        assert schema.attribute_type("cities", "city_id") is AttributeType.IDENTIFIER
+        assert [fk.name for fk in schema.foreign_keys] == [
+            "people[city]->cities[city_id]"
+        ]
+        assert report.keys["people"][0] == ("person_id",)
+
+    def test_type_override_is_never_retyped_identifier(self):
+        schema, _ = infer_schema(
+            tables_people_cities(),
+            type_overrides={"people": {"city": AttributeType.CATEGORICAL}},
+        )
+        assert schema.attribute_type("people", "city") is AttributeType.CATEGORICAL
+
+    def test_key_override(self):
+        schema, report = infer_schema(
+            tables_people_cities(), key_overrides={"cities": ("name",)}
+        )
+        assert schema.relation("cities").key == ("name",)
+        assert report.keys["cities"][1].startswith("overridden")
+
+    def test_composite_key_target_noted(self):
+        grid = RawTable("grid", ("x", "y"), rows=[(0, 0), (0, 1), (1, 0)])
+        _, report = infer_schema([grid])
+        assert any("composite key" in note for note in report.notes)
+
+    def test_report_serializes(self):
+        _, report = infer_schema(tables_people_cities())
+        document = report.to_dict()
+        assert document["keys"]["cities"]["key"] == ["city_id"]
+        assert report.format()

@@ -1,0 +1,285 @@
+"""The declarative override spec: parsing, validation, and conflicts."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.db.schema import AttributeType
+from repro.io import OverrideError, RawTable, load_overrides, ingest_tables
+
+
+def sample_tables():
+    cities = RawTable(
+        "cities", ("city_id", "name", "mayor"),
+        rows=[("c1", "Aachen", "m1"), ("c2", "Bonn", "m2")],
+    )
+    people = RawTable(
+        "people", ("person_id", "city", "age"),
+        rows=[("m1", "c1", 30), ("m2", "c1", 40), ("m3", "c2", 50)],
+    )
+    return [cities, people]
+
+
+class TestLoadOverrides:
+    def test_none_is_empty_spec(self):
+        spec = load_overrides(None)
+        assert spec.relation_order is None and not spec.key_overrides
+
+    def test_full_spec_parses(self):
+        spec = load_overrides(
+            {
+                "relation_order": ["people", "cities"],
+                "null_values": ["", "?"],
+                "min_fk_score": 0.5,
+                "relations": {
+                    "people": {"key": ["person_id"], "types": {"age": "numeric"}}
+                },
+                "foreign_keys": {
+                    "add": [
+                        {
+                            "source": "cities", "source_attrs": ["mayor"],
+                            "target": "people", "target_attrs": ["person_id"],
+                        }
+                    ],
+                    "remove": ["people[city]->cities[city_id]"],
+                },
+            }
+        )
+        assert spec.min_fk_score == 0.5
+        assert spec.type_overrides["people"]["age"] is AttributeType.NUMERIC
+        assert spec.fk_additions[0].name == "cities[mayor]->people[person_id]"
+
+    def test_unknown_top_level_field(self):
+        with pytest.raises(OverrideError, match="unknown field.*relation_orderr"):
+            load_overrides({"relation_orderr": []})
+
+    def test_unknown_relation_field(self):
+        with pytest.raises(OverrideError, match=r"relations\.x.*unknown field"):
+            load_overrides({"relations": {"x": {"kye": ["a"]}}})
+
+    def test_bad_type_name_lists_valid_types(self):
+        with pytest.raises(OverrideError, match="valid types are.*numeric"):
+            load_overrides({"relations": {"x": {"types": {"a": "gaussian"}}}})
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(OverrideError, match="at least one attribute"):
+            load_overrides({"relations": {"x": {"key": []}}})
+
+    def test_min_fk_score_range(self):
+        with pytest.raises(OverrideError, match="between 0 and 1"):
+            load_overrides({"min_fk_score": 7})
+        with pytest.raises(OverrideError, match="expected a number"):
+            load_overrides({"min_fk_score": "high"})
+
+    def test_fk_add_entry_shape(self):
+        with pytest.raises(OverrideError, match=r"add\[0\].*exactly"):
+            load_overrides({"foreign_keys": {"add": [{"source": "a"}]}})
+
+    def test_duplicate_fk_additions_rejected(self):
+        entry = {
+            "source": "cities", "source_attrs": ["mayor"],
+            "target": "people", "target_attrs": ["person_id"],
+        }
+        with pytest.raises(OverrideError, match=r"add\[1\].*duplicate addition"):
+            load_overrides({"foreign_keys": {"add": [entry, dict(entry)]}})
+
+    def test_json_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"min_fk_score": 0.4}))
+        assert load_overrides(path).min_fk_score == 0.4
+
+    def test_bad_json_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text("{nope")
+        with pytest.raises(OverrideError, match="not valid JSON"):
+            load_overrides(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(OverrideError, match="does not exist"):
+            load_overrides(tmp_path / "ghost.json")
+
+    def test_yaml_file(self, tmp_path):
+        yaml = pytest.importorskip("yaml")
+        del yaml
+        path = tmp_path / "spec.yaml"
+        path.write_text("min_fk_score: 0.4\nrelations:\n  x:\n    key: [a]\n")
+        spec = load_overrides(path)
+        assert spec.min_fk_score == 0.4
+        assert spec.key_overrides["x"] == ("a",)
+
+
+class TestOverrideConflicts:
+    """Conflicts between the spec and the discovered data are all actionable."""
+
+    def test_unknown_relation(self):
+        with pytest.raises(OverrideError, match="unknown relation 'ghost'.*cities"):
+            ingest_tables(
+                sample_tables(), overrides={"relations": {"ghost": {"key": ["x"]}}}
+            )
+
+    def test_unknown_attribute_lists_columns(self):
+        with pytest.raises(OverrideError, match="no attribute 'ghost'.*city_id"):
+            ingest_tables(
+                sample_tables(), overrides={"relations": {"cities": {"key": ["ghost"]}}}
+            )
+
+    def test_remove_matching_nothing_lists_inferred(self):
+        with pytest.raises(OverrideError, match="matches no inferred foreign key"):
+            ingest_tables(
+                sample_tables(),
+                overrides={"foreign_keys": {"remove": ["people[age]->cities[city_id]"]}},
+            )
+
+    def test_add_conflicting_with_inferred(self):
+        # people.city is already inferred as an FK; adding another FK on the
+        # same source column must be rejected, pointing at "remove"
+        with pytest.raises(OverrideError, match=r"conflicts with.*remove"):
+            ingest_tables(
+                sample_tables(),
+                overrides={
+                    "foreign_keys": {
+                        "add": [
+                            {
+                                "source": "people", "source_attrs": ["city"],
+                                "target": "cities", "target_attrs": ["city_id"],
+                            }
+                        ]
+                    }
+                },
+            )
+
+    def test_add_to_non_key_target_suggests_key_override(self):
+        with pytest.raises(OverrideError, match=r'pin the target\'s key'):
+            ingest_tables(
+                sample_tables(),
+                overrides={
+                    "foreign_keys": {
+                        "add": [
+                            {
+                                "source": "people", "source_attrs": ["person_id"],
+                                "target": "cities", "target_attrs": ["name"],
+                            }
+                        ]
+                    }
+                },
+            )
+
+    def test_add_dangling_fk_fails_in_build(self):
+        from repro.io import IngestionError
+
+        tables = sample_tables()
+        tables[0].rows.append(("c3", "Essen", "m9"))  # mayor m9 does not exist
+        with pytest.raises(IngestionError, match="dangling"):
+            ingest_tables(
+                tables,
+                overrides={
+                    "foreign_keys": {
+                        "add": [
+                            {
+                                "source": "cities", "source_attrs": ["mayor"],
+                                "target": "people", "target_attrs": ["person_id"],
+                            }
+                        ]
+                    }
+                },
+            )
+        # ...unless explicitly allowed
+        result = ingest_tables(
+            tables,
+            overrides={
+                "foreign_keys": {
+                    "add": [
+                        {
+                            "source": "cities", "source_attrs": ["mayor"],
+                            "target": "people", "target_attrs": ["person_id"],
+                        }
+                    ]
+                }
+            },
+            allow_dangling=True,
+        )
+        assert len(result.database.check_foreign_keys()) == 1
+
+    def test_added_fk_source_column_becomes_identifier(self):
+        # identifier re-typing runs on the FINAL foreign-key set: a column
+        # forced into an FK by the spec must not keep a Gaussian kernel
+        tables = sample_tables()
+        result = ingest_tables(
+            tables,
+            overrides={
+                "foreign_keys": {
+                    "add": [
+                        {
+                            "source": "cities", "source_attrs": ["mayor"],
+                            "target": "people", "target_attrs": ["person_id"],
+                        }
+                    ]
+                }
+            },
+        )
+        assert (
+            result.schema.attribute_type("cities", "mayor")
+            is AttributeType.IDENTIFIER
+        )
+
+    def test_removed_fk_source_column_keeps_inferred_type(self):
+        result = ingest_tables(
+            sample_tables(),
+            overrides={"foreign_keys": {"remove": ["people[city]->cities[city_id]"]}},
+        )
+        assert result.schema.foreign_keys == ()
+        # no longer an FK column → the data-inferred type survives
+        assert (
+            result.schema.attribute_type("people", "city")
+            is AttributeType.CATEGORICAL
+        )
+
+    def test_relation_order_is_honoured_by_ingest_tables(self):
+        tables = sample_tables()  # [cities, people]
+        result = ingest_tables(
+            tables, overrides={"relation_order": ["people", "cities"]}
+        )
+        assert result.schema.relation_names == ("people", "cities")
+        from repro.io import MalformedSourceError
+
+        with pytest.raises(MalformedSourceError, match="permutation"):
+            # duplicates / unknown names are rejected, not silently reordered
+            ingest_tables(
+                tables, overrides={"relation_order": ["people", "people", "ghost"]}
+            )
+
+    def test_null_values_is_rejected_on_parsed_sources(self):
+        with pytest.raises(OverrideError, match="already-parsed"):
+            ingest_tables(sample_tables(), overrides={"null_values": ["?"]})
+
+    def test_empty_null_values_override_is_honoured(self, tmp_path):
+        from repro.io import ingest_csv_dir
+
+        (tmp_path / "t.csv").write_text("id,x\na,\nb,filled\n")
+        default = ingest_csv_dir(tmp_path)
+        assert default.database.facts("t")[0]["x"] is None
+        kept = ingest_csv_dir(tmp_path, overrides={"null_values": []})
+        assert kept.database.facts("t")[0]["x"] == ""
+
+    def test_applied_overrides_change_the_schema(self):
+        result = ingest_tables(
+            sample_tables(),
+            overrides={
+                "relations": {"people": {"types": {"age": "categorical"}}},
+                "foreign_keys": {
+                    "add": [
+                        {
+                            "source": "cities", "source_attrs": ["mayor"],
+                            "target": "people", "target_attrs": ["person_id"],
+                        }
+                    ]
+                },
+            },
+        )
+        schema = result.schema
+        assert schema.attribute_type("people", "age") is AttributeType.CATEGORICAL
+        names = [fk.name for fk in schema.foreign_keys]
+        assert "cities[mayor]->people[person_id]" in names
+        assert "people[city]->cities[city_id]" in names

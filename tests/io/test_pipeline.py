@@ -1,0 +1,264 @@
+"""High-level ingestion: end-to-end builds, edge cases, registry, dataset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import list_datasets, load_dataset, unregister_dataset
+from repro.datasets.registry import register_dataset
+from repro.io import (
+    IngestionError,
+    RawTable,
+    export_csv_dir,
+    ingest_csv_dir,
+    ingest_path,
+    ingest_tables,
+    register_ingested,
+)
+
+
+def corpus(tmp_path):
+    """A tiny two-table CSV corpus on disk."""
+    (tmp_path / "authors.csv").write_text(
+        "author_id,name,born\na1,Ada,1815\na2,Boole,1815\na3,Curie,1867\n"
+    )
+    (tmp_path / "books.csv").write_text(
+        "book_id,author,year,title\n"
+        "b1,a1,1843,Notes on the Engine\n"
+        "b2,a2,1854,Laws of Thought\n"
+        "b3,a2,1847,Mathematical Analysis\n"
+        "b4,a3,1910,Radioactivity Treatise\n"
+    )
+    return tmp_path
+
+
+class TestIngestEndToEnd:
+    def test_csv_corpus_becomes_typed_database(self, tmp_path):
+        result = ingest_csv_dir(corpus(tmp_path))
+        db = result.database
+        assert set(db.relations) == {"authors", "books"}
+        assert db.num_facts("books") == 4
+        assert [fk.name for fk in db.schema.foreign_keys] == [
+            "books[author]->authors[author_id]"
+        ]
+        # FK indexes are live: walks can traverse the reference
+        book = db.facts("books")[0]
+        author = db.referenced_fact(book, db.schema.foreign_keys[0])
+        assert author["name"] == "Ada"
+        assert result.summary().startswith(str(tmp_path))
+
+    def test_ingest_path_auto_detects(self, tmp_path):
+        result = ingest_path(corpus(tmp_path))
+        assert result.database.num_facts() == 7
+        with pytest.raises(IngestionError, match="auto-detect"):
+            ingest_path(tmp_path / "books.csv")
+        with pytest.raises(IngestionError, match="no such file or directory"):
+            ingest_path(tmp_path / "typo-dir")
+
+    def test_ingest_path_rejects_csv_options_for_sqlite(self, tmp_path):
+        from repro.io import export_sqlite
+
+        source = ingest_path(corpus(tmp_path))
+        path = tmp_path / "books.sqlite"
+        export_sqlite(source.database, path)
+        with pytest.raises(IngestionError, match="CSV directories only"):
+            ingest_path(path, delimiter=";")
+        # ...while a CSV directory accepts them
+        semi = tmp_path / "semi"
+        semi.mkdir()
+        (semi / "t.csv").write_text("id;x\na;1\nb;2\n")
+        result = ingest_path(semi, delimiter=";")
+        assert result.database.num_facts("t") == 2
+
+    def test_sqlite_relation_order_is_validated_like_csv(self, tmp_path):
+        from repro.io import MalformedSourceError, export_sqlite, ingest_sqlite
+
+        source = ingest_path(corpus(tmp_path))
+        path = tmp_path / "books.sqlite"
+        export_sqlite(source.database, path)
+        reordered = ingest_sqlite(
+            path, overrides={"relation_order": ["books", "authors"]}
+        )
+        assert reordered.schema.relation_names == ("books", "authors")
+        with pytest.raises(MalformedSourceError, match="permutation"):
+            ingest_sqlite(
+                path,
+                overrides={"relation_order": ["books", "authors", "books", "ghost"]},
+            )
+
+    def test_kernels_follow_inferred_types(self, tmp_path):
+        result = ingest_csv_dir(corpus(tmp_path))
+        registry = result.kernels()
+        assert "books.year" in registry  # numeric → Gaussian
+        assert "books.title" not in registry  # text → equality fallback
+
+    def test_duplicate_key_error_names_row(self, tmp_path):
+        path = corpus(tmp_path)
+        with open(path / "authors.csv", "a") as handle:
+            handle.write("a1,Imposter,1900\n")  # duplicates a1; 'name' still unique
+        overrides = {"relations": {"authors": {"key": ["author_id"]}}}
+        with pytest.raises(IngestionError, match=r"data row 4.*override"):
+            ingest_csv_dir(path, overrides=overrides)
+        # without the pin, inference falls back to the still-unique column
+        result = ingest_csv_dir(path)
+        assert result.schema.relation("authors").key == ("name",)
+
+    def test_empty_table_ingests(self):
+        empty = RawTable("empty", ("id", "x"))
+        other = RawTable("other", ("oid",), rows=[("o1",), ("o2",)])
+        result = ingest_tables([empty, other])
+        assert result.database.num_facts("empty") == 0
+        assert result.schema.relation("empty").key == ("id",)
+
+    def test_null_heavy_table(self):
+        table = RawTable(
+            "t", ("id", "a", "b"),
+            rows=[("r1", None, None), ("r2", None, 3.5), ("r3", None, None)],
+        )
+        result = ingest_tables([table])
+        from repro.db.schema import AttributeType
+
+        assert result.schema.attribute_type("t", "a") is AttributeType.CATEGORICAL
+        assert result.schema.attribute_type("t", "b") is AttributeType.NUMERIC
+        assert result.database.facts("t")[0]["a"] is None
+
+    def test_dataset_wrapper_feeds_the_drivers(self, tmp_path):
+        result = ingest_csv_dir(corpus(tmp_path))
+        dataset = result.dataset("authors", "born", name="books-demo")
+        assert dataset.name == "books-demo"
+        assert set(dataset.labels().values()) == {1815, 1867}
+        masked = dataset.masked_database()
+        assert all(f["born"] is None for f in masked.facts("authors"))
+
+
+class TestRegistry:
+    def test_register_ingested_round_trips_through_load_dataset(self, tmp_path):
+        register_ingested(
+            "books-demo", corpus(tmp_path), "authors", "born", overwrite=True
+        )
+        try:
+            assert "books-demo" in list_datasets()
+            dataset = load_dataset("books-demo", scale=0.5, seed=1)  # args ignored
+            assert dataset.db.num_facts() == 7
+            assert dataset.prediction_attribute == "born"
+        finally:
+            unregister_dataset("books-demo")
+        assert "books-demo" not in list_datasets()
+
+    def test_register_dataset_guards(self):
+        with pytest.raises(ValueError, match="bundled"):
+            register_dataset("mondial", lambda **kwargs: None)
+        with pytest.raises(TypeError, match="callable"):
+            register_dataset("thing", "not-a-builder")
+        register_dataset("thing", lambda **kwargs: None)
+        try:
+            with pytest.raises(ValueError, match="overwrite=True"):
+                register_dataset("thing", lambda **kwargs: None)
+            register_dataset("thing", lambda **kwargs: None, overwrite=True)
+        finally:
+            unregister_dataset("thing")
+        with pytest.raises(ValueError, match="bundled"):
+            unregister_dataset("movies")
+
+    def test_export_then_register_via_sqlite(self, tmp_path):
+        from repro.io import export_sqlite
+
+        source = ingest_csv_dir(corpus(tmp_path))
+        path = tmp_path / "books.sqlite"
+        export_sqlite(source.database, path)
+        register_ingested("books-sql", path, "authors", "born", overwrite=True)
+        try:
+            dataset = load_dataset("books-sql")
+            assert dataset.db.num_facts("books") == 4
+        finally:
+            unregister_dataset("books-sql")
+
+
+class TestInsertionOrder:
+    def test_targets_inserted_before_sources_regardless_of_name_order(self):
+        """File-name order put sources first; insertion must not go quadratic."""
+        from repro.io.build import insertion_order
+
+        teams = RawTable("z_teams", ("tid",), rows=[(f"t{i}",) for i in range(40)])
+        players = RawTable(
+            "a_players", ("pid", "team"),
+            rows=[(f"p{i}", f"t{i % 40}") for i in range(400)],
+        )
+        result = ingest_tables([players, teams])  # sorted CSV order: sources first
+        order = insertion_order(result.schema)
+        assert order.index("z_teams") < order.index("a_players")
+        # every reference resolved through the O(1) forward path
+        fk = result.schema.foreign_keys[0]
+        assert all(
+            result.database.referenced_fact(fact, fk) is not None
+            for fact in result.database.facts("a_players")
+        )
+
+    def test_reference_cycles_fall_back_to_schema_order(self):
+        from repro.db.schema import ForeignKey, RelationSchema, Schema
+        from repro.io.build import insertion_order
+
+        schema = Schema(
+            [
+                RelationSchema("a", ["id", "b_ref"], key=["id"]),
+                RelationSchema("b", ["id", "a_ref"], key=["id"]),
+                RelationSchema("c", ["id"], key=["id"]),
+            ],
+            [
+                ForeignKey("a", ("b_ref",), "b", ("id",)),
+                ForeignKey("b", ("a_ref",), "a", ("id",)),
+            ],
+        )
+        assert insertion_order(schema) == ["c", "a", "b"]
+
+
+class TestExportGuards:
+    def test_unsupported_value_type_is_actionable(self, tmp_path):
+        from repro.db.schema import RelationSchema, Schema
+        from repro.db.database import Database
+
+        schema = Schema([RelationSchema("t", ["id", "x"], key=["id"])])
+        db = Database(schema)
+        db.insert("t", {"id": "r1", "x": (1, 2)})  # a tuple is not exportable
+        with pytest.raises(IngestionError, match="text and numbers only"):
+            export_csv_dir(db, tmp_path / "out")
+
+    def test_round_trip_ambiguous_strings_are_rejected_for_csv(self, tmp_path):
+        from repro.db.schema import RelationSchema, Schema
+        from repro.db.database import Database
+        from repro.io import export_sqlite, ingest_sqlite
+
+        schema = Schema([RelationSchema("t", ["id", "x"], key=["id"])])
+        db = Database(schema)
+        db.insert("t", {"id": "r1", "x": "42"})  # would re-read as int 42
+        with pytest.raises(IngestionError, match="SQLite instead"):
+            export_csv_dir(db, tmp_path / "out")
+        # ...and SQLite indeed preserves it exactly
+        export_sqlite(db, tmp_path / "t.sqlite")
+        restored = ingest_sqlite(tmp_path / "t.sqlite").database
+        assert restored.facts("t")[0]["x"] == "42"
+
+    def test_leading_zero_identifiers_survive_a_csv_round_trip(self, tmp_path):
+        from repro.db.schema import RelationSchema, Schema
+        from repro.db.database import Database
+
+        schema = Schema([RelationSchema("t", ["zip", "x"], key=["zip"])])
+        db = Database(schema)
+        db.insert("t", {"zip": "04109", "x": 1})
+        db.insert("t", {"zip": 4109, "x": 2})  # distinct from "04109"!
+        export_csv_dir(db, tmp_path / "out")
+        restored = ingest_csv_dir(tmp_path / "out").database
+        assert {f["zip"] for f in restored.facts("t")} == {"04109", 4109}
+
+    def test_non_finite_floats_are_rejected(self, tmp_path):
+        from repro.db.schema import RelationSchema, Schema
+        from repro.db.database import Database
+        from repro.io import export_sqlite
+
+        schema = Schema([RelationSchema("t", ["id", "x"], key=["id"])])
+        db = Database(schema)
+        db.insert("t", {"id": "r1", "x": float("nan")})
+        with pytest.raises(IngestionError, match="non-finite"):
+            export_csv_dir(db, tmp_path / "out")
+        with pytest.raises(IngestionError, match="non-finite"):
+            export_sqlite(db, tmp_path / "out.sqlite")

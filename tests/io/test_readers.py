@@ -1,0 +1,157 @@
+"""Source readers: CSV directories and SQLite files, including error paths."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.io import MalformedSourceError, read_csv_dir, read_sqlite
+
+
+def write(path, text):
+    path.write_text(text)
+    return path
+
+
+class TestReadCsvDir:
+    def test_reads_sorted_by_name(self, tmp_path):
+        write(tmp_path / "b.csv", "x,y\n1,2\n")
+        write(tmp_path / "a.csv", "z\nfoo\n")
+        tables = read_csv_dir(tmp_path)
+        assert [t.name for t in tables] == ["a", "b"]
+        assert tables[1].rows == [(1, 2)]
+
+    def test_relation_order_pins_order(self, tmp_path):
+        write(tmp_path / "b.csv", "x\n1\n")
+        write(tmp_path / "a.csv", "z\nfoo\n")
+        tables = read_csv_dir(tmp_path, relation_order=["b", "a"])
+        assert [t.name for t in tables] == ["b", "a"]
+
+    def test_relation_order_must_be_permutation(self, tmp_path):
+        write(tmp_path / "a.csv", "z\nfoo\n")
+        with pytest.raises(MalformedSourceError, match="permutation"):
+            read_csv_dir(tmp_path, relation_order=["a", "ghost"])
+        with pytest.raises(MalformedSourceError, match="not mentioned: a"):
+            read_csv_dir(tmp_path, relation_order=[])
+
+    def test_nulls_and_types(self, tmp_path):
+        write(tmp_path / "t.csv", "a,b,c\n1,,x\n\\N,2.5,NULL\n")
+        (table,) = read_csv_dir(tmp_path)
+        assert table.rows == [(1, None, "x"), (None, 2.5, None)]
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        write(tmp_path / "t.csv", "a\n1\n\n2\n")
+        (table,) = read_csv_dir(tmp_path)
+        assert table.rows == [(1,), (2,)]
+
+    def test_empty_data_rows_is_fine(self, tmp_path):
+        write(tmp_path / "t.csv", "a,b\n")
+        (table,) = read_csv_dir(tmp_path)
+        assert table.num_rows == 0 and table.columns == ("a", "b")
+
+    # ----------------------------------------------------- malformed inputs
+
+    def test_not_a_directory(self, tmp_path):
+        with pytest.raises(MalformedSourceError, match="not a directory"):
+            read_csv_dir(tmp_path / "nope")
+
+    def test_no_csv_files(self, tmp_path):
+        with pytest.raises(MalformedSourceError, match="no .csv files"):
+            read_csv_dir(tmp_path)
+
+    def test_empty_file_names_the_file(self, tmp_path):
+        write(tmp_path / "t.csv", "")
+        with pytest.raises(MalformedSourceError, match=r"t\.csv.*header row"):
+            read_csv_dir(tmp_path)
+
+    def test_ragged_row_names_file_and_row(self, tmp_path):
+        write(tmp_path / "t.csv", "a,b,c\n1,2,3\n1,2\n")
+        with pytest.raises(MalformedSourceError, match=r"t\.csv, row 3: has 2 values"):
+            read_csv_dir(tmp_path)
+
+    def test_ragged_error_suggests_delimiter(self, tmp_path):
+        write(tmp_path / "t.csv", "x;y\n1;2\nhello,world;3\n")
+        with pytest.raises(MalformedSourceError, match="delimiter"):
+            read_csv_dir(tmp_path)
+        tables = read_csv_dir(tmp_path, delimiter=";")
+        assert tables[0].rows == [(1, 2), ("hello,world", 3)]
+
+    def test_duplicate_header_names_file(self, tmp_path):
+        write(tmp_path / "t.csv", "a,a\n1,2\n")
+        with pytest.raises(MalformedSourceError, match="duplicate column name 'a'"):
+            read_csv_dir(tmp_path)
+
+    def test_uppercase_csv_extension_is_not_skipped(self, tmp_path):
+        write(tmp_path / "players.csv", "pid\np1\n")
+        write(tmp_path / "TEAMS.CSV", "tid\nt1\n")
+        tables = read_csv_dir(tmp_path)
+        assert [t.name for t in tables] == ["TEAMS", "players"]
+
+    def test_colliding_stems_are_rejected(self, tmp_path):
+        write(tmp_path / "t.csv", "a\n1\n")
+        write(tmp_path / "t.CSV", "a\n2\n")
+        with pytest.raises(MalformedSourceError, match="both become relation 't'"):
+            read_csv_dir(tmp_path)
+
+    def test_excel_bom_is_stripped_from_the_header(self, tmp_path):
+        (tmp_path / "t.csv").write_bytes(b"\xef\xbb\xbfid,x\na,1\n")
+        (table,) = read_csv_dir(tmp_path)
+        assert table.columns == ("id", "x")  # no '﻿id'
+
+
+class TestReadSqlite:
+    def make_db(self, path, statements):
+        connection = sqlite3.connect(path)
+        for statement, *rows in statements:
+            if rows:
+                connection.executemany(statement, rows[0])
+            else:
+                connection.execute(statement)
+        connection.commit()
+        connection.close()
+
+    def test_reads_tables_in_creation_order(self, tmp_path):
+        path = tmp_path / "d.sqlite"
+        self.make_db(path, [
+            ("CREATE TABLE zebra (a, b)",),
+            ("CREATE TABLE apple (c)",),
+            ("INSERT INTO zebra VALUES (?, ?)", [(1, "x"), (None, 2.5)]),
+        ])
+        tables = read_sqlite(path)
+        assert [t.name for t in tables] == ["zebra", "apple"]
+        assert tables[0].rows == [(1, "x"), (None, 2.5)]
+        assert tables[0].columns == ("a", "b")
+
+    def test_without_rowid_table(self, tmp_path):
+        path = tmp_path / "d.sqlite"
+        self.make_db(path, [
+            ("CREATE TABLE t (a TEXT PRIMARY KEY, b) WITHOUT ROWID",),
+            ("INSERT INTO t VALUES (?, ?)", [("k1", 1), ("k2", 2)]),
+        ])
+        (table,) = read_sqlite(path)
+        assert sorted(table.rows) == [("k1", 1), ("k2", 2)]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(MalformedSourceError, match="no such file"):
+            read_sqlite(tmp_path / "nope.sqlite")
+
+    def test_not_a_database(self, tmp_path):
+        path = write(tmp_path / "fake.sqlite", "hello, I am text")
+        with pytest.raises(MalformedSourceError, match="not a SQLite database"):
+            read_sqlite(path)
+
+    def test_no_tables(self, tmp_path):
+        path = tmp_path / "d.sqlite"
+        sqlite3.connect(path).close()
+        with pytest.raises(MalformedSourceError, match="no tables"):
+            read_sqlite(path)
+
+    def test_blob_rejected_with_row(self, tmp_path):
+        path = tmp_path / "d.sqlite"
+        self.make_db(path, [
+            ("CREATE TABLE t (a)",),
+            ("INSERT INTO t VALUES (?)", [(b"\x00\x01",)]),
+        ])
+        with pytest.raises(MalformedSourceError, match="row 1: contains a BLOB"):
+            read_sqlite(path)

@@ -1,0 +1,88 @@
+"""Round-trip exactness: export → re-ingest → bit-identical embeddings.
+
+The acceptance bar of the ingestion layer: the bundled Mondial generator,
+exported to schema-less CSV and SQLite dumps and re-ingested with a fully
+*inferred* schema, must yield (a) exactly the native schema — all 40
+relations, keys, attribute types and 40 foreign keys — and (b) FoRWaRD
+embeddings identical to the native loader's to 1e-12.
+
+Equality of embeddings is far stricter than it looks: it requires the
+inferred foreign-key *list order* to match the native schema's, because
+walk schemes are enumerated from the FK lists and every divergence changes
+the RNG consumption order of training.  SQLite preserves relation order
+natively (``sqlite_master`` is creation-ordered); a CSV directory carries
+no order, so the spec pins ``relation_order`` — everything else (types,
+keys, all 40 foreign keys) is inferred from the data alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ForwardConfig, ForwardEmbedder
+from repro.db.serialization import schema_to_dict
+from repro.io import ingest_csv_dir, ingest_sqlite
+
+CONFIG = ForwardConfig(
+    dimension=8, n_samples=120, batch_size=256, max_walk_length=1,
+    epochs=2, learning_rate=0.02, n_new_samples=10,
+)
+
+
+@pytest.fixture(scope="module")
+def native_model(small_mondial):
+    return ForwardEmbedder(small_mondial.db, "TARGET", CONFIG, rng=0).fit()
+
+
+def assert_exact(native, small_mondial, ingested):
+    # (a) the inferred schema IS the native schema
+    assert schema_to_dict(ingested.schema) == schema_to_dict(small_mondial.db.schema)
+    assert len(ingested.schema.foreign_keys) == 40
+    # (b) per-relation fact ordering and values survived the trip
+    for relation in small_mondial.db.relations:
+        native_rows = [f.values for f in small_mondial.db.facts(relation)]
+        ingested_rows = [f.values for f in ingested.database.facts(relation)]
+        assert native_rows == ingested_rows
+    # (c) embeddings are bit-identical (1e-12 is the contract; 0.0 observed)
+    model = ForwardEmbedder(ingested.database, "TARGET", CONFIG, rng=0).fit()
+    np.testing.assert_allclose(model.phi, native.phi, rtol=0.0, atol=1e-12)
+    np.testing.assert_allclose(model.psi, native.psi, rtol=0.0, atol=1e-12)
+    assert [str(t.scheme) for t in model.targets] == [
+        str(t.scheme) for t in native.targets
+    ]
+
+
+def test_sqlite_roundtrip_is_exact_with_no_hints(
+    small_mondial, mondial_sqlite, native_model
+):
+    """SQLite keeps creation order, so re-ingestion needs zero overrides."""
+    ingested = ingest_sqlite(mondial_sqlite)
+    assert_exact(native_model, small_mondial, ingested)
+
+
+def test_csv_roundtrip_is_exact_with_relation_order(
+    small_mondial, mondial_csv_dir, native_model
+):
+    """CSV needs only the relation order pinned; the schema is inferred."""
+    ingested = ingest_csv_dir(
+        mondial_csv_dir,
+        overrides={"relation_order": list(small_mondial.db.schema.relation_names)},
+    )
+    assert_exact(native_model, small_mondial, ingested)
+
+
+def test_csv_without_order_still_recovers_the_relational_content(
+    small_mondial, mondial_csv_dir
+):
+    """Sorted table order changes FK *order* (hence RNG), never FK *content*."""
+    ingested = ingest_csv_dir(mondial_csv_dir)
+    native_fks = {fk.name for fk in small_mondial.db.schema.foreign_keys}
+    inferred_fks = {fk.name for fk in ingested.schema.foreign_keys}
+    assert inferred_fks == native_fks
+    for relation in small_mondial.db.relations:
+        rel = ingested.schema.relation(relation)
+        assert rel.key == small_mondial.db.schema.relation(relation).key
+        for attr in rel.attributes:
+            native_attr = small_mondial.db.schema.relation(relation).attribute(attr.name)
+            assert attr.type is native_attr.type

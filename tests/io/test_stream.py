@@ -1,0 +1,86 @@
+"""The streaming adapter: ingested tables as change feeds for the service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ForwardConfig, ForwardEmbedder
+from repro.io import ingest_tables, stream_table, RawTable
+from repro.service import EmbeddingService
+
+
+def ingested_db():
+    """A small parent/child corpus: countries referenced by measurements."""
+    countries = RawTable(
+        "country", ("code", "name"),
+        rows=[(f"C{i}", f"Nation {i}") for i in range(6)],
+    )
+    readings = RawTable(
+        "reading", ("reading_id", "country", "value"),
+        rows=[(f"r{i}", f"C{i % 6}", float(i)) for i in range(30)],
+    )
+    return ingest_tables([countries, readings]).database
+
+
+class TestStreamTable:
+    def test_splits_tail_in_row_order(self):
+        db = ingested_db()
+        stream = stream_table(db, "reading", fraction=0.2, batch_size=2)
+        assert len(stream.streamed) == 6
+        assert db.num_facts("reading") == 30  # the source is untouched
+        assert stream.base.num_facts("reading") == 24
+        # arrival order is original row order (the tail)
+        assert [f["reading_id"] for f in stream.streamed] == [
+            f"r{i}" for i in range(24, 30)
+        ]
+        assert len(stream.feed) == 3
+        assert stream.feed.num_facts == 6
+
+    def test_count_overrides_fraction_and_is_clamped(self):
+        db = ingested_db()
+        assert len(stream_table(db, "reading", count=4).streamed) == 4
+        assert len(stream_table(db, "reading", count=1000).streamed) == 29
+
+    def test_batch_ids_are_deterministic(self):
+        db = ingested_db()
+        first = stream_table(db, "reading", fraction=0.2, batch_size=2)
+        second = stream_table(db, "reading", fraction=0.2, batch_size=2)
+        assert [b.batch_id for b in first.feed] == [b.batch_id for b in second.feed]
+
+    def test_streaming_referenced_relation_is_refused(self):
+        db = ingested_db()
+        with pytest.raises(ValueError, match="dangling.*nothing references"):
+            stream_table(db, "country", fraction=0.5)
+
+    def test_validation_errors(self):
+        db = ingested_db()
+        with pytest.raises(ValueError, match="strictly between 0 and 1"):
+            stream_table(db, "reading", fraction=1.5)
+        with pytest.raises(ValueError, match="batch_size"):
+            stream_table(db, "reading", batch_size=0)
+        tiny = ingest_tables(
+            [RawTable("solo", ("id",), rows=[("a",)])]
+        ).database
+        with pytest.raises(ValueError, match="at least"):
+            stream_table(tiny, "solo")
+
+    def test_feed_drives_the_embedding_service(self):
+        """External rows stream through the service exactly like native feeds."""
+        db = ingested_db()
+        stream = stream_table(db, "reading", fraction=0.2, batch_size=3, name="ext")
+        config = ForwardConfig(
+            dimension=8, n_samples=60, batch_size=128, max_walk_length=1,
+            epochs=2, learning_rate=0.02, n_new_samples=10,
+        )
+        model = ForwardEmbedder(stream.base, "reading", config, rng=0).fit()
+        service = EmbeddingService(model, stream.base, policy="recompute", seed=0)
+        outcomes = service.sync(stream.feed)
+        assert all(outcome.applied for outcome in outcomes)
+        assert service.stats().facts_inserted == len(stream.streamed)
+        head = service.store.head
+        for fact in stream.streamed:
+            assert head.fetch([fact.fact_id]).shape == (1, 8)
+        # at-least-once redelivery is deduplicated
+        replay = service.sync(stream.feed)
+        assert replay == []
+        assert service.apply(stream.feed[0]).applied is False

@@ -1,0 +1,78 @@
+"""Cell parsing and raw-table validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.io import MalformedSourceError, RawTable
+from repro.io.tables import parse_cell, is_number, value_class
+
+
+class TestParseCell:
+    def test_null_spellings(self):
+        for spelling in ("", "\\N", "NULL", "null"):
+            assert parse_cell(spelling) is None
+
+    def test_custom_null_values(self):
+        assert parse_cell("n/a", null_values=("n/a",)) is None
+        assert parse_cell("", null_values=("n/a",)) == ""
+
+    def test_bare_string_null_values_rejected(self):
+        # "U" in "NULL" is substring matching, not membership
+        with pytest.raises(TypeError, match="sequence of strings"):
+            parse_cell("U", null_values="NULL")
+
+    def test_integers(self):
+        assert parse_cell("42") == 42
+        assert isinstance(parse_cell("42"), int)
+        assert parse_cell("-7") == -7
+        assert parse_cell("+7") == 7
+
+    def test_floats_stay_floats(self):
+        value = parse_cell("100.0")
+        assert value == 100.0
+        assert isinstance(value, float)
+        assert parse_cell("1e3") == 1000.0
+        assert parse_cell("-.5") == -0.5
+
+    def test_float_repr_round_trips_exactly(self):
+        for x in (59.1, 0.1 + 0.2, 1.7976931348623157e308, 5e-324):
+            assert parse_cell(str(x)) == x
+
+    def test_identifier_like_strings_stay_strings(self):
+        # underscores, nan/inf spellings and hex must not become numbers
+        for text in ("1_000", "nan", "inf", "-inf", "0x2F", "CT001", "1.2.3"):
+            assert parse_cell(text) == text
+
+    def test_leading_zero_numbers_stay_strings(self):
+        # int("04109") == 4109 would collapse distinct identifiers
+        for text in ("0123", "04109", "-0123", "007", "00.5"):
+            assert parse_cell(text) == text
+        assert parse_cell("0") == 0
+        assert parse_cell("0.5") == 0.5
+
+    def test_value_classes(self):
+        assert is_number(1) and is_number(1.5)
+        assert not is_number(True)  # bools are labels, not quantities
+        assert value_class(3) == "number"
+        assert value_class("3") == "string"
+
+
+class TestRawTable:
+    def test_duplicate_header_rejected(self):
+        with pytest.raises(MalformedSourceError, match="duplicate column name 'a'"):
+            RawTable("t", ("a", "b", "a"))
+
+    def test_blank_header_rejected(self):
+        with pytest.raises(MalformedSourceError, match="blank column name at position 2"):
+            RawTable("t", ("a", " ", "c"))
+
+    def test_zero_columns_rejected(self):
+        with pytest.raises(MalformedSourceError, match="has no columns"):
+            RawTable("t", ())
+
+    def test_column_access(self):
+        table = RawTable("t", ("a", "b"), rows=[(1, "x"), (2, "y")])
+        assert table.column_values("b") == ["x", "y"]
+        with pytest.raises(MalformedSourceError, match="has no column 'c'"):
+            table.column_index("c")

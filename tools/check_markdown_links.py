@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Markdown link check: every intra-repository link must resolve.
+
+Scans every tracked ``*.md`` file in the repository for inline links and
+images (``[text](target)`` / ``![alt](target)``) and verifies that each
+*relative* target exists on disk (anchors are stripped; external
+``http(s)://`` / ``mailto:`` targets and pure in-page ``#anchors`` are
+skipped, as are links inside fenced code blocks).
+
+Run from the repository root (CI does)::
+
+    python tools/check_markdown_links.py
+
+Exit code 0 when every link resolves; 1 with one line per broken link
+otherwise.  The test suite runs the same check
+(``tests/docs/test_docs_quality.py``), so a renamed document breaks the
+build the moment a stale link points at it.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_FENCE_RE = re.compile(r"^(```|~~~)")
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+_SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules"}
+
+
+def links_in(text: str) -> list[tuple[int, str]]:
+    """All ``(line_number, target)`` pairs outside fenced code blocks."""
+    found: list[tuple[int, str]] = []
+    in_fence = False
+    for number, line in enumerate(text.splitlines(), start=1):
+        if _FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK_RE.finditer(line):
+            found.append((number, match.group(1)))
+    return found
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    """All broken relative links of one markdown file (empty when clean)."""
+    problems: list[str] = []
+    for number, target in links_in(path.read_text(encoding="utf-8")):
+        if target.startswith(_SKIP_PREFIXES):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            try:
+                shown = resolved.relative_to(root)
+            except ValueError:  # link escapes the repository
+                shown = resolved
+            problems.append(
+                f"{path.relative_to(root)}:{number}: broken link {target!r} "
+                f"(resolves to {shown}, which does not exist)"
+            )
+    return problems
+
+
+def run(root: Path | None = None) -> list[str]:
+    """Check every markdown file under ``root``; returns all broken links."""
+    root = (root or Path(__file__).resolve().parents[1]).resolve()
+    problems: list[str] = []
+    for path in sorted(root.rglob("*.md")):
+        if _SKIP_DIRS.intersection(path.parts):
+            continue
+        problems.extend(check_file(path, root))
+    return problems
+
+
+def main() -> int:
+    problems = run()
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} broken link(s)")
+        return 1
+    print("markdown links: all resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

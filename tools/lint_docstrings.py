@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Docstring lint: every module and public class must document its contract.
+
+Checked over ``src/repro`` (and ``examples/``):
+
+* every module has a header docstring (at least 20 characters — a bare
+  title does not state a contract);
+* every public (non-underscore) module-level class has a docstring.
+
+Run from the repository root (CI does)::
+
+    python tools/lint_docstrings.py
+
+Exit code 0 when clean; 1 with one line per violation otherwise.  The
+test suite runs the same check (``tests/docs/test_docs_quality.py``), so
+a missing docstring fails locally before it fails CI.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+MIN_MODULE_DOCSTRING = 20
+
+CHECKED_TREES = ("src/repro", "examples")
+
+
+def check_file(path: Path) -> list[str]:
+    """All docstring violations of one Python file (empty when clean)."""
+    problems: list[str] = []
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    module_doc = ast.get_docstring(tree)
+    if not module_doc:
+        problems.append(f"{path}: missing module docstring")
+    elif len(module_doc.strip()) < MIN_MODULE_DOCSTRING:
+        problems.append(
+            f"{path}: module docstring is too short to state a contract "
+            f"({len(module_doc.strip())} characters)"
+        )
+    for node in tree.body:
+        if (
+            isinstance(node, ast.ClassDef)
+            and not node.name.startswith("_")
+            and not ast.get_docstring(node)
+        ):
+            problems.append(
+                f"{path}:{node.lineno}: public class {node.name!r} has no docstring"
+            )
+    return problems
+
+
+def run(root: Path | None = None) -> list[str]:
+    """Check every Python file of the linted trees; returns all violations."""
+    root = root or Path(__file__).resolve().parents[1]
+    problems: list[str] = []
+    for tree in CHECKED_TREES:
+        base = root / tree
+        for path in sorted(base.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            problems.extend(check_file(path))
+    return problems
+
+
+def main() -> int:
+    problems = run()
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} docstring violation(s)")
+        return 1
+    print("docstring lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
