@@ -1,11 +1,33 @@
-"""Setuptools shim.
+"""Setuptools entry point.
 
-The project metadata lives in ``pyproject.toml``; this file exists so the
-package can also be installed in environments without the ``wheel`` package
-(where PEP 660 editable installs are unavailable) via
-``python setup.py develop``.
+The package version has a single source — the ``__version__`` assignment in
+``src/repro/__init__.py`` — which is parsed here (not imported: the package's
+dependencies need not be installed at build time).  The file also keeps the
+project installable in environments without the ``wheel`` package (where
+PEP 660 editable installs are unavailable) via ``python setup.py develop``.
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+
+def read_version() -> str:
+    """Parse ``__version__`` out of ``src/repro/__init__.py``."""
+    text = (Path(__file__).parent / "src" / "repro" / "__init__.py").read_text()
+    match = re.search(r'^__version__ = "([^"]+)"$', text, re.MULTILINE)
+    if match is None:
+        raise RuntimeError("__version__ not found in src/repro/__init__.py")
+    return match.group(1)
+
+
+setup(
+    name="repro",
+    version=read_version(),
+    description="Stable Tuple Embeddings for Dynamic Databases (reproduction)",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy", "networkx"],
+)

@@ -15,15 +15,30 @@ Quickstart::
     model = ForwardEmbedder(db, dataset.prediction_relation).fit()
     embedding = model.embedding()           # γ : facts -> R^d
 
+Every embedding method is also available through the unified estimator API
+(``repro.api``): ``make_embedder("forward(dimension=64)")`` returns an
+:class:`~repro.api.protocol.Embedder` with ``fit / transform /
+partial_fit``, and the whole system is drivable from one command line,
+``python -m repro`` (subcommands ``ingest``, ``embed``, ``serve``,
+``replay``, ``evaluate``, ``bench``).
+
 There are three entry points: offline experiments on the bundled datasets
 (above), the online embedding service (``repro.service``,
 ``docs/SERVING.md``), and ingestion of external CSV/SQLite corpora with
-inferred schemas (``repro.io``, ``docs/INGESTION.md``).  See the
-``examples/`` directory for end-to-end scripts, ``docs/ARCHITECTURE.md``
-for the layer stack, and ``docs/REPRODUCTION.md`` for the paper-section →
-module map.
+inferred schemas (``repro.io``, ``docs/INGESTION.md``).  See ``docs/API.md``
+for the estimator protocol and method registry, the ``examples/`` directory
+for end-to-end scripts, ``docs/ARCHITECTURE.md`` for the layer stack, and
+``docs/REPRODUCTION.md`` for the paper-section → module map.
 """
 
+# The single source of the library version: setup.py parses this line, the
+# CLI's --version prints it, and saved artifacts (model directories, .npz
+# embeddings, BENCH_*.json reports) are stamped with it.  It is assigned
+# before any subpackage import so lazily importing code (persistence,
+# reports) can always read it.
+__version__ = "1.1.0"
+
+from repro.api import Embedder, make_embedder, register_method
 from repro.core import (
     ForwardConfig,
     ForwardDynamicExtender,
@@ -52,10 +67,12 @@ from repro.io import (
 )
 from repro.service import ChangeFeed, EmbeddingService, EmbeddingStore
 
-__version__ = "1.0.0"
-
 __all__ = [
     "__version__",
+    # unified estimator API
+    "Embedder",
+    "make_embedder",
+    "register_method",
     # core algorithms
     "ForwardConfig",
     "ForwardEmbedder",

@@ -1,0 +1,54 @@
+"""Unified estimator API: one protocol, one registry, one way in.
+
+Every embedding method in the system is an :class:`~repro.api.protocol.
+Embedder` — ``fit(db, relation) / transform(facts) / partial_fit(batch)`` —
+with a typed, validated config dataclass, and is constructed from a string
+spec through the method registry::
+
+    from repro.api import make_embedder
+
+    embedder = make_embedder("forward(dimension=64, epochs=10)")
+    embedder.fit(db, "TARGET", rng=0)
+    vectors = embedder.transform()          # TupleEmbedding
+    embedder.partial_fit(new_facts)         # stable dynamic extension
+
+The experiment drivers (:mod:`repro.evaluation`), the online service
+(:mod:`repro.service`), the io pipeline's embed step (:mod:`repro.io`) and
+the ``python -m repro`` CLI all resolve methods through this registry, so
+adding a method is one ``@register_method`` class — see ``docs/API.md``.
+"""
+
+from repro.api.embedders import (
+    ForwardEmbedding,
+    Node2VecEmbedding,
+    Node2VecRetrainedEmbedding,
+)
+from repro.api.protocol import Embedder, NotFittedError
+from repro.api.registry import (
+    MethodEntry,
+    MethodSpecError,
+    available_methods,
+    make_config,
+    make_embedder,
+    method_entry,
+    method_summaries,
+    parse_method_spec,
+    register_method,
+)
+
+__all__ = [
+    "Embedder",
+    "NotFittedError",
+    "ForwardEmbedding",
+    "Node2VecEmbedding",
+    "Node2VecRetrainedEmbedding",
+    "MethodEntry",
+    "MethodSpecError",
+    "available_methods",
+    "make_config",
+    "make_embedder",
+    "method_entry",
+    "method_summaries",
+    "parse_method_spec",
+    "register_method",
+]

@@ -1,0 +1,215 @@
+"""Method registry and the ``"name(key=value, ...)"`` spec mini-language.
+
+Layer: ``api`` (unified estimator surface).
+
+Every embedding method registers itself once (``@register_method``) with its
+config dataclass and kwarg aliases; every consumer — the experiment drivers,
+the serving layer, the io pipeline's embed step, the benchmarks and the
+``python -m repro`` CLI — then resolves methods the same way::
+
+    make_embedder("forward")                          # paper defaults
+    make_embedder("forward(dimension=64, epochs=10)") # overrides
+    make_embedder("node2vec(dim=32, walks=10)")       # aliases expand
+
+Specs are parsed with :mod:`ast` (keyword arguments with literal values
+only), then validated against the method's config dataclass: unknown
+methods, unknown parameters and type mismatches all raise
+:class:`MethodSpecError` with an actionable message.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.protocol import Embedder
+
+
+class MethodSpecError(ValueError):
+    """A method spec failed to parse or validate."""
+
+
+@dataclass(frozen=True)
+class MethodEntry:
+    """One registered embedding method."""
+
+    name: str
+    embedder_class: type
+    config_class: type
+    aliases: Mapping[str, str] = field(default_factory=dict)
+    """Spec-kwarg shorthands, e.g. ``dim`` → ``dimension``."""
+    summary: str = ""
+
+    def parameter_names(self) -> tuple[str, ...]:
+        """Valid spec kwargs: config fields plus the registered aliases."""
+        return (*self.config_class.field_types(), *self.aliases)
+
+
+_REGISTRY: dict[str, MethodEntry] = {}
+
+
+def register_method(
+    name: str,
+    *,
+    config: type,
+    aliases: Mapping[str, str] | None = None,
+    summary: str = "",
+):
+    """Class decorator registering an :class:`Embedder` under ``name``.
+
+    ``config`` is the method's hyper-parameter dataclass (a
+    :class:`~repro.core.config.ConfigBase` subclass); ``aliases`` maps spec
+    shorthands onto its field names.  Registering an existing name raises —
+    methods are process-global, so silent replacement would be a footgun.
+    """
+
+    def decorate(cls):
+        if name in _REGISTRY:
+            raise ValueError(f"method {name!r} is already registered")
+        for alias, target in (aliases or {}).items():
+            if target not in config.field_types():
+                raise ValueError(
+                    f"alias {alias!r} of method {name!r} targets unknown "
+                    f"config field {target!r}"
+                )
+        _REGISTRY[name] = MethodEntry(
+            name=name,
+            embedder_class=cls,
+            config_class=config,
+            aliases=dict(aliases or {}),
+            summary=summary,
+        )
+        return cls
+
+    return decorate
+
+
+def available_methods() -> tuple[str, ...]:
+    """Names of all registered methods, registration order."""
+    _ensure_builtins()
+    return tuple(_REGISTRY)
+
+
+def method_entry(name: str) -> MethodEntry:
+    """The registry entry for ``name`` (raises :class:`MethodSpecError`)."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise MethodSpecError(
+            f"unknown embedding method {name!r}; "
+            f"available methods: {', '.join(_REGISTRY)}"
+        ) from None
+
+
+def method_summaries() -> dict[str, str]:
+    """``{name: one-line summary}`` for CLI help output."""
+    _ensure_builtins()
+    return {name: entry.summary for name, entry in _REGISTRY.items()}
+
+
+def parse_method_spec(spec: str) -> tuple[str, dict[str, Any]]:
+    """Split ``"name(key=value, ...)"`` into the name and raw kwargs.
+
+    The bare form ``"name"`` is valid (empty kwargs).  Values must be
+    Python literals (numbers, strings, booleans); positional arguments and
+    expressions are rejected with a pointer at the kwarg grammar.
+    """
+    if not isinstance(spec, str) or not spec.strip():
+        raise MethodSpecError(
+            f"method spec must be a non-empty string like "
+            f"'forward(dimension=64)', got {spec!r}"
+        )
+    text = spec.strip()
+    try:
+        tree = ast.parse(text, mode="eval")
+    except SyntaxError:
+        raise MethodSpecError(
+            f"could not parse method spec {spec!r}; expected "
+            "'name' or 'name(key=value, ...)'"
+        ) from None
+    node = tree.body
+    if isinstance(node, ast.Name):
+        return node.id, {}
+    if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)):
+        raise MethodSpecError(
+            f"could not parse method spec {spec!r}; expected "
+            "'name' or 'name(key=value, ...)'"
+        )
+    if node.args:
+        raise MethodSpecError(
+            f"method spec {spec!r} uses positional arguments; "
+            "spell every parameter as key=value"
+        )
+    kwargs: dict[str, Any] = {}
+    for keyword in node.keywords:
+        if keyword.arg is None:
+            raise MethodSpecError(
+                f"method spec {spec!r} uses '**'; spell every parameter "
+                "as key=value"
+            )
+        try:
+            kwargs[keyword.arg] = ast.literal_eval(keyword.value)
+        except ValueError:
+            raise MethodSpecError(
+                f"method spec {spec!r}: value of {keyword.arg!r} must be a "
+                "literal (number, string or boolean)"
+            ) from None
+    return node.func.id, kwargs
+
+
+def _resolve_aliases(entry: MethodEntry, kwargs: Mapping[str, Any]) -> dict[str, Any]:
+    """Map spec kwargs onto canonical config field names (validating keys)."""
+    fields = entry.config_class.field_types()
+    resolved: dict[str, Any] = {}
+    for key, value in kwargs.items():
+        target = entry.aliases.get(key, key)
+        if target not in fields:
+            raise MethodSpecError(
+                f"method {entry.name!r} has no parameter {key!r}; "
+                f"valid parameters: {', '.join(entry.parameter_names())}"
+            )
+        if target in resolved:
+            raise MethodSpecError(
+                f"method {entry.name!r}: parameter {target!r} given twice "
+                f"(as {target!r} and via its alias)"
+            )
+        resolved[target] = value
+    return resolved
+
+
+def _build_config(entry: MethodEntry, resolved: Mapping[str, Any]):
+    try:
+        return entry.config_class.from_dict(resolved)
+    except (ValueError, TypeError) as error:
+        raise MethodSpecError(f"method {entry.name!r}: {error}") from None
+
+
+def make_config(name: str, kwargs: Mapping[str, Any]):
+    """Build the validated config of method ``name`` from spec kwargs."""
+    entry = method_entry(name)
+    return _build_config(entry, _resolve_aliases(entry, kwargs))
+
+
+def make_embedder(spec: str, **overrides: Any) -> "Embedder":
+    """Construct an unfitted :class:`Embedder` from a spec string.
+
+    ``overrides`` are merged over the spec's own kwargs (aliases apply to
+    both), which is how the CLI layers flag overrides over a config file::
+
+        make_embedder("forward(dimension=64)", epochs=3)
+    """
+    name, kwargs = parse_method_spec(spec)
+    entry = method_entry(name)
+    # canonicalise both sides before merging so an override spelled
+    # ``dimension=...`` replaces a spec kwarg spelled ``dim=...``
+    merged = _resolve_aliases(entry, kwargs)
+    merged.update(_resolve_aliases(entry, overrides))
+    return entry.embedder_class(_build_config(entry, merged))
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in embedders so their registrations run."""
+    import repro.api.embedders  # noqa: F401  (registration side effect)

@@ -1,0 +1,321 @@
+"""The shared argument/config layer of every ``python -m repro`` subcommand.
+
+Every subcommand gets two standard options:
+
+* ``--config FILE`` — a JSON (or YAML, with pyyaml installed) file whose
+  keys are the subcommand's long option names (dashes or underscores).
+  Explicit command-line flags override file values, which override the
+  built-in defaults — implemented as a second parse with the file's values
+  installed as parser defaults.
+* ``--seed N`` — the single RNG seed, threaded through dataset generation,
+  engine sampling and model initialisation so two runs of the same spec
+  are bit-identical.
+
+:func:`parse_with_config` performs the two-pass parse; :class:`CLIError`
+is the "print message, exit 2" error channel shared by all subcommands.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+
+class CLIError(Exception):
+    """An actionable user-facing CLI failure (printed to stderr, exit 2)."""
+
+
+def make_runner(
+    prog: str,
+    description: str,
+    add_arguments: Callable[[argparse.ArgumentParser], None],
+    execute: Callable[[argparse.Namespace], int],
+) -> Callable[[Sequence[str] | None], int]:
+    """Build a subcommand module's standalone ``run(argv)`` entry point.
+
+    Every subcommand runs the same way — build the parser, apply the
+    config layer, execute, and turn :class:`CLIError` into an ``error:``
+    line with exit code 2 — so the wrapper lives here once.
+    """
+
+    def run(argv: Sequence[str] | None = None) -> int:
+        parser = argparse.ArgumentParser(prog=prog, description=description)
+        add_arguments(parser)
+        try:
+            args = parse_with_config(parser, argv)
+            return execute(args)
+        except CLIError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+    return run
+
+
+def add_ingest_options(parser: argparse.ArgumentParser) -> None:
+    """The ingestion knobs shared by every subcommand that reads ``--source``."""
+    parser.add_argument(
+        "--overrides", help="override spec file (JSON, or YAML with pyyaml)"
+    )
+    parser.add_argument("--delimiter", help="CSV cell delimiter (default: comma)")
+    parser.add_argument(
+        "--encoding",
+        help="CSV file encoding (default: utf-8-sig, which strips Excel's BOM)",
+    )
+    parser.add_argument(
+        "--allow-dangling", action="store_true",
+        help="tolerate dangling foreign-key references instead of failing",
+    )
+
+
+def ingest_source(args: argparse.Namespace):
+    """Ingest ``args.source`` honoring the shared ingestion flags.
+
+    One implementation for ``ingest``/``embed``/``serve``/``evaluate``:
+    returns the :class:`~repro.io.pipeline.IngestResult`, turning every
+    :class:`~repro.io.errors.IngestionError` into a :class:`CLIError`.
+    """
+    from repro.io.errors import IngestionError
+    from repro.io.pipeline import ingest_path
+
+    try:
+        return ingest_path(
+            args.source,
+            overrides=getattr(args, "overrides", None),
+            delimiter=getattr(args, "delimiter", None),
+            encoding=getattr(args, "encoding", None),
+            allow_dangling=getattr(args, "allow_dangling", False),
+        )
+    except IngestionError as error:
+        raise CLIError(str(error)) from None
+
+
+def load_dataset_or_error(name: str, scale: float, seed: int | None):
+    """``load_dataset`` with unknown names turned into a :class:`CLIError`."""
+    from repro.datasets import load_dataset
+
+    try:
+        return load_dataset(name, scale=scale, seed=seed)
+    except KeyError as error:
+        raise CLIError(str(error.args[0])) from None
+
+
+def checked_relation(schema, relation: str) -> str:
+    """``relation``, or an actionable error listing what the schema has."""
+    if not schema.has_relation(relation):
+        raise CLIError(
+            f"unknown relation {relation!r}; available relations: "
+            f"{', '.join(schema.relation_names)}"
+        )
+    return relation
+
+
+def checked_ingested_relation(schema, relation: str) -> str:
+    """Like :func:`checked_relation`, phrased for a just-ingested source."""
+    if not schema.has_relation(relation):
+        raise CLIError(
+            f"relation {relation!r} was not ingested; "
+            f"ingested relations are: {', '.join(schema.relation_names)}"
+        )
+    return relation
+
+
+def masked_database(db, relation: str, attribute: str):
+    """``db`` with ``relation.attribute`` hidden (validated first)."""
+    rel_schema = db.schema.relation(relation)
+    if not rel_schema.has_attribute(attribute):
+        raise CLIError(
+            f"relation {relation!r} has no attribute {attribute!r}; "
+            f"its attributes are: {', '.join(rel_schema.attribute_names)}"
+        )
+    if attribute in rel_schema.key:
+        raise CLIError(
+            f"{attribute!r} is part of the key of {relation!r} and cannot "
+            "be hidden for embedding; pick a non-key prediction attribute"
+        )
+    return db.mask_attribute(relation, attribute)
+
+
+def add_standard_options(parser: argparse.ArgumentParser, seed: int = 0) -> None:
+    """Attach the shared ``--config`` / ``--seed`` options."""
+    parser.add_argument(
+        "--config",
+        metavar="FILE",
+        help="JSON/YAML file of option defaults (keys = long option names); "
+        "explicit flags override it",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=seed,
+        help=f"RNG seed plumbed end-to-end (default: {seed})",
+    )
+
+
+def load_config_file(path: str | Path) -> dict[str, Any]:
+    """Load a JSON or YAML mapping of option defaults."""
+    path = Path(path)
+    if not path.exists():
+        raise CLIError(f"config file {path} does not exist")
+    text = path.read_text()
+    if path.suffix.lower() in (".yaml", ".yml"):
+        try:
+            import yaml
+        except ImportError:
+            raise CLIError(
+                f"config file {path} is YAML but pyyaml is not installed; "
+                "install pyyaml or use a JSON config file"
+            ) from None
+        values = yaml.safe_load(text)
+    else:
+        try:
+            values = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise CLIError(f"config file {path} is not valid JSON: {error}") from None
+    if not isinstance(values, dict):
+        raise CLIError(
+            f"config file {path} must hold a mapping of option names to "
+            f"values, got {type(values).__name__}"
+        )
+    return values
+
+
+def _option_actions(parser: argparse.ArgumentParser) -> dict[str, argparse.Action]:
+    """Config-settable actions, keyed by long option name *and* dest.
+
+    Config keys are documented as the long option names (``walk-length`` /
+    ``walk_length``), which for renamed-dest options (``--samples`` →
+    ``n_samples``) differ from the dest; both spellings resolve here.
+    ``--config`` itself is excluded.
+    """
+    actions: dict[str, argparse.Action] = {}
+    for action in parser._actions:  # noqa: SLF001 - argparse has no public walk
+        if action.dest in ("help", "config") or action.dest is argparse.SUPPRESS:
+            continue
+        if not action.option_strings:
+            # positionals are consumed in the first parse pass, before the
+            # config file is read — defaults can never satisfy them
+            continue
+        actions.setdefault(action.dest, action)
+        for option in action.option_strings:
+            if option.startswith("--"):
+                actions.setdefault(option[2:].replace("-", "_"), action)
+    return actions
+
+
+def _explicit_dests(
+    parser: argparse.ArgumentParser, argv: Sequence[str]
+) -> set[str]:
+    """Dests of options the user actually typed on the command line.
+
+    Matches exact option strings and argparse's unambiguous ``--pref``
+    prefix abbreviations, so an abbreviated flag still counts as explicit.
+    """
+    dest_of: dict[str, str] = {}
+    for action in parser._actions:  # noqa: SLF001 - argparse has no public walk
+        for option in action.option_strings:
+            dest_of[option] = action.dest
+    explicit: set[str] = set()
+    for token in argv:
+        option = token.split("=", 1)[0]
+        if option in dest_of:
+            explicit.add(dest_of[option])
+        elif option.startswith("--") and len(option) > 2:
+            prefixed = {dest for opt, dest in dest_of.items() if opt.startswith(option)}
+            if len(prefixed) == 1:
+                explicit.add(prefixed.pop())
+    return explicit
+
+
+def parse_with_config(
+    parser: argparse.ArgumentParser,
+    argv: Sequence[str] | None,
+    *,
+    defaults_target: argparse.ArgumentParser | None = None,
+) -> argparse.Namespace:
+    """Parse ``argv``, layering ``--config`` file values under explicit flags.
+
+    First pass parses normally; if ``--config`` was given, the file's values
+    (validated against the subcommand's options, with dashes normalised to
+    underscores and string values coerced through the option's ``type``)
+    become parser defaults and ``argv`` is parsed again — so flags the user
+    actually typed keep winning.  A typed flag also suppresses config
+    defaults for the *other* members of its mutually exclusive group (e.g.
+    ``--source`` on the command line beats ``dataset`` in the file).
+    ``defaults_target`` is the subparser to install defaults on when
+    ``parser`` is the top-level command.
+    """
+    argv = list(sys.argv[1:] if argv is None else argv)
+    args = parser.parse_args(argv)
+    target = defaults_target or parser
+    # which options were actually typed (vs defaulted) — subcommands use
+    # this to detect contradictions like --method plus hyper-parameter flags
+    args._explicit_dests = _explicit_dests(target, argv)
+    config_path = getattr(args, "config", None)
+    if not config_path:
+        return args
+    actions = _option_actions(target)
+    values = load_config_file(config_path)
+    defaults: dict[str, Any] = {}
+    for raw_key, value in values.items():
+        action = actions.get(str(raw_key).replace("-", "_"))
+        if action is None:
+            raise CLIError(
+                f"config file {config_path}: unknown option {raw_key!r}; "
+                f"valid options: {', '.join(sorted(set(actions)))}"
+            )
+        if action.nargs in ("+", "*") and not isinstance(value, list):
+            # a scalar for a list option is the natural spelling in a config
+            # file; installing it raw would later be iterated char by char
+            value = [value]
+
+        def coerce(item, action=action, raw_key=raw_key):
+            kind = action.type
+            if kind is None or item is None:
+                return item
+            if not isinstance(kind, type):  # converter function: strings only
+                return kind(item) if isinstance(item, str) else item
+            if isinstance(item, kind) and not (kind is not bool and isinstance(item, bool)):
+                return item
+            convertible = isinstance(item, str) or (
+                kind is float and isinstance(item, int) and not isinstance(item, bool)
+            )
+            if convertible:
+                try:
+                    return kind(item)
+                except (TypeError, ValueError):
+                    pass
+            raise CLIError(
+                f"config file {config_path}: option {raw_key!r} expects "
+                f"{kind.__name__}, got {item!r}"
+            )
+
+        value = [coerce(item) for item in value] if isinstance(value, list) else coerce(value)
+        if action.choices is not None:
+            items = value if isinstance(value, list) else [value]
+            for item in items:
+                if item not in action.choices:
+                    raise CLIError(
+                        f"config file {config_path}: option {raw_key!r} must be "
+                        f"one of {', '.join(map(str, action.choices))}, got {item!r}"
+                    )
+        defaults[action.dest] = value
+    explicit = _explicit_dests(target, argv)
+    for group in target._mutually_exclusive_groups:  # noqa: SLF001
+        dests = [a.dest for a in group._group_actions]  # noqa: SLF001
+        if any(dest in explicit for dest in dests):
+            for dest in dests:
+                if dest not in explicit:
+                    defaults.pop(dest, None)
+    target.set_defaults(**defaults)
+    args = parser.parse_args(argv)
+    args._explicit_dests = _explicit_dests(target, argv)
+    return args
+
+
+def require(args: argparse.Namespace, name: str, flag: str) -> Any:
+    """Fetch an option that must be set by flag or config file."""
+    value = getattr(args, name)
+    if value is None:
+        raise CLIError(f"{flag} is required (pass the flag or set it in --config)")
+    return value

@@ -1,0 +1,151 @@
+"""``python -m repro evaluate`` — the paper's experiments from method specs.
+
+::
+
+    python -m repro evaluate --dataset world --scale 0.3 \\
+        --methods "forward(dimension=32)" "node2vec(dim=32)" \\
+        --experiment static --n-splits 5 --out results.json
+
+Runs the static (Table III) or dynamic (Table IV/Figure 5) experiment on a
+bundled/registered dataset — or an ingested source via ``--source`` with
+``--relation``/``--attribute`` — for every given method spec, prints the
+ASCII table and optionally writes a version-stamped JSON report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.cli.common import (
+    CLIError,
+    add_ingest_options,
+    add_standard_options,
+    ingest_source,
+    load_dataset_or_error,
+    make_runner,
+)
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Declare the subcommand's options on ``parser``."""
+    what = parser.add_mutually_exclusive_group()
+    what.add_argument("--dataset", help="bundled or registered dataset name")
+    what.add_argument("--source", help="CSV directory or SQLite file to ingest")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="dataset generation scale (datasets only)")
+    parser.add_argument("--relation", help="prediction relation (required with --source)")
+    parser.add_argument("--attribute", help="prediction attribute (required with --source)")
+    parser.add_argument(
+        "--methods", nargs="+", default=["forward"], metavar="SPEC",
+        help='method specs, e.g. "forward(dimension=32)" "node2vec(dim=32)"',
+    )
+    parser.add_argument("--experiment", choices=("static", "dynamic"), default="static")
+    parser.add_argument("--n-splits", type=int, default=10,
+                        help="cross-validation folds (static)")
+    parser.add_argument("--n-runs", type=int, default=3,
+                        help="repetitions of the dynamic protocol")
+    parser.add_argument("--ratio", type=float, default=0.1,
+                        help="new-data ratio of the dynamic experiment")
+    parser.add_argument("--mode", choices=("one_by_one", "all_at_once"),
+                        default="one_by_one", help="dynamic insertion mode")
+    parser.add_argument("--fresh-per-fold", action="store_true",
+                        help="train a fresh embedding per fold (paper protocol; slow)")
+    parser.add_argument("--no-baselines", action="store_true",
+                        help="skip the majority/flat baselines (static)")
+    parser.add_argument("--out", help="optional JSON report path")
+    add_ingest_options(parser)
+    add_standard_options(parser)
+
+
+def _resolve_dataset(args: argparse.Namespace):
+    if args.dataset and args.source:
+        raise CLIError("pass --dataset or --source, not both")
+    if args.dataset:
+        return load_dataset_or_error(args.dataset, args.scale, args.seed)
+    if args.source:
+        if not (args.relation and args.attribute):
+            raise CLIError("--source needs --relation and --attribute")
+        result = ingest_source(args)
+        try:
+            return result.dataset(args.relation, args.attribute)
+        except (KeyError, ValueError) as error:
+            raise CLIError(str(error)) from None
+    raise CLIError("pass --dataset NAME or --source PATH")
+
+
+def execute(args: argparse.Namespace) -> int:
+    """Run an already parsed evaluate invocation."""
+    from repro.api import MethodSpecError
+    from repro.evaluation import (
+        format_dynamic_table,
+        format_static_table,
+        method_from_spec,
+        run_dynamic_experiment,
+        run_static_experiment,
+    )
+
+    out = Path(args.out) if args.out else None
+    if out is not None:
+        # create the report directory before the (possibly long) experiment,
+        # so a bad path fails now instead of discarding the results at the end
+        try:
+            out.parent.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            raise CLIError(f"cannot create report directory {out.parent}: {error}") from None
+    dataset = _resolve_dataset(args)
+    try:
+        methods = [method_from_spec(spec) for spec in args.methods]
+    except MethodSpecError as error:
+        raise CLIError(str(error)) from None
+
+    if args.experiment == "static":
+        results = run_static_experiment(
+            dataset,
+            methods,
+            n_splits=args.n_splits,
+            fresh_embedding_per_fold=args.fresh_per_fold,
+            include_baselines=not args.no_baselines,
+            rng=args.seed,
+        )
+        print(format_static_table(results))
+    else:
+        results = [
+            run_dynamic_experiment(
+                dataset,
+                method,
+                ratio_new=args.ratio,
+                mode=args.mode,
+                n_runs=args.n_runs,
+                rng=args.seed,
+            )
+            for method in methods
+        ]
+        print(format_dynamic_table(results))
+
+    if out is not None:
+        from repro import __version__
+
+        report = {
+            "repro_version": __version__,
+            "experiment": args.experiment,
+            "dataset": dataset.name,
+            "scale": args.scale,
+            "seed": args.seed,
+            "methods": list(args.methods),
+            "results": [dataclasses.asdict(result) for result in results],
+        }
+        out.write_text(json.dumps(report, indent=2))
+        print(f"\nReport written to {out}")
+    return 0
+
+
+run = make_runner(
+    "python -m repro evaluate",
+    "Run the paper's static or dynamic experiment from method specs.",
+    add_arguments,
+    execute,
+)
+"""Standalone entry: parse, run the experiment, print the table."""

@@ -1,0 +1,184 @@
+"""``python -m repro ingest`` — files → database → embeddings → saved model.
+
+::
+
+    python -m repro ingest data/ --out artifacts/ --relation TARGET \\
+        --attribute target [--method "forward(dimension=32)"] [--report]
+
+ingests a CSV directory or SQLite file (schema, keys and foreign keys
+inferred, correctable via an override spec), writes ``schema.json``,
+``report.json`` and a fact-id-preserving ``database.json``, then — when
+``--relation`` is given — trains the chosen embedding method on that
+relation (hiding ``--attribute``, the paper's protocol) and saves
+``embeddings.npz`` plus, for FoRWaRD, a restartable model directory.  The
+method is a registry spec (default: FoRWaRD built from the legacy
+hyper-parameter flags).  Exit code 0 on success, 2 on any ingestion or
+embedding failure (with an actionable message on stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.cli.common import (
+    CLIError,
+    add_ingest_options,
+    add_standard_options,
+    checked_ingested_relation,
+    ingest_source,
+    make_runner,
+    masked_database,
+    require,
+)
+
+
+#: The legacy hyper-parameter flags by dest and their defaults — the single
+#: source for both the argparse declarations below and the --method conflict
+#: check (a spec supersedes the flags completely, so a changed flag errors).
+_HYPER_FLAG_DEFAULTS = {
+    "dimension": 32, "epochs": 5, "n_samples": 2000,
+    "max_walk_length": 2, "batch_size": 4096, "learning_rate": 0.01,
+}
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Declare the subcommand's options on ``parser``."""
+    parser.add_argument("source", help="directory of .csv files, or a SQLite file")
+    parser.add_argument(
+        "--out", help="output directory for artifacts (flag or config file)"
+    )
+    parser.add_argument(
+        "--relation",
+        help="relation to embed (omit to only ingest and save the database)",
+    )
+    parser.add_argument(
+        "--attribute",
+        help="prediction attribute to hide during embedding (paper protocol); "
+        "requires --relation",
+    )
+    parser.add_argument(
+        "--method",
+        help="embedding method spec, e.g. \"forward(dimension=32, epochs=5)\" "
+        "(default: forward built from the hyper-parameter flags below)",
+    )
+    add_ingest_options(parser)
+    parser.add_argument(
+        "--report", action="store_true", help="print the full inference report"
+    )
+    embedding = parser.add_argument_group(
+        "embedding hyper-parameters (use these or a --method spec, not both)"
+    )
+    defaults = _HYPER_FLAG_DEFAULTS
+    embedding.add_argument("--dimension", type=int, default=defaults["dimension"])
+    embedding.add_argument("--epochs", type=int, default=defaults["epochs"])
+    embedding.add_argument(
+        "--samples", type=int, default=defaults["n_samples"], dest="n_samples"
+    )
+    embedding.add_argument(
+        "--walk-length", type=int, default=defaults["max_walk_length"],
+        dest="max_walk_length",
+    )
+    embedding.add_argument("--batch-size", type=int, default=defaults["batch_size"])
+    embedding.add_argument("--learning-rate", type=float, default=defaults["learning_rate"])
+    add_standard_options(parser)
+
+
+def _make_embedder(args: argparse.Namespace):
+    """The embedder for the embed step: spec if given, legacy flags otherwise."""
+    from repro.api import ForwardEmbedding, MethodSpecError, make_embedder
+    from repro.core.config import ForwardConfig
+
+    if args.method:
+        typed = getattr(args, "_explicit_dests", set())
+        changed = [name for name in _HYPER_FLAG_DEFAULTS if name in typed]
+        if changed:
+            # silently training with the spec's values while the user typed
+            # hyper-parameter flags would be a trap; make the conflict
+            # explicit (config-file defaults do not count as typed)
+            raise CLIError(
+                f"--method supersedes the hyper-parameter flags, but "
+                f"{', '.join(changed)} were given explicitly; put them "
+                f"inside the spec instead, e.g. \"forward({changed[0]}=...)\""
+            )
+        try:
+            return make_embedder(args.method)
+        except MethodSpecError as error:
+            raise CLIError(str(error)) from None
+    try:
+        config = ForwardConfig(
+            dimension=args.dimension,
+            n_samples=args.n_samples,
+            batch_size=args.batch_size,
+            max_walk_length=args.max_walk_length,
+            epochs=args.epochs,
+            learning_rate=args.learning_rate,
+        )
+    except ValueError as error:
+        raise CLIError(f"embedding failed: {error}") from None
+    return ForwardEmbedding(config)
+
+
+def execute(args: argparse.Namespace) -> int:
+    """Run an already parsed ingest invocation."""
+    from repro.db.serialization import save_database_json, schema_to_dict
+
+    require(args, "out", "--out")
+    if args.attribute and not args.relation:
+        raise CLIError("--attribute requires --relation")
+    result = ingest_source(args)
+    print(result.summary())
+    if args.report:
+        print(result.report.format())
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    (out / "schema.json").write_text(json.dumps(schema_to_dict(result.schema), indent=2))
+    (out / "report.json").write_text(json.dumps(result.report.to_dict(), indent=2))
+    save_database_json(result.database, out / "database.json", include_fact_ids=True)
+    print(f"wrote {out / 'schema.json'}, {out / 'report.json'}, {out / 'database.json'}")
+
+    if not args.relation:
+        return 0
+    checked_ingested_relation(result.schema, args.relation)
+
+    from repro.core.forward import ForwardModel
+    from repro.core.persistence import save_embedding, save_forward_model
+
+    db = result.database
+    if args.attribute:
+        db = masked_database(db, args.relation, args.attribute)
+    embedder = _make_embedder(args)
+    try:
+        embedder.fit(db, args.relation, rng=args.seed)
+    except ValueError as error:
+        raise CLIError(f"embedding failed: {error}") from None
+    embedding = embedder.transform()
+    save_embedding(embedding, out / "embeddings.npz")
+    model = embedder.model_
+    if isinstance(model, ForwardModel):
+        save_forward_model(model, out / "model")
+        print(
+            f"embedded {len(model.fact_ids)} {args.relation} facts "
+            f"(d={model.config.dimension}, {len(model.targets)} walk targets, "
+            f"final loss {model.loss_history[-1]:.4f}); "
+            f"wrote {out / 'embeddings.npz'} and {out / 'model'}/"
+        )
+    else:
+        print(
+            f"embedded {len(embedding)} facts with {args.method or 'forward'} "
+            f"(d={embedder.dimension}); wrote {out / 'embeddings.npz'}"
+        )
+    return 0
+
+
+run = make_runner(
+    "python -m repro ingest",
+    "Ingest a CSV directory or SQLite file into a typed database "
+    "(schema, keys and foreign keys inferred), optionally train "
+    "embeddings on one relation, and save all artifacts.",
+    add_arguments,
+    execute,
+)
+"""The CLI: ingest, optionally embed, save artifacts.  Returns the exit code."""

@@ -12,11 +12,83 @@ benchmarks.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
+from typing import Any, Mapping
+
+#: Accepted Python types per declared field type.  ``bool`` is checked before
+#: ``int`` (it is an ``int`` subclass); ``float`` fields accept ints.
+_ACCEPTED: dict[str, tuple[type, ...]] = {
+    "int": (int,),
+    "float": (int, float),
+    "bool": (bool,),
+    "str": (str,),
+}
+
+
+class ConfigBase:
+    """Dict round-tripping shared by every hyper-parameter dataclass.
+
+    Subclasses are plain dataclasses; this mixin adds :meth:`to_dict` and a
+    validating :meth:`from_dict` so configs can travel through JSON/YAML
+    files, method-spec strings (:mod:`repro.api.registry`) and saved-model
+    metadata without losing type safety.  ``from_dict`` rejects unknown keys
+    and type mismatches with actionable messages instead of letting bad
+    values surface deep inside training.
+    """
+
+    def to_dict(self) -> dict[str, Any]:
+        """The config as a JSON-safe ``{field: value}`` dict."""
+        return dataclasses.asdict(self)  # type: ignore[call-overload]
+
+    @classmethod
+    def field_types(cls) -> dict[str, str]:
+        """Declared type *name* of every config field, in declaration order.
+
+        Annotations arrive as strings under ``from __future__ import
+        annotations`` but as type objects without it; both normalise to the
+        name here so validation works for extension configs either way.
+        """
+        return {
+            f.name: (f.type.__name__ if isinstance(f.type, type) else str(f.type))
+            for f in dataclasses.fields(cls)  # type: ignore[arg-type]
+        }
+
+    @classmethod
+    def from_dict(cls, values: Mapping[str, Any]):
+        """Build a validated config from a mapping.
+
+        Raises ``ValueError`` naming the offending key for unknown fields
+        (listing the valid ones) and for type mismatches (stating the
+        expected and received type); range violations are caught by the
+        dataclass's own ``__post_init__``.
+        """
+        types = cls.field_types()
+        cleaned: dict[str, Any] = {}
+        for key, value in values.items():
+            if key not in types:
+                raise ValueError(
+                    f"{cls.__name__} has no parameter {key!r}; "
+                    f"valid parameters: {', '.join(types)}"
+                )
+            declared = types[key]
+            accepted = _ACCEPTED.get(declared)
+            if accepted is not None:
+                if isinstance(value, bool) and declared != "bool":
+                    raise ValueError(
+                        f"{cls.__name__}.{key} expects {declared}, got {value!r} (bool)"
+                    )
+                if not isinstance(value, accepted):
+                    raise ValueError(
+                        f"{cls.__name__}.{key} expects {declared}, "
+                        f"got {value!r} ({type(value).__name__})"
+                    )
+            cleaned[key] = value
+        return cls(**cleaned)
 
 
 @dataclass
-class ForwardConfig:
+class ForwardConfig(ConfigBase):
     """Hyper-parameters of the FoRWaRD embedder."""
 
     dimension: int = 100
@@ -57,7 +129,7 @@ class ForwardConfig:
 
 
 @dataclass
-class Node2VecConfig:
+class Node2VecConfig(ConfigBase):
     """Hyper-parameters of the Node2Vec adaptation."""
 
     dimension: int = 100

@@ -23,12 +23,27 @@ from repro.kernels.numeric import GaussianKernel
 from repro.kernels.text import EditDistanceKernel, TokenJaccardKernel
 
 
+def _library_version() -> str:
+    """The stamping version (read lazily to avoid an import cycle)."""
+    from repro import __version__
+
+    return __version__
+
+
 def save_embedding(embedding: TupleEmbedding, path: str | Path) -> None:
-    """Write a tuple embedding to a ``.npz`` file (fact ids + matrix)."""
+    """Write a tuple embedding to a ``.npz`` file (fact ids + matrix).
+
+    The file carries the library version it was written by (``repro_version``)
+    so saved artifacts are traceable; loaders ignore the stamp.
+    """
     fact_ids = np.array(embedding.fact_ids, dtype=np.int64)
     matrix = embedding.matrix(fact_ids) if len(fact_ids) else np.zeros((0, embedding.dimension))
     np.savez_compressed(
-        Path(path), fact_ids=fact_ids, vectors=matrix, dimension=np.array([embedding.dimension])
+        Path(path),
+        fact_ids=fact_ids,
+        vectors=matrix,
+        dimension=np.array([embedding.dimension]),
+        repro_version=np.array(_library_version()),
     )
 
 
@@ -112,6 +127,7 @@ def save_forward_model(model: ForwardModel, directory: str | Path) -> None:
     )
     config = model.config
     metadata = {
+        "repro_version": _library_version(),
         "relation": model.relation,
         "loss_history": list(model.loss_history),
         "config": {

@@ -19,7 +19,9 @@ from repro.evaluation.methods import (
     EmbeddingMethod,
     ForwardMethod,
     Node2VecMethod,
+    SpecMethod,
     method_by_name,
+    method_from_spec,
 )
 from repro.evaluation.baselines import FlatFeatureBaseline, majority_baseline_accuracy
 from repro.evaluation.static_experiment import StaticResult, run_static_experiment
@@ -41,7 +43,9 @@ __all__ = [
     "EmbeddingMethod",
     "ForwardMethod",
     "Node2VecMethod",
+    "SpecMethod",
     "method_by_name",
+    "method_from_spec",
     "FlatFeatureBaseline",
     "majority_baseline_accuracy",
     "StaticResult",

@@ -1,10 +1,16 @@
-"""A uniform interface over the two embedding methods.
+"""A uniform interface over the embedding methods.
 
 The experiment drivers only need three operations from a method: fit a
 static embedding on a database, read off the embedding of a set of facts,
-and produce a dynamic extender bound to the (mutating) database.  This
-module wraps FoRWaRD and the Node2Vec adaptation behind that interface so
-the experiment code is written once.
+and produce a dynamic extender bound to the (mutating) database.  Since the
+unified estimator API (:mod:`repro.api`) exists, this module is a thin
+adapter over it: each :class:`EmbeddingMethod` delegates to the
+corresponding :class:`~repro.api.protocol.Embedder`, and
+:func:`method_from_spec` resolves any registered method from the same
+``"name(key=value)"`` specs the CLI and the service use.  The adapter keeps
+the drivers' model-passing calling convention (``fit`` returns the method's
+raw model object) so existing experiment code and persisted artifacts are
+untouched.
 """
 
 from __future__ import annotations
@@ -13,17 +19,20 @@ import abc
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
-import numpy as np
-
+from repro.api.embedders import ForwardEmbedding, Node2VecEmbedding
+from repro.api.protocol import Embedder
+from repro.api.registry import (
+    make_config,
+    make_embedder,
+    method_entry,
+    parse_method_spec,
+)
 from repro.core.base import TupleEmbedding
 from repro.core.config import ForwardConfig, Node2VecConfig
-from repro.core.forward import ForwardEmbedder, ForwardModel
-from repro.core.forward_dynamic import ForwardDynamicExtender
-from repro.core.node2vec import Node2VecEmbedder, Node2VecModel
-from repro.core.node2vec_dynamic import Node2VecDynamicExtender
+from repro.core.forward import ForwardModel
+from repro.core.node2vec import Node2VecModel
 from repro.db.database import Database, Fact
 from repro.engine import WalkEngine
-from repro.utils.rng import ensure_rng
 
 
 class DynamicExtender(abc.ABC):
@@ -35,6 +44,19 @@ class DynamicExtender(abc.ABC):
 
     def notify_inserted(self, facts: Sequence[Fact]) -> None:
         """Hook called after facts are inserted into the database."""
+
+
+class _EmbedderExtenderAdapter(DynamicExtender):
+    """An api :class:`Embedder`'s extension surface as a legacy extender."""
+
+    def __init__(self, embedder: Embedder):
+        self._embedder = embedder
+
+    def extend(self, facts: Sequence[Fact]) -> TupleEmbedding:
+        return self._embedder.partial_fit(facts)
+
+    def notify_inserted(self, facts: Sequence[Fact]) -> None:
+        self._embedder.notify_inserted(facts)
 
 
 class EmbeddingMethod(abc.ABC):
@@ -79,7 +101,9 @@ class ForwardMethod(EmbeddingMethod):
     def fit(
         self, db: Database, prediction_relation: str, rng=None, engine: WalkEngine | None = None
     ) -> ForwardModel:
-        return ForwardEmbedder(db, prediction_relation, self.config, rng=rng, engine=engine).fit()
+        embedder = ForwardEmbedding(self.config)
+        embedder.fit(db, prediction_relation, rng=rng, engine=engine)
+        return embedder.model_
 
     def embedding(self, model: ForwardModel, facts: Iterable[Fact]) -> TupleEmbedding:
         full = model.embedding()
@@ -93,22 +117,9 @@ class ForwardMethod(EmbeddingMethod):
         rng=None,
         engine: WalkEngine | None = None,
     ) -> DynamicExtender:
-        return _ForwardExtenderAdapter(
-            ForwardDynamicExtender(
-                model, db, recompute_old_paths=recompute_old_paths, rng=rng, engine=engine
-            )
-        )
-
-
-class _ForwardExtenderAdapter(DynamicExtender):
-    def __init__(self, extender: ForwardDynamicExtender):
-        self._extender = extender
-
-    def extend(self, facts: Sequence[Fact]) -> TupleEmbedding:
-        return self._extender.extend(facts)
-
-    def notify_inserted(self, facts: Sequence[Fact]) -> None:
-        self._extender.notify_inserted(facts)
+        embedder = ForwardEmbedding.from_model(model, db, engine=engine)
+        embedder.configure_extension(recompute_old_paths=recompute_old_paths, rng=rng)
+        return _EmbedderExtenderAdapter(embedder)
 
 
 @dataclass
@@ -121,8 +132,9 @@ class Node2VecMethod(EmbeddingMethod):
     def fit(
         self, db: Database, prediction_relation: str, rng=None, engine: WalkEngine | None = None
     ) -> Node2VecModel:
-        del prediction_relation  # Node2Vec embeds every fact of the database
-        return Node2VecEmbedder(db, self.config, rng=rng, engine=engine).fit()
+        embedder = Node2VecEmbedding(self.config)
+        embedder.fit(db, prediction_relation, rng=rng, engine=engine)
+        return embedder.model_
 
     def embedding(self, model: Node2VecModel, facts: Iterable[Fact]) -> TupleEmbedding:
         return model.embedding(facts)
@@ -136,15 +148,45 @@ class Node2VecMethod(EmbeddingMethod):
         engine: WalkEngine | None = None,
     ) -> DynamicExtender:
         del db, recompute_old_paths, engine  # the model's graph is extended in place
-        return _Node2VecExtenderAdapter(Node2VecDynamicExtender(model, rng=rng))
+        embedder = Node2VecEmbedding.from_model(model)
+        embedder.configure_extension(rng=rng)
+        return _EmbedderExtenderAdapter(embedder)
 
 
-class _Node2VecExtenderAdapter(DynamicExtender):
-    def __init__(self, extender: Node2VecDynamicExtender):
-        self._extender = extender
+class SpecMethod(EmbeddingMethod):
+    """Any registered api method behind the legacy driver interface.
 
-    def extend(self, facts: Sequence[Fact]) -> TupleEmbedding:
-        return self._extender.extend(facts)
+    The "model" this adapter passes around is the fitted
+    :class:`~repro.api.protocol.Embedder` itself, which is what lets every
+    registered method — including ones without a dedicated adapter class —
+    run through the experiment drivers unchanged.
+    """
+
+    def __init__(self, spec: str):
+        self.spec = spec
+        self.name, _ = parse_method_spec(spec)
+        method_entry(self.name)  # fail fast on unknown methods
+
+    def fit(
+        self, db: Database, prediction_relation: str, rng=None, engine: WalkEngine | None = None
+    ) -> Embedder:
+        embedder = make_embedder(self.spec)
+        return embedder.fit(db, prediction_relation, rng=rng, engine=engine)
+
+    def embedding(self, model: Embedder, facts: Iterable[Fact]) -> TupleEmbedding:
+        return model.transform(facts)
+
+    def make_extender(
+        self,
+        model: Embedder,
+        db: Database,
+        recompute_old_paths: bool,
+        rng=None,
+        engine: WalkEngine | None = None,
+    ) -> DynamicExtender:
+        del db, engine  # the fitted embedder is already bound to its database
+        model.configure_extension(recompute_old_paths=recompute_old_paths, rng=rng)
+        return _EmbedderExtenderAdapter(model)
 
 
 def method_by_name(
@@ -158,3 +200,18 @@ def method_by_name(
     if name == "node2vec":
         return Node2VecMethod(node2vec_config or Node2VecConfig())
     raise ValueError(f"unknown embedding method {name!r}")
+
+
+def method_from_spec(spec: str) -> EmbeddingMethod:
+    """Resolve a ``"name(key=value, ...)"`` spec to an experiment method.
+
+    The two paper methods come back as their dedicated adapters (their
+    ``fit`` returns the raw core model, as persisted artifacts expect); any
+    other registered method is wrapped generically in :class:`SpecMethod`.
+    """
+    name, kwargs = parse_method_spec(spec)
+    if name == "forward":
+        return ForwardMethod(make_config(name, kwargs))
+    if name == "node2vec":
+        return Node2VecMethod(make_config(name, kwargs))
+    return SpecMethod(spec)

@@ -1,164 +1,38 @@
-"""The ingestion CLI: files → database → embeddings → saved model.
+"""Deprecated shim: the ingestion CLI moved to ``python -m repro ingest``.
 
-Layer: ``io`` (relational ingestion; CLI shell over :mod:`repro.io.pipeline`).
+Layer: ``io`` (relational ingestion; legacy CLI entry point).
 
-::
+``python -m repro.io.ingest`` and the importable :func:`run` keep working —
+they forward verbatim to :mod:`repro.cli.ingest`, which produces identical
+artifacts and output — but emit a :class:`DeprecationWarning` pointing at
+the unified command::
 
-    python -m repro.io.ingest data/ --out artifacts/ --relation TARGET \\
-        --attribute target [--overrides spec.json] [--report]
-
-ingests a CSV directory or SQLite file (schema, keys and foreign keys
-inferred, correctable via an override spec), writes ``schema.json``,
-``report.json`` and a fact-id-preserving ``database.json``, then — when
-``--relation`` is given — trains FoRWaRD on that relation (hiding
-``--attribute``, the paper's protocol) and saves ``embeddings.npz`` plus a
-restartable model directory.  Exit code 0 on success, 2 on any ingestion
-or embedding failure (with an actionable message on stderr).
+    python -m repro ingest data/ --out artifacts/ --relation TARGET \\
+        --attribute target [--method "forward(dimension=32)"] [--report]
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
-from pathlib import Path
+import warnings
 from typing import Sequence
 
-from repro.db.serialization import save_database_json, schema_to_dict
-from repro.io.errors import IngestionError
-from repro.io.pipeline import ingest_path
 
-
-def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.io.ingest",
-        description=(
-            "Ingest a CSV directory or SQLite file into a typed database "
-            "(schema, keys and foreign keys inferred), optionally train FoRWaRD "
-            "embeddings on one relation, and save all artifacts."
-        ),
+def _warn() -> None:
+    warnings.warn(
+        "python -m repro.io.ingest is deprecated; use `python -m repro ingest` "
+        "(same flags, plus --method/--config)",
+        DeprecationWarning,
+        stacklevel=3,
     )
-    parser.add_argument("source", help="directory of .csv files, or a SQLite file")
-    parser.add_argument("--out", required=True, help="output directory for artifacts")
-    parser.add_argument(
-        "--relation",
-        help="relation to embed with FoRWaRD (omit to only ingest and save the database)",
-    )
-    parser.add_argument(
-        "--attribute",
-        help="prediction attribute to hide during embedding (paper protocol); "
-        "requires --relation",
-    )
-    parser.add_argument("--overrides", help="override spec file (JSON, or YAML with pyyaml)")
-    parser.add_argument(
-        "--delimiter", help="CSV cell delimiter (default: comma)"
-    )
-    parser.add_argument(
-        "--encoding",
-        help="CSV file encoding (default: utf-8-sig, which strips Excel's BOM)",
-    )
-    parser.add_argument(
-        "--allow-dangling", action="store_true",
-        help="tolerate dangling foreign-key references instead of failing",
-    )
-    parser.add_argument(
-        "--report", action="store_true", help="print the full inference report"
-    )
-    embedding = parser.add_argument_group("embedding hyper-parameters")
-    embedding.add_argument("--dimension", type=int, default=32)
-    embedding.add_argument("--epochs", type=int, default=5)
-    embedding.add_argument("--samples", type=int, default=2000, dest="n_samples")
-    embedding.add_argument("--walk-length", type=int, default=2, dest="max_walk_length")
-    embedding.add_argument("--batch-size", type=int, default=4096)
-    embedding.add_argument("--learning-rate", type=float, default=0.01)
-    embedding.add_argument("--seed", type=int, default=0)
-    return parser
 
 
 def run(argv: Sequence[str] | None = None) -> int:
-    """The CLI: ingest, optionally embed, save artifacts.  Returns exit code."""
-    args = _build_parser().parse_args(argv)
-    if args.attribute and not args.relation:
-        print("error: --attribute requires --relation", file=sys.stderr)
-        return 2
-    try:
-        result = ingest_path(
-            args.source,
-            overrides=args.overrides,
-            delimiter=args.delimiter,
-            encoding=args.encoding,
-            allow_dangling=args.allow_dangling,
-        )
-    except IngestionError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    print(result.summary())
-    if args.report:
-        print(result.report.format())
+    """Forward to :func:`repro.cli.ingest.run` (deprecated entry point)."""
+    _warn()
+    from repro.cli.ingest import run as run_ingest
 
-    out = Path(args.out)
-    out.mkdir(parents=True, exist_ok=True)
-    (out / "schema.json").write_text(json.dumps(schema_to_dict(result.schema), indent=2))
-    (out / "report.json").write_text(json.dumps(result.report.to_dict(), indent=2))
-    save_database_json(result.database, out / "database.json", include_fact_ids=True)
-    print(f"wrote {out / 'schema.json'}, {out / 'report.json'}, {out / 'database.json'}")
-
-    if not args.relation:
-        return 0
-    if not result.schema.has_relation(args.relation):
-        known = ", ".join(result.schema.relation_names)
-        print(
-            f"error: relation {args.relation!r} was not ingested; "
-            f"ingested relations are: {known}",
-            file=sys.stderr,
-        )
-        return 2
-
-    from repro.core import ForwardConfig, ForwardEmbedder
-    from repro.core.persistence import save_embedding, save_forward_model
-
-    db = result.database
-    if args.attribute:
-        rel_schema = result.schema.relation(args.relation)
-        if not rel_schema.has_attribute(args.attribute):
-            print(
-                f"error: relation {args.relation!r} has no attribute "
-                f"{args.attribute!r}; its attributes are: "
-                f"{', '.join(rel_schema.attribute_names)}",
-                file=sys.stderr,
-            )
-            return 2
-        if args.attribute in rel_schema.key:
-            print(
-                f"error: {args.attribute!r} is part of the key of "
-                f"{args.relation!r} and cannot be hidden for embedding; "
-                "pick a non-key prediction attribute",
-                file=sys.stderr,
-            )
-            return 2
-        db = db.mask_attribute(args.relation, args.attribute)
-    try:
-        config = ForwardConfig(
-            dimension=args.dimension,
-            n_samples=args.n_samples,
-            batch_size=args.batch_size,
-            max_walk_length=args.max_walk_length,
-            epochs=args.epochs,
-            learning_rate=args.learning_rate,
-        )
-        model = ForwardEmbedder(db, args.relation, config, rng=args.seed).fit()
-    except ValueError as error:
-        print(f"error: embedding failed: {error}", file=sys.stderr)
-        return 2
-    save_embedding(model.embedding(), out / "embeddings.npz")
-    save_forward_model(model, out / "model")
-    print(
-        f"embedded {len(model.fact_ids)} {args.relation} facts "
-        f"(d={config.dimension}, {len(model.targets)} walk targets, "
-        f"final loss {model.loss_history[-1]:.4f}); "
-        f"wrote {out / 'embeddings.npz'} and {out / 'model'}/"
-    )
-    return 0
+    return run_ingest(argv)
 
 
 if __name__ == "__main__":

@@ -11,9 +11,10 @@ read (:mod:`repro.io.readers`), infer (:mod:`repro.io.infer`), override
 types to domain kernels, a :class:`~repro.datasets.base.Dataset` wrapper
 for the experiment drivers, and registration into the dataset registry.
 
-The companion CLI lives in :mod:`repro.io.ingest`
-(``python -m repro.io.ingest``), which drives this pipeline end to end:
-files → database → embeddings → saved model in one command.
+The companion CLI is ``python -m repro ingest`` (:mod:`repro.cli.ingest`),
+which drives this pipeline end to end — files → database → embeddings →
+saved model in one command; the historical ``python -m repro.io.ingest``
+entry point forwards there as a deprecation shim.
 """
 
 from __future__ import annotations

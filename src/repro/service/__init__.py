@@ -11,11 +11,14 @@ jobs.  This package turns that machinery into a long-lived *service*:
   an ordered stream of insert batches with idempotent batch ids, plus the
   :func:`partition_feed` adapter that replays a dataset's dynamic split;
 * :mod:`repro.service.service` — :class:`EmbeddingService`, the
-  orchestrator that owns one shared :class:`~repro.engine.WalkEngine`,
-  applies feed batches through the dynamic extender and commits one store
+  orchestrator that drives any :class:`~repro.api.protocol.Embedder`
+  supporting ``partial_fit`` (a :class:`~repro.core.forward.ForwardModel`
+  is wrapped on the spot), applies feed batches and commits one store
   version per batch;
-* :mod:`repro.service.replay` — the streaming scenario driver and CLI
-  (``python -m repro.service.replay``).
+* :mod:`repro.service.replay` — the streaming scenario driver behind
+  ``python -m repro replay`` (the historical ``python -m
+  repro.service.replay`` entry point forwards there as a deprecation
+  shim).
 """
 
 from repro.service.feed import ChangeFeed, InsertBatch, UpdateLog, partition_feed

@@ -13,20 +13,18 @@ stream drains, a one-shot :class:`~repro.core.forward_dynamic.
 ForwardDynamicExtender` run on an independently reconstructed copy of the
 final database must reproduce the head store's embeddings to 1e-9.
 
-Run as a module::
+Run from the unified command line::
 
-    python -m repro.service.replay --dataset mondial --insert-ratio 0.1
+    python -m repro replay --dataset mondial --insert-ratio 0.1
 
 and a ``BENCH_streaming.json`` with throughput and latency statistics is
-written next to the current working directory.
+written next to the current working directory.  (The historical entry point
+``python -m repro.service.replay`` still works as a deprecation shim.)
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import time
-from pathlib import Path
 
 import numpy as np
 
@@ -95,7 +93,10 @@ def run_streaming_replay(
     outcomes = service.sync(feed)
     stats = service.stats(feed)
 
+    from repro import __version__
+
     report: dict = {
+        "repro_version": __version__,
         "dataset": dataset_name,
         "scale": scale,
         "seed": seed,
@@ -201,56 +202,18 @@ def render_report(report: dict) -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.service.replay",
-        description="Replay a dataset's insert stream through the embedding service.",
-    )
-    parser.add_argument("--dataset", default="mondial", help="bundled dataset name")
-    parser.add_argument("--insert-ratio", type=float, default=0.1)
-    parser.add_argument("--scale", type=float, default=0.2, help="dataset generation scale")
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--policy", choices=("recompute", "on_arrival"), default="recompute")
-    parser.add_argument(
-        "--group-size", type=int, default=None,
-        help="cascade batches coalesced per feed batch (default: ~8 feed batches)",
-    )
-    parser.add_argument("--epochs", type=int, default=DEFAULT_CONFIG.epochs)
-    parser.add_argument("--dimension", type=int, default=DEFAULT_CONFIG.dimension)
-    parser.add_argument(
-        "--output", type=Path, default=Path("BENCH_streaming.json"),
-        help="where to write the JSON report",
-    )
-    parser.add_argument(
-        "--no-verify", action="store_true",
-        help="skip the one-shot equivalence verification",
-    )
-    args = parser.parse_args(argv)
+    """Deprecated CLI shim: forwards to ``python -m repro replay``."""
+    import warnings
 
-    config = ForwardConfig(
-        dimension=args.dimension,
-        n_samples=DEFAULT_CONFIG.n_samples,
-        batch_size=DEFAULT_CONFIG.batch_size,
-        max_walk_length=DEFAULT_CONFIG.max_walk_length,
-        epochs=args.epochs,
-        learning_rate=DEFAULT_CONFIG.learning_rate,
-        n_new_samples=DEFAULT_CONFIG.n_new_samples,
+    warnings.warn(
+        "python -m repro.service.replay is deprecated; use "
+        "`python -m repro replay` (same flags, plus --config)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    report = run_streaming_replay(
-        args.dataset,
-        insert_ratio=args.insert_ratio,
-        scale=args.scale,
-        seed=args.seed,
-        policy=args.policy,
-        group_size=args.group_size,
-        config=config,
-        verify=(not args.no_verify) and args.policy == "recompute",
-    )
-    args.output.write_text(json.dumps(report, indent=2))
-    print(render_report(report))
-    print(f"\nReport written to {args.output}")
-    if report.get("verified_against_one_shot") is False:
-        return 1
-    return 0
+    from repro.cli.replay import run as run_replay
+
+    return run_replay(argv)
 
 
 if __name__ == "__main__":

@@ -1,16 +1,18 @@
 """The embedding service: feed in, versioned embeddings out.
 
 :class:`EmbeddingService` is the long-lived orchestrator of the serving
-layer.  It owns one shared :class:`~repro.engine.WalkEngine` compiled from
-the live database, a trained :class:`~repro.core.forward.ForwardModel`, and
-an :class:`~repro.service.store.EmbeddingStore`.  Each
+layer.  It drives any :class:`~repro.api.protocol.Embedder` that supports
+``partial_fit`` — a trained :class:`~repro.core.forward.ForwardModel` is
+still accepted directly and wrapped on the spot — together with an
+:class:`~repro.service.store.EmbeddingStore`.  Each
 :class:`~repro.service.feed.InsertBatch` applied from the change feed
 
 1. inserts the batch's facts into the database (facts already present —
    at-least-once overlap — are skipped),
-2. appends them to the compiled engine incrementally (no recompilation),
-3. embeds through the :class:`~repro.core.forward_dynamic.
-   ForwardDynamicExtender` under the configured policy, and
+2. notifies the embedder so incremental state (e.g. FoRWaRD's compiled
+   engine) is appended to, not recompiled,
+3. embeds through ``partial_fit``/``recompute_extension`` under the
+   configured policy, and
 4. commits exactly one new store version tagged with the batch id.
 
 Duplicate batch ids are acknowledged without re-applying, so an
@@ -18,16 +20,18 @@ at-least-once feed converges to exactly-once effects.
 
 Two embedding policies mirror the paper's two dynamic settings:
 
-* ``"on_arrival"`` (the one-by-one setting): every new prediction fact is
+* ``"on_arrival"`` (the one-by-one setting): every new tracked fact is
   embedded once, on the version of the database it arrived into, and never
-  touched again.  Cheapest, and stability extends to streamed facts.
+  touched again.  Cheapest, and stability extends to streamed facts.  Any
+  embedder with ``supports_on_arrival`` qualifies.
 * ``"recompute"`` (the all-at-once setting): after every commit the service
   re-embeds *all* streamed facts against the current database in one
   batched pass (trained embeddings stay frozen — stability by
   construction).  After the final batch the store is exactly what a
-  one-shot :class:`ForwardDynamicExtender` run on the final database
-  produces: the per-pass RNG is re-seeded from the service seed, so the
-  replay is reproducible and verifiable to machine precision.
+  one-shot :class:`~repro.core.forward_dynamic.ForwardDynamicExtender` run
+  on the final database produces: the per-pass RNG is re-seeded from the
+  service seed, so the replay is reproducible and verifiable to machine
+  precision.  Requires an embedder with ``supports_recompute`` (FoRWaRD).
 """
 
 from __future__ import annotations
@@ -38,13 +42,13 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.api.embedders import ForwardEmbedding
+from repro.api.protocol import Embedder
 from repro.core.forward import ForwardModel
-from repro.core.forward_dynamic import ForwardDynamicExtender
 from repro.db.database import Database, Fact
 from repro.engine import WalkEngine
 from repro.service.feed import ChangeFeed, InsertBatch
 from repro.service.store import EmbeddingStore, StoreSnapshot
-from repro.utils.rng import ensure_rng
 
 POLICIES = ("recompute", "on_arrival")
 
@@ -85,21 +89,25 @@ class ServiceStats:
 
 
 class EmbeddingService:
-    """Applies a change feed to a model/engine pair and versions the results.
+    """Applies a change feed to an embedder and versions the results.
 
     Parameters
     ----------
     model:
-        The static-phase model trained on the database's current facts.
+        Either a fitted :class:`~repro.api.protocol.Embedder` supporting
+        ``partial_fit``, or (the historical calling convention) a trained
+        :class:`ForwardModel`, which is wrapped into a
+        :class:`~repro.api.embedders.ForwardEmbedding` on the spot.
     db:
         The live database the feed inserts into.
     engine:
         An optional shared :class:`WalkEngine` compiled from ``db`` (the one
-        used for training, typically); compiled on demand otherwise.
+        used for training, typically); only meaningful with a
+        :class:`ForwardModel` — a fitted embedder brings its own.
     store:
         An optional pre-existing store (service restart); a fresh store is
-        created — and seeded with the model's current embeddings as version
-        1 — otherwise.
+        created — and seeded with the embedder's current embeddings as
+        version 1 — otherwise.
     policy:
         ``"recompute"`` or ``"on_arrival"`` (see the module docstring).
     seed:
@@ -115,7 +123,7 @@ class EmbeddingService:
 
     def __init__(
         self,
-        model: ForwardModel,
+        model: ForwardModel | Embedder,
         db: Database,
         *,
         engine: WalkEngine | None = None,
@@ -126,30 +134,59 @@ class EmbeddingService:
     ):
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
-        if policy == "on_arrival" and not model.distributions:
-            # a model restored from disk has no training-time distribution
-            # cache; under on_arrival every extension would silently fall
-            # back to the trained centroid (see save_forward_model)
+        if isinstance(model, ForwardModel):
+            embedder: Embedder = ForwardEmbedding.from_model(model, db, engine=engine)
+        elif isinstance(model, Embedder):
+            embedder = model
+            if not embedder.is_fitted:
+                raise ValueError(
+                    f"the {embedder.name!r} embedder is not fitted; "
+                    "call fit(db, ...) before serving it"
+                )
+            if embedder.db_ is not db:
+                raise ValueError(
+                    "the embedder is bound to a different database object; "
+                    "serve it over the database it was fitted on"
+                )
+        else:
+            raise TypeError(
+                f"expected a ForwardModel or a fitted Embedder, got {type(model).__name__}"
+            )
+        if not embedder.supports_partial_fit:
             raise ValueError(
-                "policy 'on_arrival' needs the model's training-time destination "
-                "distributions, which are not persisted; a model loaded from disk "
-                "must be served with policy 'recompute'"
+                f"method {embedder.name!r} does not support partial_fit; the "
+                "service needs incremental extension to apply feed batches"
+            )
+        if policy == "on_arrival" and not embedder.supports_on_arrival:
+            # for FoRWaRD: a model restored from disk has no training-time
+            # distribution cache, so every extension would silently fall back
+            # to the trained centroid (see save_forward_model); other methods
+            # may refuse for their own consistency reasons
+            raise ValueError(
+                f"method {embedder.name!r} cannot be served under policy "
+                "'on_arrival' in its current state (for FoRWaRD this needs the "
+                "model's training-time destination distributions, which are not "
+                "persisted; a model loaded from disk must be served with policy "
+                "'recompute')"
+            )
+        if policy == "recompute" and not embedder.supports_recompute:
+            raise ValueError(
+                f"method {embedder.name!r} does not support the 'recompute' "
+                "policy (deterministic re-extension); use policy 'on_arrival'"
             )
         if retain_versions is not None and retain_versions < 1:
             raise ValueError("retain_versions must be at least 1 (or None)")
-        self.model = model
+        self._embedder = embedder
+        self.model = embedder.model_
         self.db = db
         self.policy = policy
         self.retain_versions = retain_versions
         self._seed = seed
-        self._extender = ForwardDynamicExtender(
-            model,
-            db,
-            recompute_old_paths=(policy == "recompute"),
-            rng=ensure_rng(seed),
-            engine=engine,
+        embedder.configure_extension(
+            recompute_old_paths=(policy == "recompute"), rng=seed
         )
-        self._arrived: list[Fact] = []  # streamed prediction facts, arrival order
+        self._tracked_relation = embedder.tracked_relation
+        self._arrived: list[Fact] = []  # streamed tracked facts, arrival order
         self._arrived_ids: set[int] = set()
         self._last_sequence = -1
         self._batches_applied = 0
@@ -158,14 +195,15 @@ class EmbeddingService:
         self._facts_embedded = 0
         self._latencies: list[float] = []
         if store is None:
-            store = EmbeddingStore(model.dimension)
+            store = EmbeddingStore(embedder.dimension)
         self.store = store
         if self.store.version == 0:
             # version 1 is the baseline: the trained (and any already
             # extended) embeddings, before the feed delivers anything
+            current = embedder.transform()
             baseline = {
-                self.db.fact(fid): model.vector(fid)
-                for fid in (*model.fact_ids, *model.extended_fact_ids)
+                self.db.fact(fid): current.vector(fid)
+                for fid in current.fact_ids
                 if fid in self.db._facts_by_id  # noqa: SLF001 - cheap membership
             }
             self.store.commit(baseline, batch_id="__baseline__")
@@ -185,7 +223,7 @@ class EmbeddingService:
                 arrived_ids = [
                     int(fid)
                     for fid, relation in zip(head.fact_ids, head.relations)
-                    if relation == model.relation and int(fid) not in model.fact_row
+                    if self._tracks(relation) and not embedder.is_trained(int(fid))
                 ]
             for fid in arrived_ids:
                 fid = int(fid)
@@ -197,11 +235,19 @@ class EmbeddingService:
                     )
                 self._arrived.append(self.db.fact(fid))
                 self._arrived_ids.add(fid)
-        self._engine_version_at_commit = self.engine.version
+        self._engine_version_at_commit = self._embedder.engine_version
+
+    def _tracks(self, relation: str) -> bool:
+        return self._tracked_relation is None or relation == self._tracked_relation
 
     @property
-    def engine(self) -> WalkEngine:
-        return self._extender.engine
+    def embedder(self) -> Embedder:
+        """The served embedder (the protocol view of ``model``)."""
+        return self._embedder
+
+    @property
+    def engine(self) -> WalkEngine | None:
+        return self._embedder.engine
 
     @property
     def last_sequence(self) -> int:
@@ -225,11 +271,11 @@ class EmbeddingService:
                 continue
             self.db.reinsert(fact)
             inserted.append(fact)
-        self._extender.notify_inserted(inserted)
+        self._embedder.notify_inserted(inserted)
         for fact in batch.facts:
             if (
-                fact.relation == self.model.relation
-                and fact.fact_id not in self.model.fact_row
+                self._tracks(fact.relation)
+                and not self._embedder.is_trained(fact.fact_id)
                 and fact.fact_id not in self._arrived_ids
             ):
                 self._arrived.append(fact)
@@ -241,7 +287,7 @@ class EmbeddingService:
         self.store.metadata["arrived_fact_ids"] = [f.fact_id for f in self._arrived]
         if self.retain_versions is not None:
             self.store.prune(keep_last=self.retain_versions)
-        self._engine_version_at_commit = self.engine.version
+        self._engine_version_at_commit = self._embedder.engine_version
         seconds = time.perf_counter() - start
         self._latencies.append(seconds)
         self._batches_applied += 1
@@ -256,7 +302,7 @@ class EmbeddingService:
     def _embed(self, batch: InsertBatch) -> dict[Fact, np.ndarray]:
         if self.policy == "on_arrival":
             new_facts = [f for f in batch.facts if f.fact_id in self._arrived_ids]
-            embedded = self._extender.extend(new_facts)
+            embedded = self._embedder.partial_fit(new_facts)
             return {
                 fact: embedded.vector(fact)
                 for fact in new_facts
@@ -264,13 +310,7 @@ class EmbeddingService:
             }
         # recompute: one batched pass over every streamed fact against the
         # current database; re-seeding makes the pass deterministic
-        self._extender.rng = ensure_rng(self._seed)
-        updates: dict[Fact, np.ndarray] = {}
-        for fact in self._arrived:
-            vector = self._extender.embed_fact(fact)
-            self.model.add_extended(fact, vector)
-            updates[fact] = vector
-        return updates
+        return dict(self._embedder.recompute_extension(self._arrived, self._seed))
 
     def sync(self, feed: ChangeFeed) -> list[ApplyOutcome]:
         """Apply every feed batch newer than the last applied sequence."""
@@ -282,7 +322,7 @@ class EmbeddingService:
         total = float(sum(self._latencies))
         return ServiceStats(
             store_version=self.store.version,
-            engine_version=self.engine.version,
+            engine_version=self._embedder.engine_version,
             batches_applied=self._batches_applied,
             duplicates_skipped=self._duplicates,
             facts_inserted=self._facts_inserted,
@@ -290,7 +330,7 @@ class EmbeddingService:
             total_apply_seconds=total,
             facts_per_second=(self._facts_inserted / total) if total > 0 else 0.0,
             feed_lag=(feed.last_sequence - self._last_sequence) if feed is not None else 0,
-            version_skew=self.engine.version - self._engine_version_at_commit,
+            version_skew=self._embedder.engine_version - self._engine_version_at_commit,
             apply_seconds=tuple(self._latencies),
         )
 

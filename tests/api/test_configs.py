@@ -1,0 +1,66 @@
+"""Tests for config dict round-tripping and validation (ConfigBase)."""
+
+import pytest
+
+from repro.core.config import ConfigBase, ForwardConfig, Node2VecConfig
+
+
+@pytest.mark.parametrize("config_class", [ForwardConfig, Node2VecConfig])
+def test_round_trip_defaults(config_class):
+    config = config_class()
+    assert config_class.from_dict(config.to_dict()) == config
+
+
+def test_round_trip_preserves_overrides():
+    config = ForwardConfig(dimension=7, epochs=2, learning_rate=0.5)
+    clone = ForwardConfig.from_dict(config.to_dict())
+    assert clone == config
+    assert clone.dimension == 7 and clone.learning_rate == 0.5
+
+
+def test_partial_dict_fills_defaults():
+    config = Node2VecConfig.from_dict({"dimension": 3, "p": 2})
+    assert config.dimension == 3
+    assert config.p == 2.0
+    assert config.walk_length == Node2VecConfig().walk_length
+
+
+def test_unknown_key_is_actionable():
+    with pytest.raises(ValueError, match="no parameter 'latent_dim'") as info:
+        ForwardConfig.from_dict({"latent_dim": 3})
+    assert "dimension" in str(info.value)
+
+
+def test_type_mismatch_is_actionable():
+    with pytest.raises(ValueError, match="expects int, got 'ten' \\(str\\)"):
+        ForwardConfig.from_dict({"epochs": "ten"})
+    with pytest.raises(ValueError, match="expects bool"):
+        Node2VecConfig.from_dict({"identify_foreign_keys": 1})
+    with pytest.raises(ValueError, match="expects int, got True \\(bool\\)"):
+        ForwardConfig.from_dict({"dimension": True})
+
+
+def test_range_violations_still_enforced():
+    with pytest.raises(ValueError, match="positive"):
+        ForwardConfig.from_dict({"dimension": 0})
+
+
+def test_field_types_cover_all_fields():
+    types = ForwardConfig.field_types()
+    assert types["dimension"] == "int"
+    assert types["learning_rate"] == "float"
+    assert set(types) == set(ForwardConfig().to_dict())
+
+
+def test_validation_works_without_future_annotations():
+    """Extension configs defined without `from __future__ import annotations`
+    carry type *objects* in field metadata; validation must still fire."""
+    import dataclasses
+
+    ExtConfig = dataclasses.make_dataclass(
+        "ExtConfig", [("dimension", int, 8)], bases=(ConfigBase,)
+    )
+    assert ExtConfig.field_types() == {"dimension": "int"}
+    assert ExtConfig.from_dict({"dimension": 4}).dimension == 4
+    with pytest.raises(ValueError, match="expects int"):
+        ExtConfig.from_dict({"dimension": "4"})

@@ -1,0 +1,144 @@
+"""Tests for the method registry and the spec mini-language."""
+
+import pytest
+
+from repro.api import (
+    ForwardEmbedding,
+    MethodSpecError,
+    Node2VecEmbedding,
+    available_methods,
+    make_config,
+    make_embedder,
+    method_entry,
+    method_summaries,
+    parse_method_spec,
+    register_method,
+)
+from repro.api.registry import _REGISTRY
+from repro.core.config import ForwardConfig, Node2VecConfig
+
+
+class TestParsing:
+    def test_bare_name(self):
+        assert parse_method_spec("forward") == ("forward", {})
+        assert parse_method_spec("  node2vec  ") == ("node2vec", {})
+
+    def test_kwargs(self):
+        name, kwargs = parse_method_spec("forward(dimension=64, epochs=10)")
+        assert name == "forward"
+        assert kwargs == {"dimension": 64, "epochs": 10}
+
+    def test_literal_value_kinds(self):
+        _, kwargs = parse_method_spec(
+            "node2vec(p=0.5, q=2.0, identify_foreign_keys=False, dimension=-1)"
+        )
+        assert kwargs == {
+            "p": 0.5, "q": 2.0, "identify_foreign_keys": False, "dimension": -1,
+        }
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "   ", "forward(", "forward(64)", "forward(dim=sqrt(2))",
+         "forward(**extra)", "forward + node2vec", "f(x)(y)"],
+    )
+    def test_malformed_specs_raise(self, bad):
+        with pytest.raises(MethodSpecError):
+            parse_method_spec(bad)
+
+    def test_non_string_spec_raises(self):
+        with pytest.raises(MethodSpecError, match="non-empty string"):
+            parse_method_spec(None)
+
+
+class TestResolution:
+    def test_builtins_are_registered(self):
+        names = available_methods()
+        assert {"forward", "node2vec", "node2vec_retrained"} <= set(names)
+        assert all(method_summaries()[name] for name in names)
+
+    def test_unknown_method_lists_available(self):
+        with pytest.raises(MethodSpecError, match="available methods: .*forward"):
+            make_embedder("no_such_method")
+
+    def test_make_embedder_types_and_defaults(self):
+        assert isinstance(make_embedder("forward"), ForwardEmbedding)
+        assert isinstance(make_embedder("node2vec"), Node2VecEmbedding)
+        embedder = make_embedder("forward")
+        assert embedder.config == ForwardConfig()
+        assert not embedder.is_fitted
+
+    def test_spec_kwargs_reach_the_config(self):
+        embedder = make_embedder("forward(dimension=64, epochs=10, n_samples=500)")
+        assert embedder.config == ForwardConfig(dimension=64, epochs=10, n_samples=500)
+
+    def test_aliases_expand(self):
+        assert make_embedder("forward(dim=16)").config.dimension == 16
+        assert make_embedder("forward(lr=0.5)").config.learning_rate == 0.5
+        n2v = make_embedder("node2vec(dim=16, walks=7)")
+        assert n2v.config.dimension == 16
+        assert n2v.config.walks_per_node == 7
+
+    def test_overrides_win_over_spec(self):
+        embedder = make_embedder("forward(dimension=16)", dimension=32, epochs=2)
+        assert embedder.config.dimension == 32
+        assert embedder.config.epochs == 2
+
+    def test_overrides_win_even_across_alias_spellings(self):
+        # the spec says dim=, the override says dimension= — same field
+        assert make_embedder("forward(dim=16)", dimension=64).config.dimension == 64
+        assert make_embedder("forward(dimension=16)", dim=64).config.dimension == 64
+
+
+class TestValidation:
+    def test_unknown_parameter_lists_valid_ones(self):
+        with pytest.raises(MethodSpecError, match="no parameter 'bogus'") as info:
+            make_embedder("forward(bogus=1)")
+        assert "dimension" in str(info.value)
+        assert "dim" in str(info.value)  # aliases are listed too
+
+    def test_type_mismatch_names_expected_and_received(self):
+        with pytest.raises(MethodSpecError, match="expects int.*'abc'"):
+            make_embedder("forward(dimension='abc')")
+        with pytest.raises(MethodSpecError, match="expects float"):
+            make_embedder("node2vec(p='fast')")
+        with pytest.raises(MethodSpecError, match="expects int.*bool"):
+            make_embedder("forward(dimension=True)")
+
+    def test_float_fields_accept_ints(self):
+        assert make_embedder("node2vec(p=2)").config.p == 2.0
+
+    def test_range_violations_surface_with_method_context(self):
+        with pytest.raises(MethodSpecError, match="method 'forward'.*positive"):
+            make_embedder("forward(dimension=-3)")
+
+    def test_alias_and_target_together_is_rejected(self):
+        with pytest.raises(MethodSpecError, match="given twice"):
+            make_config("forward", {"dim": 8, "dimension": 16})
+
+
+class TestRegistration:
+    def test_duplicate_registration_is_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_method("forward", config=ForwardConfig)(ForwardEmbedding)
+
+    def test_bad_alias_target_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown\\s+config field"):
+            register_method(
+                "temp_bad_alias", config=Node2VecConfig, aliases={"x": "nope"}
+            )(Node2VecEmbedding)
+        assert "temp_bad_alias" not in _REGISTRY
+
+    def test_custom_method_is_resolvable(self):
+        @register_method("temp_custom", config=ForwardConfig, summary="test-only")
+        class Custom(ForwardEmbedding):
+            """A registry-test double of the FoRWaRD embedder."""
+
+            name = "temp_custom"
+
+        try:
+            embedder = make_embedder("temp_custom(dimension=5)")
+            assert isinstance(embedder, Custom)
+            assert embedder.config.dimension == 5
+            assert method_entry("temp_custom").summary == "test-only"
+        finally:
+            _REGISTRY.pop("temp_custom", None)

@@ -1,0 +1,22 @@
+"""Shared fixtures for the CLI tests: a tiny exported Mondial CSV corpus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.io import export_csv_dir
+
+
+@pytest.fixture(scope="session")
+def tiny_mondial():
+    """A heavily down-scaled Mondial dataset for fast CLI round trips."""
+    return load_dataset("mondial", scale=0.08, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_csv_dir(tiny_mondial, tmp_path_factory):
+    """The tiny Mondial database exported as a plain CSV directory."""
+    directory = tmp_path_factory.mktemp("tiny_mondial_csv")
+    export_csv_dir(tiny_mondial.db, directory)
+    return directory

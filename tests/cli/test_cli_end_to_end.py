@@ -1,0 +1,75 @@
+"""The CI smoke chain, run in-process: ingest → embed → evaluate.
+
+Mirrors the ``cli-smoke`` CI job on the tiny exported Mondial corpus so the
+chain is verified by the test suite too, not only in CI.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro import __version__
+from repro.cli.main import main
+
+TINY_FORWARD = (
+    "forward(dimension=8, epochs=2, n_samples=200, batch_size=512, max_walk_length=1)"
+)
+
+
+def test_ingest_embed_evaluate_chain(tiny_csv_dir, tiny_mondial, tmp_path, capsys):
+    artifacts = tmp_path / "artifacts"
+    assert main(["ingest", str(tiny_csv_dir), "--out", str(artifacts)]) == 0
+    assert (artifacts / "database.json").exists()
+
+    emb = tmp_path / "embeddings.npz"
+    assert main([
+        "embed", "--source", str(tiny_csv_dir),
+        "--relation", "TARGET", "--attribute", "target",
+        "--method", TINY_FORWARD, "--out", str(emb), "--seed", "0",
+    ]) == 0
+    data = np.load(emb)
+    assert str(data["repro_version"]) == __version__
+    assert len(data["fact_ids"]) == tiny_mondial.db.num_facts("TARGET")
+
+    results = tmp_path / "results.json"
+    assert main([
+        "evaluate", "--source", str(tiny_csv_dir),
+        "--relation", "TARGET", "--attribute", "target",
+        "--methods", TINY_FORWARD,
+        "--experiment", "static", "--n-splits", "3", "--no-baselines",
+        "--out", str(results), "--seed", "0",
+    ]) == 0
+    report = json.loads(results.read_text())
+    assert report["repro_version"] == __version__
+    assert report["results"][0]["method"] == "forward"
+    out = capsys.readouterr().out
+    assert "forward" in out
+
+
+def test_serve_streams_an_ingested_relation(tiny_csv_dir, tmp_path, capsys):
+    store = tmp_path / "store"
+    assert main([
+        "serve", "--source", str(tiny_csv_dir), "--relation", "TARGET",
+        "--method", TINY_FORWARD, "--fraction", "0.25", "--batch-size", "4",
+        "--out", str(store), "--seed", "0",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "store versions committed" in out
+    assert (store / "store.json").exists()
+    # the persisted store resolves and holds the streamed relation
+    from repro.service import EmbeddingStore
+
+    restored = EmbeddingStore.load(store)
+    assert restored.version >= 2
+    assert "TARGET" in restored.head.relations
+
+
+def test_embed_then_evaluate_from_dataset_names(tmp_path):
+    emb = tmp_path / "e.npz"
+    assert main([
+        "embed", "--dataset", "mondial", "--scale", "0.08",
+        "--method", TINY_FORWARD, "--out", str(emb), "--seed", "1",
+    ]) == 0
+    assert emb.exists()

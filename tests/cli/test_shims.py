@@ -1,0 +1,120 @@
+"""The legacy CLI entry points: still working, still identical, but warning.
+
+Each historical module CLI must (a) emit a ``DeprecationWarning`` pointing
+at the unified command and (b) produce byte/number-identical outputs to the
+``python -m repro`` subcommand it forwards to.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+TINY_INGEST_FLAGS = [
+    "--relation", "TARGET", "--attribute", "target",
+    "--dimension", "8", "--epochs", "2", "--samples", "200",
+    "--walk-length", "1", "--batch-size", "512", "--seed", "0",
+]
+
+TINY_REPLAY_FLAGS = [
+    "--dataset", "mondial", "--scale", "0.08", "--dimension", "8",
+    "--epochs", "2", "--seed", "0",
+]
+
+
+def _strip_timings(report: dict) -> dict:
+    """Drop wall-clock fields so two runs compare on semantics only."""
+    cleaned = {
+        k: v for k, v in report.items()
+        if "seconds" not in k and k not in ("latency", "facts_per_second", "batches")
+    }
+    cleaned["batches"] = [
+        {k: v for k, v in batch.items() if k != "seconds"}
+        for batch in report.get("batches", ())
+    ]
+    return cleaned
+
+
+class TestIngestShim:
+    def test_shim_warns_and_forwards(self, tiny_csv_dir, tmp_path):
+        from repro.io.ingest import run as legacy_run
+
+        with pytest.warns(DeprecationWarning, match="python -m repro ingest"):
+            code = legacy_run([str(tiny_csv_dir), "--out", str(tmp_path / "a")])
+        assert code == 0
+
+    def test_shim_output_is_identical_to_the_new_cli(self, tiny_csv_dir, tmp_path):
+        from repro.cli.ingest import run as new_run
+        from repro.io.ingest import run as legacy_run
+
+        old_out, new_out = tmp_path / "legacy", tmp_path / "unified"
+        with pytest.warns(DeprecationWarning):
+            assert legacy_run(
+                [str(tiny_csv_dir), "--out", str(old_out), *TINY_INGEST_FLAGS]
+            ) == 0
+        assert new_run(
+            [str(tiny_csv_dir), "--out", str(new_out), *TINY_INGEST_FLAGS]
+        ) == 0
+
+        for name in ("schema.json", "report.json", "database.json"):
+            assert (old_out / name).read_text() == (new_out / name).read_text()
+        legacy = np.load(old_out / "embeddings.npz")
+        unified = np.load(new_out / "embeddings.npz")
+        np.testing.assert_array_equal(legacy["fact_ids"], unified["fact_ids"])
+        np.testing.assert_array_equal(legacy["vectors"], unified["vectors"])
+        assert json.loads((old_out / "model" / "model.json").read_text()) == \
+            json.loads((new_out / "model" / "model.json").read_text())
+
+    def test_method_spec_conflicting_with_hyper_flags_is_rejected(
+        self, tiny_csv_dir, tmp_path, capsys
+    ):
+        from repro.cli.ingest import run as new_run
+
+        code = new_run([
+            str(tiny_csv_dir), "--out", str(tmp_path / "o"),
+            "--relation", "TARGET", "--method", "forward", "--dimension", "64",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--method supersedes" in err and "dimension" in err
+
+    def test_shim_propagates_error_exit_codes(self, tmp_path, capsys):
+        from repro.io.ingest import run as legacy_run
+
+        bad = tmp_path / "bad"
+        bad.mkdir()
+        (bad / "t.csv").write_text("a,b\n1\n")
+        with pytest.warns(DeprecationWarning):
+            assert legacy_run([str(bad), "--out", str(tmp_path / "o")]) == 2
+        assert "row 2" in capsys.readouterr().err
+
+
+class TestReplayShim:
+    def test_shim_warns_on_help(self):
+        from repro.service.replay import main as legacy_main
+
+        with pytest.warns(DeprecationWarning, match="python -m repro replay"):
+            with pytest.raises(SystemExit) as info:
+                legacy_main(["--help"])
+        assert info.value.code == 0
+
+    def test_shim_report_matches_the_new_cli(self, tmp_path, monkeypatch):
+        from repro.cli.replay import run as new_run
+        from repro.service.replay import main as legacy_main
+
+        monkeypatch.chdir(tmp_path)
+        with pytest.warns(DeprecationWarning):
+            assert legacy_main(
+                [*TINY_REPLAY_FLAGS, "--output", "legacy.json"]
+            ) == 0
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)  # new CLI is silent
+            assert new_run([*TINY_REPLAY_FLAGS, "--output", "unified.json"]) == 0
+
+        legacy = json.loads((tmp_path / "legacy.json").read_text())
+        unified = json.loads((tmp_path / "unified.json").read_text())
+        assert legacy["verified_against_one_shot"] is True
+        assert _strip_timings(legacy) == _strip_timings(unified)

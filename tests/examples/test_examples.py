@@ -42,6 +42,11 @@ EXAMPLES: dict[str, dict] = {
     },
     "streaming_service": {"scale": 0.06, "config": TINY_FORWARD},
     "ingest_csv": {"config": TINY_FORWARD},
+    "unified_api": {
+        "scale": 0.06,
+        "spec": "forward(dimension=8, n_samples=60, batch_size=128, "
+        "max_walk_length=1, epochs=2, n_new_samples=10)",
+    },
 }
 
 

@@ -1,0 +1,142 @@
+"""The service over the estimator protocol: any Embedder with partial_fit.
+
+The refactor's contract, from both sides: serving a fitted
+:class:`~repro.api.embedders.ForwardEmbedding` is *exactly* the historical
+``EmbeddingService(ForwardModel, ...)`` path, and a non-FoRWaRD embedder
+(Node2Vec) now streams through the same service under ``on_arrival``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import ForwardEmbedding, Node2VecEmbedding
+from repro.core.forward import ForwardEmbedder
+from repro.dynamic import partition_dataset
+from repro.engine import WalkEngine
+from repro.service import EmbeddingService, partition_feed
+
+SEED = 11
+
+
+class TestForwardThroughProtocol:
+    def test_api_service_matches_legacy_service_exactly(
+        self, small_genes_dataset, fast_forward_config
+    ):
+        dataset = small_genes_dataset
+        heads = []
+        for use_api in (False, True):
+            partition = partition_dataset(dataset, ratio_new=0.25, rng=SEED)
+            engine = WalkEngine(partition.db)
+            if use_api:
+                embedder = ForwardEmbedding(fast_forward_config)
+                embedder.fit(
+                    partition.db, dataset.prediction_relation, rng=SEED, engine=engine
+                )
+                service = EmbeddingService(
+                    embedder, partition.db, policy="recompute", seed=SEED
+                )
+            else:
+                model = ForwardEmbedder(
+                    partition.db, dataset.prediction_relation, fast_forward_config,
+                    rng=SEED, engine=engine,
+                ).fit()
+                service = EmbeddingService(
+                    model, partition.db, engine=engine, policy="recompute", seed=SEED
+                )
+            service.sync(partition_feed(partition, group_size=2))
+            heads.append(service.store.head)
+        legacy, api = heads
+        assert set(legacy.fact_ids) == set(api.fact_ids)
+        for fid in legacy.fact_ids:
+            np.testing.assert_array_equal(legacy.vector(fid), api.vector(fid))
+
+    def test_service_exposes_embedder_and_model(
+        self, small_genes_dataset, fast_forward_config
+    ):
+        dataset = small_genes_dataset
+        partition = partition_dataset(dataset, ratio_new=0.2, rng=SEED)
+        embedder = ForwardEmbedding(fast_forward_config)
+        embedder.fit(partition.db, dataset.prediction_relation, rng=SEED)
+        service = EmbeddingService(embedder, partition.db, seed=SEED)
+        assert service.embedder is embedder
+        assert service.model is embedder.model_
+        assert service.engine is embedder.engine
+
+
+class TestNode2VecThroughProtocol:
+    def test_on_arrival_streaming_with_node2vec(
+        self, small_genes_dataset, fast_node2vec_config
+    ):
+        dataset = small_genes_dataset
+        partition = partition_dataset(dataset, ratio_new=0.2, rng=SEED)
+        embedder = Node2VecEmbedding(fast_node2vec_config)
+        embedder.fit(partition.db, rng=SEED)
+        trained = dict.fromkeys(embedder.embedded_fact_ids)
+        for fid in trained:
+            trained[fid] = embedder.transform().vector(fid)
+        feed = partition_feed(partition, group_size=2)
+        service = EmbeddingService(
+            embedder, partition.db, policy="on_arrival", seed=SEED
+        )
+        outcomes = service.sync(feed)
+        assert all(o.applied for o in outcomes)
+        assert service.store.version == 1 + len(feed)
+        head = service.store.head
+        # every streamed fact is embedded (node2vec embeds all relations)
+        streamed = [f for batch in partition.new_batches for f in batch]
+        assert streamed
+        for fact in streamed:
+            assert fact.fact_id in head
+        # stability extends through the service: trained vectors frozen
+        for fid, vector in trained.items():
+            np.testing.assert_array_equal(head.vector(fid), vector)
+
+    def test_recompute_policy_is_rejected_for_node2vec(
+        self, small_genes_dataset, fast_node2vec_config
+    ):
+        dataset = small_genes_dataset
+        partition = partition_dataset(dataset, ratio_new=0.2, rng=SEED)
+        embedder = Node2VecEmbedding(fast_node2vec_config)
+        embedder.fit(partition.db, rng=SEED)
+        with pytest.raises(ValueError, match="recompute"):
+            EmbeddingService(embedder, partition.db, policy="recompute", seed=SEED)
+
+    def test_retrained_variant_is_not_servable(
+        self, small_genes_dataset, fast_node2vec_config
+    ):
+        """Each retrained partial_fit is a new embedding space; committing it
+        next to frozen earlier vectors would mix incomparable spaces in one
+        snapshot, so the service must refuse both policies."""
+        from repro.api import Node2VecRetrainedEmbedding
+
+        partition = partition_dataset(small_genes_dataset, ratio_new=0.2, rng=SEED)
+        embedder = Node2VecRetrainedEmbedding(fast_node2vec_config)
+        embedder.fit(partition.db, rng=SEED)
+        for policy in ("on_arrival", "recompute"):
+            with pytest.raises(ValueError):
+                EmbeddingService(embedder, partition.db, policy=policy, seed=SEED)
+
+
+class TestServiceValidation:
+    def test_unfitted_embedder_is_rejected(
+        self, small_genes_dataset, fast_forward_config
+    ):
+        partition = partition_dataset(small_genes_dataset, ratio_new=0.2, rng=SEED)
+        with pytest.raises(ValueError, match="not fitted"):
+            EmbeddingService(ForwardEmbedding(fast_forward_config), partition.db)
+
+    def test_embedder_bound_to_another_database_is_rejected(
+        self, small_genes_dataset, fast_forward_config
+    ):
+        dataset = small_genes_dataset
+        partition = partition_dataset(dataset, ratio_new=0.2, rng=SEED)
+        twin = partition_dataset(dataset, ratio_new=0.2, rng=SEED)
+        embedder = ForwardEmbedding(fast_forward_config)
+        embedder.fit(partition.db, dataset.prediction_relation, rng=SEED)
+        with pytest.raises(ValueError, match="different database"):
+            EmbeddingService(embedder, twin.db)
+
+    def test_non_embedder_is_rejected(self, small_genes_dataset):
+        partition = partition_dataset(small_genes_dataset, ratio_new=0.2, rng=SEED)
+        with pytest.raises(TypeError, match="ForwardModel or a fitted Embedder"):
+            EmbeddingService(object(), partition.db)
