@@ -1,0 +1,174 @@
+"""Churn benchmark — full-CRUD streaming on Mondial, served online.
+
+Two claims are measured and asserted:
+
+1. **Incremental deletion beats recompile-per-delete by ≥5×.**  The same
+   sequence of deletions is applied to two engines over the Mondial
+   database; one tombstones each deleted fact incrementally
+   (:meth:`CompiledDatabase.remove_fact`) and re-derives a warm destination
+   matrix, the other pays the pre-tombstone cost — a full recompile (fresh
+   ``WalkEngine``) per deletion, which is exactly what ``refresh()`` used
+   to do the moment any compiled fact disappeared.
+
+2. **The churn service stream stays exact.**  A mixed
+   insert/delete/update replay through the live service must verify
+   against a one-shot extender on the reconstructed final database (1e-9)
+   with every deleted tuple absent from the store.
+
+The combined JSON report is written to
+``benchmarks/results/BENCH_churn.json`` (uploaded as a CI artifact); a
+rendered summary goes to ``benchmarks/results/churn_service.txt``.
+
+Run under pytest (``python -m pytest benchmarks/bench_churn_service.py``)
+or directly (``python benchmarks/bench_churn_service.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from repro.core import ForwardConfig
+from repro.datasets import load_dataset
+from repro.engine import WalkEngine
+from repro.service.replay import render_report, run_streaming_replay
+from repro.walks import enumerate_walk_schemes
+
+try:  # pytest-style result persistence when run by the harness
+    from conftest import FULL_SCALE, RESULTS_DIR, write_result
+except ImportError:  # direct script execution from the repository root
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).parent))
+    from conftest import FULL_SCALE, RESULTS_DIR, write_result
+
+SCALE = 1.0 if FULL_SCALE else 0.15
+#: Mondial's prediction relation is small and cascade-free, so the churn
+#: replay streams at a higher ratio (and churns harder) than the insert-only
+#: streaming benchmark to get a meaningful number of delete/update ops.
+REPLAY_SCALE = 1.0 if FULL_SCALE else 0.4
+INSERT_RATIO = 0.3
+CHURN_FRACTION = 0.3
+N_DELETES = 40 if FULL_SCALE else 12
+MIN_SPEEDUP = 5.0
+
+#: Tiny hyper-parameters: the benchmark measures the serving layer, not
+#: embedding quality, so training is kept as small as the pipeline allows.
+TINY_CONFIG = ForwardConfig(
+    dimension=16, n_samples=400, batch_size=1024, max_walk_length=2, epochs=4,
+    learning_rate=0.02, n_new_samples=30,
+)
+
+
+def _bench_delete_paths() -> dict:
+    """Time N deletions: incremental tombstoning vs recompile-per-delete."""
+    rng = np.random.default_rng(0)
+    dataset = load_dataset("mondial", scale=SCALE, seed=0)
+    schemes = enumerate_walk_schemes(
+        dataset.db.schema, dataset.prediction_relation, 2
+    )
+    facts = dataset.db.facts()
+    picks = rng.choice(len(facts), size=N_DELETES, replace=False)
+    victims = [facts[int(i)].fact_id for i in picks]
+
+    # incremental: one engine, tombstone + warm matrix re-derivation per delete
+    db = dataset.db.copy()
+    engine = WalkEngine(db)
+    for scheme in schemes:
+        engine.destination_matrix(scheme)
+    start = time.perf_counter()
+    for fact_id in victims:
+        db.delete(fact_id)
+        engine.remove_facts([fact_id])
+        for scheme in schemes:
+            engine.destination_matrix(scheme)
+    incremental_seconds = time.perf_counter() - start
+
+    # baseline: what the pre-tombstone refresh() did — recompile everything
+    # the moment a compiled fact disappeared
+    db = dataset.db.copy()
+    start = time.perf_counter()
+    for fact_id in victims:
+        db.delete(fact_id)
+        fresh = WalkEngine(db)
+        for scheme in schemes:
+            fresh.destination_matrix(scheme)
+    recompile_seconds = time.perf_counter() - start
+
+    return {
+        "dataset": "mondial",
+        "scale": SCALE,
+        "n_deletes": N_DELETES,
+        "n_schemes": len(schemes),
+        "incremental_seconds": incremental_seconds,
+        "recompile_seconds": recompile_seconds,
+        "speedup": recompile_seconds / max(incremental_seconds, 1e-12),
+        "min_speedup": MIN_SPEEDUP,
+    }
+
+
+def _run() -> dict:
+    delete_bench = _bench_delete_paths()
+    replay = run_streaming_replay(
+        "mondial",
+        insert_ratio=INSERT_RATIO,
+        scale=REPLAY_SCALE,
+        seed=0,
+        policy="recompute",
+        config=TINY_CONFIG,
+        ops=("insert", "delete", "update"),
+        delete_fraction=CHURN_FRACTION,
+        update_fraction=CHURN_FRACTION,
+    )
+    from repro import __version__
+
+    report = {
+        "repro_version": __version__,
+        "delete_path": delete_bench,
+        "churn_replay": replay,
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "BENCH_churn.json").write_text(json.dumps(report, indent=2))
+    summary = "\n".join(
+        [
+            f"Incremental delete vs recompile-per-delete — mondial "
+            f"(scale {SCALE}, {delete_bench['n_deletes']} deletes, "
+            f"{delete_bench['n_schemes']} schemes)",
+            f"{'incremental seconds':<28}{delete_bench['incremental_seconds']:>12.3f}",
+            f"{'recompile seconds':<28}{delete_bench['recompile_seconds']:>12.3f}",
+            f"{'speedup':<28}{delete_bench['speedup']:>11.1f}x",
+            "",
+            render_report(replay),
+        ]
+    )
+    write_result("churn_service", summary)
+    return report
+
+
+def test_churn_service_on_mondial():
+    report = _run()
+    delete_bench = report["delete_path"]
+    assert delete_bench["speedup"] >= MIN_SPEEDUP, (
+        f"incremental deletion is only {delete_bench['speedup']:.1f}x faster than "
+        f"recompile-per-delete (required ≥{MIN_SPEEDUP}x)"
+    )
+    replay = report["churn_replay"]
+    assert replay["facts_deleted"] > 0 and replay["facts_updated"] > 0
+    assert replay["deleted_facts_absent_from_store"]
+    assert replay["verified_against_one_shot"], (
+        f"churned store deviates from the one-shot run by "
+        f"{replay['one_shot_max_abs_diff']:.2e} (tolerance {replay['one_shot_tolerance']:.0e})"
+    )
+    assert replay["feed_lag"] == 0 and replay["version_skew"] == 0
+
+
+if __name__ == "__main__":
+    result = _run()
+    print((RESULTS_DIR / "churn_service.txt").read_text())
+    if result["delete_path"]["speedup"] < MIN_SPEEDUP:
+        raise SystemExit("incremental deletion speedup below the required bar")
+    if not result["churn_replay"]["verified_against_one_shot"]:
+        raise SystemExit("churned store does not match the one-shot run")

@@ -144,6 +144,12 @@ class ForwardEmbedding(Embedder):
     def notify_inserted(self, facts: Sequence[Fact]) -> None:
         self.extender.notify_inserted(facts)
 
+    def notify_deleted(self, facts: Sequence[Fact]) -> None:
+        self.extender.notify_deleted(facts)
+
+    def notify_updated(self, facts: Sequence[Fact]) -> None:
+        self.extender.notify_updated(facts)
+
     # ------------------------------------------------------- serving hooks
 
     @property

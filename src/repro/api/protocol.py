@@ -142,6 +142,24 @@ class Embedder(abc.ABC):
         incremental engine state need not override.
         """
 
+    def notify_deleted(self, facts: Sequence[Fact]) -> None:
+        """Hook called after ``facts`` were deleted from the database.
+
+        FoRWaRD tombstones them in its compiled engine and discards their
+        dynamically extended embeddings; methods without incremental engine
+        state need not override (their stale internal state simply no longer
+        influences facts the store has tombstoned).
+        """
+
+    def notify_updated(self, facts: Sequence[Fact]) -> None:
+        """Hook called after ``facts`` were updated in place (same ids).
+
+        ``facts`` carry the post-update values.  FoRWaRD re-encodes them in
+        its compiled engine and discards the extended embeddings of updated
+        *streamed* facts so a subsequent ``partial_fit`` re-derives them;
+        trained embeddings stay frozen (the stability guarantee).
+        """
+
     # ------------------------------------------------------- serving hooks
 
     @property

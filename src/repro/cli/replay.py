@@ -3,15 +3,19 @@
 ::
 
     python -m repro replay --dataset mondial --insert-ratio 0.1
+    python -m repro replay --dataset mondial --ops insert,delete,update
 
 The serving-layer counterpart of the offline dynamic experiment: a dataset
 is partitioned at the chosen insert ratio, the static model is trained on
 the old part, and the removed facts are replayed as a change feed through a
 live :class:`~repro.service.service.EmbeddingService` —
-:func:`repro.service.replay.run_streaming_replay` does the work.  A
-version-stamped ``BENCH_streaming.json`` with throughput and latency
-statistics is written to ``--output``; under the default ``recompute``
-policy the run self-verifies against a one-shot extender to 1e-9.
+:func:`repro.service.replay.run_streaming_replay` does the work.  ``--ops``
+selects the workload: pure inserts (default) or a full-CRUD churn stream
+that interleaves deletions and in-place updates of previously streamed
+facts.  A version-stamped ``BENCH_streaming.json`` with throughput and
+latency statistics is written to ``--output``; under the default
+``recompute`` policy the run self-verifies against a one-shot extender to
+1e-9 (and, for churn, that deleted tuples are absent from the store).
 """
 
 from __future__ import annotations
@@ -31,6 +35,19 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--insert-ratio", type=float, default=0.1)
     parser.add_argument("--scale", type=float, default=0.2, help="dataset generation scale")
     parser.add_argument("--policy", choices=("recompute", "on_arrival"), default="recompute")
+    parser.add_argument(
+        "--ops", default="insert",
+        help="comma-separated op mix for the stream: insert (default) or a "
+        "churn workload like insert,delete,update",
+    )
+    parser.add_argument(
+        "--delete-fraction", type=float, default=0.15,
+        help="fraction of streamed facts churn-deleted per batch (with --ops delete)",
+    )
+    parser.add_argument(
+        "--update-fraction", type=float, default=0.15,
+        help="fraction of streamed facts churn-updated per batch (with --ops update)",
+    )
     parser.add_argument(
         "--group-size", type=int, default=None,
         help="cascade batches coalesced per feed batch (default: ~8 feed batches)",
@@ -57,6 +74,7 @@ def execute(args: argparse.Namespace) -> int:
     config = dataclasses.replace(
         DEFAULT_CONFIG, dimension=args.dimension, epochs=args.epochs
     )
+    ops = tuple(part.strip() for part in args.ops.split(",") if part.strip())
     try:
         report = run_streaming_replay(
             args.dataset,
@@ -67,7 +85,12 @@ def execute(args: argparse.Namespace) -> int:
             group_size=args.group_size,
             config=config,
             verify=(not args.no_verify) and args.policy == "recompute",
+            ops=ops,
+            delete_fraction=args.delete_fraction,
+            update_fraction=args.update_fraction,
         )
+    except ValueError as error:
+        raise CLIError(str(error)) from None
     except KeyError as error:
         raise CLIError(str(error.args[0])) from None
     args.output.write_text(json.dumps(report, indent=2))

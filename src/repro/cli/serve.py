@@ -133,6 +133,7 @@ def execute(args: argparse.Namespace) -> int:
     print(f"{'facts / second':<28}{stats.facts_per_second:>12.1f}")
     print(f"{'apply p50 seconds':<28}{latency['p50_seconds']:>12.4f}")
     print(f"{'apply p95 seconds':<28}{latency['p95_seconds']:>12.4f}")
+    print(f"{'apply p99 seconds':<28}{latency['p99_seconds']:>12.4f}")
     print(f"{'feed lag':<28}{stats.feed_lag:>12}")
 
     if args.out:

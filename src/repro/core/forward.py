@@ -129,6 +129,16 @@ class ForwardModel:
             raise ValueError(f"fact {key} already has a trained embedding")
         self._extended[key] = vector.copy()
 
+    def discard_extended(self, fact: Fact | int) -> bool:
+        """Drop a dynamically extended embedding (deleted or updated fact).
+
+        Trained embeddings cannot be discarded — they are part of ``phi``
+        and frozen by the stability guarantee.  Returns True when an
+        extended vector was present.
+        """
+        key = fact.fact_id if isinstance(fact, Fact) else int(fact)
+        return self._extended.pop(key, None) is not None
+
     @property
     def extended_fact_ids(self) -> tuple[int, ...]:
         return tuple(self._extended.keys())

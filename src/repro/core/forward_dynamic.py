@@ -110,6 +110,35 @@ class ForwardDynamicExtender:
         """
         self.engine.add_facts(facts)
 
+    def notify_deleted(self, facts: Iterable[Fact]) -> None:
+        """Tombstone facts deleted from ``db`` in the compiled engine.
+
+        Deleted facts of the model's relation also lose their dynamically
+        extended embedding (trained rows of ``φ`` are frozen and simply
+        stop being candidates — their recomputed distributions are None).
+        """
+        facts = list(facts)
+        self.engine.remove_facts(facts)
+        for fact in facts:
+            if fact.relation == self.model.relation:
+                self.model.discard_extended(fact)
+
+    def notify_updated(self, facts: Iterable[Fact]) -> None:
+        """Re-encode updated facts (post-update values) in the compiled engine.
+
+        Updated *streamed* facts of the model's relation lose their extended
+        embedding so the next :meth:`extend`/:meth:`embed_fact` re-derives
+        it from the new values; trained embeddings stay frozen.
+        """
+        facts = list(facts)
+        self.engine.update_facts(facts)
+        for fact in facts:
+            if (
+                fact.relation == self.model.relation
+                and fact.fact_id not in self.model.fact_row
+            ):
+                self.model.discard_extended(fact)
+
     # ------------------------------------------------------------ internals
 
     def _old_distributions(self, target: WalkTarget) -> dict[int, AttributeDistribution | None]:
@@ -132,7 +161,10 @@ class ForwardDynamicExtender:
         indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
         result: dict[int, AttributeDistribution | None] = {}
         for fact_id in self.model.fact_ids:
-            row = compiled_rel.row_of[fact_id]
+            row = compiled_rel.row_of.get(fact_id)
+            if row is None:  # a trained fact deleted from the database
+                result[fact_id] = None
+                continue
             lo, hi = indptr[row], indptr[row + 1]
             if lo == hi:
                 result[fact_id] = None
@@ -167,7 +199,16 @@ class ForwardDynamicExtender:
             if new_dist is None:
                 continue
             old_dists = self._old_distributions(target)
-            candidates = [fid for fid in self.model.fact_ids if old_dists[fid] is not None]
+            # deleted trained facts stop being regression anchors: in the
+            # recompute setting their distribution is already None; the
+            # one-by-one setting caches training-time distributions, so the
+            # existence check is what drops them there
+            candidates = [
+                fid
+                for fid in self.model.fact_ids
+                if old_dists[fid] is not None
+                and fid in self.db._facts_by_id  # noqa: SLF001 - cheap membership
+            ]
             if not candidates:
                 continue
             chosen = self._choose_candidates(candidates, n_per_target)

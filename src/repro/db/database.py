@@ -12,7 +12,9 @@ VI-E-1).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.db.errors import (
@@ -101,6 +103,41 @@ class Database:
         }
         self._facts_by_id: dict[int, Fact] = {}
         self._next_id = 0
+        # mutation counter plus a bounded changelog of (version, op, fact)
+        # events; incremental consumers (the compiled walk engine) sync by
+        # replaying only the events they have not seen yet
+        self._version = 0
+        self._changelog: deque[tuple[int, str, Fact]] = deque()
+        self._changelog_capacity = 65536
+        self._log_floor = 0  # version of the newest *discarded* event
+
+    # --------------------------------------------------------------- history
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (bumped by insert/delete/update)."""
+        return self._version
+
+    def _log_mutation(self, op: str, fact: Fact) -> None:
+        self._version += 1
+        self._changelog.append((self._version, op, fact))
+        if len(self._changelog) > self._changelog_capacity:
+            self._log_floor = self._changelog.popleft()[0]
+
+    def changes_since(self, version: int) -> list[tuple[int, str, Fact]] | None:
+        """Ordered ``(version, op, fact)`` events newer than ``version``.
+
+        ``op`` is ``"insert"``, ``"delete"`` or ``"update"`` (the fact
+        carries the post-update values).  Returns ``None`` when the
+        requested window has been truncated from the bounded changelog —
+        consumers must then fall back to a full resync.
+        """
+        if version >= self._version:
+            return []
+        if version < self._log_floor:
+            return None
+        # versions are consecutive: the first retained event is _log_floor+1
+        return list(islice(self._changelog, version - self._log_floor, None))
 
     # ------------------------------------------------------------------ size
 
@@ -174,6 +211,7 @@ class Database:
         if self._validate:
             self._check_key(fact)
         self._index_fact(fact)
+        self._log_mutation("insert", fact)
         return fact
 
     def insert_many(
@@ -243,6 +281,7 @@ class Database:
         del self._facts_by_id[fact.fact_id]
         del self._facts_by_relation[fact.relation][fact.fact_id]
         del self._key_index[fact.relation][fact.key_values()]
+        self._log_mutation("delete", fact)
 
     def delete_cascade(self, fact: Fact | int) -> list[Fact]:
         """Delete a fact "On Delete Cascade" style (Section VI-E-1).
@@ -285,6 +324,82 @@ class Database:
                 if not self.referencing_facts(parent):
                     frontier.append(parent)
         return deleted
+
+    # --------------------------------------------------------------- update
+
+    def update(self, fact: Fact | int, changes: Mapping[str, Value]) -> Fact:
+        """Update attribute values of an existing fact in place.
+
+        The fact keeps its ``fact_id`` (embeddings keyed on it stay
+        attached); a new :class:`Fact` object with the merged values replaces
+        the old one.  Key and foreign-key indexes are maintained: forward
+        references of the updated fact are re-resolved, and — when key
+        attributes change — facts referencing the old key dangle (the same
+        convention as :meth:`delete`) while facts whose references match the
+        new key are linked up.  A no-op update (identical values) returns
+        the current fact without bumping the mutation counter.
+        """
+        old = self._resolve(fact)
+        rel_schema = old.schema
+        for name in changes:
+            if not rel_schema.has_attribute(name):
+                raise UnknownAttributeError(old.relation, name)
+        values = tuple(
+            changes[name] if name in changes else value
+            for name, value in zip(rel_schema.attribute_names, old.values)
+        )
+        if values == old.values:
+            return old
+        new = Fact(old.fact_id, old.relation, values, rel_schema)
+        old_key = old.key_values()
+        new_key = new.key_values()
+        if self._validate and new_key != old_key:
+            if any(v is None for v in new_key):
+                raise KeyViolation(f"{new}: key attributes must be non-null")
+            holder = self._key_index[old.relation].get(new_key)
+            if holder is not None and holder.fact_id != old.fact_id:
+                raise KeyViolation(
+                    f"{new}: duplicate key {new_key!r} in relation {old.relation!r}"
+                )
+        # ---- unhook the old fact
+        del self._key_index[old.relation][old_key]
+        for fk in self.schema.foreign_keys_from(old.relation):
+            self._unlink_source(fk, old)
+        key_changed = new_key != old_key
+        for fk in self.schema.foreign_keys_to(old.relation):
+            if key_changed:
+                # sources that referenced the old key now dangle
+                for rid in self._fk_backward[fk.name].pop(old.fact_id, set()):
+                    self._fk_forward[fk.name].pop(rid, None)
+            else:
+                # same key: keep the links but swap in the new fact object
+                for rid in self._fk_backward[fk.name].get(old.fact_id, ()):
+                    self._fk_forward[fk.name][rid] = new
+        # ---- install the new fact
+        self._facts_by_id[new.fact_id] = new
+        self._facts_by_relation[new.relation][new.fact_id] = new
+        self._key_index[new.relation][new_key] = new
+        for fk in self.schema.foreign_keys_from(new.relation):
+            ref = new.project(fk.source_attrs)
+            if any(v is None for v in ref):
+                continue
+            target = self._key_index[fk.target].get(ref)
+            if target is not None:
+                self._link(fk, new, target)
+        if key_changed:
+            # sources whose (possibly dangling) references match the new key
+            for fk in self.schema.foreign_keys_to(new.relation):
+                forward = self._fk_forward[fk.name]
+                for source in self._facts_by_relation[fk.source].values():
+                    if source.fact_id in forward:
+                        continue
+                    ref = source.project(fk.source_attrs)
+                    if any(v is None for v in ref):
+                        continue
+                    if ref == new_key:
+                        self._link(fk, source, new)
+        self._log_mutation("update", new)
+        return new
 
     def _resolve(self, fact: Fact | int) -> Fact:
         if isinstance(fact, Fact):
@@ -413,6 +528,7 @@ class Database:
             self._check_key(fact)
         self._index_fact(fact)
         self._next_id = max(self._next_id, fact.fact_id + 1)
+        self._log_mutation("insert", fact)
         return fact
 
     def structure_summary(self) -> dict[str, int]:

@@ -15,11 +15,26 @@ machinery can run as vectorised array programs:
 * every ``(relation, attribute)`` column is dictionary-encoded into integer
   codes over a per-column vocabulary (``-1`` encodes ⊥).
 
-The compiled form supports *incremental extension*: :meth:`CompiledDatabase.
-add_fact` appends a fact inserted into the backing database without
-recompiling, mirroring ``Database.insert`` / ``DatabaseGraph.add_fact`` so
-the dynamic scenarios (Section V-E) stay cheap.  Deletions are not tracked
-incrementally; :meth:`CompiledDatabase.refresh` detects them and recompiles.
+The compiled form supports the full CRUD cycle incrementally:
+
+* :meth:`CompiledDatabase.add_fact` appends an inserted fact, repairing
+  dangling foreign-key pointers in both directions;
+* :meth:`CompiledDatabase.remove_fact` *tombstones* a deleted fact's row —
+  the row keeps its number (so every other row's numbering, and therefore
+  every cached matrix shape, stays valid) but is masked out of all
+  transitions: its outgoing pointers and every pointer referencing it are
+  repaired to ``-1``.  Tombstones are compacted lazily once they dominate a
+  relation (:meth:`compact`), amortising the rebuild over many deletions;
+* :meth:`CompiledDatabase.update_fact` re-encodes an updated fact's column
+  values in place and re-resolves foreign-key pointers touching it.
+
+:meth:`CompiledDatabase.refresh` syncs with the backing database by
+replaying its bounded changelog (``Database.changes_since``), so a refresh
+costs O(changes) — and O(1) when nothing changed — instead of a full
+database scan.  Alongside the global ``version`` (bumped by every mutation)
+the compiled form keeps *per-relation* and *per-foreign-key* dirty counters
+so downstream caches keyed on them survive mutations that cannot have
+affected them.
 """
 
 from __future__ import annotations
@@ -49,16 +64,27 @@ class ValueColumn:
         self.vocab: list[Value] = []
         self.code_of: dict[Value, int] = {}
 
-    def append(self, value: Value) -> None:
+    def code_for(self, value: Value) -> int:
+        """The code of ``value`` (⊥ is ``-1``), growing the vocabulary."""
         if value is None:
-            self.codes.append(-1)
-            return
+            return -1
         code = self.code_of.get(value)
         if code is None:
             code = len(self.vocab)
             self.code_of[value] = code
             self.vocab.append(value)
-        self.codes.append(code)
+        return code
+
+    def append(self, value: Value) -> None:
+        self.codes.append(self.code_for(value))
+
+    def set(self, row: int, value: Value) -> bool:
+        """Re-encode one row's value in place; returns True when it changed."""
+        code = self.code_for(value)
+        if self.codes[row] == code:
+            return False
+        self.codes[row] = code
+        return True
 
     def codes_array(self) -> np.ndarray:
         return np.asarray(self.codes, dtype=np.int64)
@@ -73,9 +99,15 @@ class ValueColumn:
 
 
 class CompiledRelation:
-    """The facts of one relation, numbered densely and column-encoded."""
+    """The facts of one relation, numbered densely and column-encoded.
 
-    __slots__ = ("schema", "fact_ids", "row_of", "columns")
+    Deleted facts are *tombstoned*: their row keeps its number (``num_rows``
+    never shrinks outside compaction) but ``alive[row]`` turns false, the
+    ``fact_ids`` slot is cleared to ``-1`` and the ``row_of`` entry is
+    dropped, so tombstoned rows are unreachable by fact id.
+    """
+
+    __slots__ = ("schema", "fact_ids", "row_of", "columns", "alive", "num_dead")
 
     def __init__(self, schema: RelationSchema):
         self.schema = schema
@@ -84,31 +116,59 @@ class CompiledRelation:
         self.columns: dict[str, ValueColumn] = {
             name: ValueColumn() for name in schema.attribute_names
         }
+        self.alive: list[bool] = []
+        self.num_dead = 0
 
     @property
     def num_rows(self) -> int:
+        """Total rows, tombstones included (the compiled row-space size)."""
         return len(self.fact_ids)
+
+    @property
+    def num_alive(self) -> int:
+        return len(self.fact_ids) - self.num_dead
 
     def append(self, fact: Fact) -> int:
         row = len(self.fact_ids)
         self.row_of[fact.fact_id] = row
         self.fact_ids.append(fact.fact_id)
+        self.alive.append(True)
         for name, value in zip(self.schema.attribute_names, fact.values):
             self.columns[name].append(value)
         return row
+
+    def tombstone(self, fact_id: int) -> int | None:
+        """Mark the fact's row dead; returns the row, or None if unknown."""
+        row = self.row_of.pop(fact_id, None)
+        if row is None:
+            return None
+        self.alive[row] = False
+        self.fact_ids[row] = -1
+        self.num_dead += 1
+        return row
+
+    def alive_array(self) -> np.ndarray:
+        return np.asarray(self.alive, dtype=bool)
 
     def fact_ids_array(self) -> np.ndarray:
         return np.asarray(self.fact_ids, dtype=np.int64)
 
 
 class CompiledDatabase:
-    """Flat-array view of a database, kept in sync by incremental appends.
+    """Flat-array view of a database, kept in sync by incremental mutation.
 
     The backing :class:`Database` stays the source of truth; the compiled
     arrays are a performance structure.  ``version`` increases on every
-    mutation so downstream caches (transition matrices, distribution
-    matrices) can invalidate cheaply.
+    mutation so downstream caches (distribution matrices) can invalidate
+    cheaply; ``rel_versions``/``fk_versions`` increase only when the named
+    relation / foreign key was actually touched, so per-step transition
+    matrices of untouched foreign keys survive unrelated mutations.
     """
+
+    #: Tombstone fraction beyond which a relation triggers lazy compaction.
+    COMPACT_FRACTION = 0.5
+    #: Minimum tombstones before compaction is considered at all.
+    COMPACT_MIN_DEAD = 64
 
     def __init__(self, db: Database):
         self.db = db
@@ -116,7 +176,14 @@ class CompiledDatabase:
         self.relations: dict[str, CompiledRelation] = {}
         self.fk_target_rows: dict[str, list[int]] = {}
         self.version = 0
+        self.rel_versions: dict[str, int] = {
+            name: 0 for name in db.schema.relation_names
+        }
+        self.fk_versions: dict[str, int] = {
+            fk.name: 0 for fk in db.schema.foreign_keys
+        }
         self._fk_array_cache: dict[str, tuple[int, np.ndarray]] = {}
+        self._synced_db_version: int | None = None
         self._compile()
 
     # ------------------------------------------------------------- building
@@ -138,12 +205,26 @@ class CompiledDatabase:
                 else:
                     pointers.append(target_rel.row_of[target.fact_id])
             self.fk_target_rows[fk.name] = pointers
+        for name in self.rel_versions:
+            self.rel_versions[name] += 1
+        for name in self.fk_versions:
+            self.fk_versions[name] += 1
+        self._synced_db_version = getattr(self.db, "version", None)
+
+    def _touch_relation(self, rel_name: str) -> None:
+        """Dirty a relation's row-space and every foreign key touching it."""
+        self.rel_versions[rel_name] += 1
+        for fk in self.schema.foreign_keys_from(rel_name):
+            self.fk_versions[fk.name] += 1
+        for fk in self.schema.foreign_keys_to(rel_name):
+            self.fk_versions[fk.name] += 1
 
     # --------------------------------------------------------------- lookup
 
     @property
     def num_facts(self) -> int:
-        return sum(rel.num_rows for rel in self.relations.values())
+        """Live (non-tombstoned) facts across all relations."""
+        return sum(rel.num_alive for rel in self.relations.values())
 
     def has_fact(self, fact: Fact | int) -> bool:
         if isinstance(fact, Fact):
@@ -155,10 +236,11 @@ class CompiledDatabase:
 
     def fk_pointer_array(self, fk_name: str) -> np.ndarray:
         hit = self._fk_array_cache.get(fk_name)
-        if hit is not None and hit[0] == self.version:
+        dirty = self.fk_versions[fk_name]
+        if hit is not None and hit[0] == dirty:
             return hit[1]
         array = np.asarray(self.fk_target_rows[fk_name], dtype=np.int64)
-        self._fk_array_cache[fk_name] = (self.version, array)
+        self._fk_array_cache[fk_name] = (dirty, array)
         return array
 
     # ------------------------------------------------------------ extension
@@ -190,6 +272,7 @@ class CompiledDatabase:
                 source_row = source_rel.row_of.get(source.fact_id)
                 if source_row is not None:
                     pointers[source_row] = row
+        self._touch_relation(fact.relation)
         self.version += 1
         return row
 
@@ -197,19 +280,237 @@ class CompiledDatabase:
         for fact in facts:
             self.add_fact(fact)
 
+    # -------------------------------------------------------------- removal
+
+    def remove_fact(self, fact: Fact | int) -> bool:
+        """Tombstone one fact deleted from the backing database.
+
+        The row is masked out of every transition: its outgoing foreign-key
+        pointers and every pointer referencing it are repaired to ``-1``
+        (mirroring :meth:`add_fact`, which repairs them in the other
+        direction).  Idempotent — removing an unknown or already-removed
+        fact returns False.  Once tombstones dominate a relation the arrays
+        are compacted lazily (one amortised rebuild instead of one per
+        deletion).
+        """
+        return self.remove_facts([fact]) == 1
+
+    def remove_facts(self, facts: Iterable[Fact | int]) -> int:
+        """Tombstone a batch of deleted facts; returns how many were live.
+
+        The incoming-pointer repair is batched: each foreign key pointing
+        at an affected relation is scanned once for the whole batch, so a
+        churn batch deleting ``D`` facts costs one pass per foreign key
+        instead of ``D``.
+        """
+        doomed: dict[str, set[int]] = {}
+        removed = 0
+        for fact in facts:
+            if isinstance(fact, Fact):
+                fact_id, rel_name = fact.fact_id, fact.relation
+            else:
+                fact_id = int(fact)
+                rel_name = next(
+                    (n for n, rel in self.relations.items() if fact_id in rel.row_of),
+                    None,
+                )
+                if rel_name is None:
+                    continue
+            row = self.relations[rel_name].tombstone(fact_id)
+            if row is None:
+                continue
+            removed += 1
+            doomed.setdefault(rel_name, set()).add(row)
+            for fk in self.schema.foreign_keys_from(rel_name):
+                self.fk_target_rows[fk.name][row] = -1
+        if not removed:
+            return 0
+        for rel_name, rows in doomed.items():
+            for fk in self.schema.foreign_keys_to(rel_name):
+                pointers = self.fk_target_rows[fk.name]
+                dead = np.fromiter(rows, dtype=np.int64)
+                stale = np.nonzero(
+                    np.isin(np.asarray(pointers, dtype=np.int64), dead)
+                )[0]
+                for source_row in stale:
+                    pointers[int(source_row)] = -1
+            self._touch_relation(rel_name)
+        self.version += 1
+        for rel_name in doomed:
+            self._maybe_compact(self.relations[rel_name])
+        return removed
+
+    def _maybe_compact(self, relation: CompiledRelation) -> None:
+        if (
+            relation.num_dead >= self.COMPACT_MIN_DEAD
+            and relation.num_dead > self.COMPACT_FRACTION * relation.num_rows
+        ):
+            self.compact()
+
+    def compact(self) -> bool:
+        """Rebuild the arrays without tombstoned rows; returns True if any.
+
+        Row numbers change, so every per-relation and per-foreign-key dirty
+        counter is bumped (``_compile`` does) and downstream matrices
+        rebuild.  Called lazily from :meth:`remove_fact`; safe to call
+        explicitly (e.g. before persisting a snapshot).
+        """
+        if not any(rel.num_dead for rel in self.relations.values()):
+            return False
+        self._compile()
+        self.version += 1
+        return True
+
+    # --------------------------------------------------------------- update
+
+    def update_fact(self, fact: Fact) -> bool:
+        """Sync one updated fact: re-encode values, re-resolve FK pointers.
+
+        ``fact`` carries the post-update values (same ``fact_id``).  Both
+        pointer directions are repaired against the database's current FK
+        indexes: the row's own references are re-resolved, and rows that
+        referenced it (or now should) are fixed up.  Idempotent — a fact
+        already in sync returns False.
+        """
+        relation = self.relations[fact.relation]
+        row = relation.row_of.get(fact.fact_id)
+        if row is None:
+            # never compiled (or tombstoned): treat as an insert if it exists
+            if fact.fact_id in self.db._facts_by_id:  # noqa: SLF001
+                self.add_fact(self.db.fact(fact.fact_id))
+                return True
+            return False
+        values_changed = False
+        for name, value in zip(relation.schema.attribute_names, fact.values):
+            values_changed |= relation.columns[name].set(row, value)
+        db_fact = self.db._facts_by_id.get(fact.fact_id, fact)  # noqa: SLF001
+        fk_changed = False
+        for fk in self.schema.foreign_keys_from(fact.relation):
+            target = self.db.referenced_fact(db_fact, fk)
+            pointer = (
+                -1
+                if target is None
+                else self.relations[fk.target].row_of.get(target.fact_id, -1)
+            )
+            pointers = self.fk_target_rows[fk.name]
+            if pointers[row] != pointer:
+                pointers[row] = pointer
+                self.fk_versions[fk.name] += 1
+                fk_changed = True
+        for fk in self.schema.foreign_keys_to(fact.relation):
+            pointers = self.fk_target_rows[fk.name]
+            old_rows = {
+                int(i)
+                for i in np.nonzero(np.asarray(pointers, dtype=np.int64) == row)[0]
+            }
+            source_rel = self.relations[fk.source]
+            new_rows = set()
+            for source in self.db.referencing_facts(db_fact, fk):
+                source_row = source_rel.row_of.get(source.fact_id)
+                if source_row is not None:
+                    new_rows.add(source_row)
+            if old_rows == new_rows:
+                continue
+            fk_changed = True
+            self.fk_versions[fk.name] += 1
+            for stale in old_rows - new_rows:
+                # the source may reference a different fact now (key change)
+                source_id = source_rel.fact_ids[stale]
+                source_fact = self.db._facts_by_id.get(source_id)  # noqa: SLF001
+                target = (
+                    self.db.referenced_fact(source_fact, fk)
+                    if source_fact is not None
+                    else None
+                )
+                pointers[stale] = (
+                    -1
+                    if target is None
+                    else self.relations[fk.target].row_of.get(target.fact_id, -1)
+                )
+            for fresh in new_rows - old_rows:
+                pointers[fresh] = row
+        if values_changed:
+            self.rel_versions[fact.relation] += 1
+        if values_changed or fk_changed:
+            self.version += 1
+            return True
+        return False
+
+    def update_facts(self, facts: Iterable[Fact]) -> None:
+        for fact in facts:
+            self.update_fact(fact)
+
+    # ----------------------------------------------------------------- sync
+
     def refresh(self) -> bool:
         """Bring the compiled arrays in sync with the backing database.
 
-        Facts inserted since compilation are appended incrementally; if any
-        compiled fact was deleted the whole database is recompiled.  Returns
-        True when anything changed.
+        O(1) when the database's mutation counter is unchanged.  Otherwise
+        the database's changelog is replayed — inserts append, deletions
+        tombstone, updates re-encode in place — so the cost is proportional
+        to the number of changes, not the database size.  Only when the
+        changelog window has been truncated (or the compiled state was
+        restored from a snapshot with no known sync point) does it fall back
+        to a scan/recompile.  Returns True when anything changed.
+        """
+        target = self.db.version
+        if self._synced_db_version == target:
+            return False
+        if self._synced_db_version is None:
+            # snapshot-restored state: unknown sync point, diff by scanning
+            changed = self._scan_refresh()
+            self._synced_db_version = self.db.version
+            return changed
+        events = self.db.changes_since(self._synced_db_version)
+        if events is None:
+            # the window fell out of the bounded changelog: recompile
+            self._compile()
+            self.version += 1
+            return True
+        changed = False
+        for _event_version, op, fact in events:
+            if op == "insert":
+                if fact.fact_id not in self.db._facts_by_id:  # noqa: SLF001
+                    continue  # deleted again later in the window
+                before = self.version
+                self.add_fact(fact)
+                changed |= self.version != before
+            elif op == "delete":
+                changed |= self.remove_fact(fact)
+            else:
+                current = self.db._facts_by_id.get(fact.fact_id)  # noqa: SLF001
+                if current is None or current.values != fact.values:
+                    continue  # superseded by a later update (or a deletion)
+                changed |= self.update_fact(current)
+        self._synced_db_version = self.db.version
+        return changed
+
+    def _scan_refresh(self) -> bool:
+        """Full-scan sync for states with no known changelog position.
+
+        Appends missing facts, recompiles when any compiled fact was
+        deleted, and re-encodes facts whose compiled values no longer match
+        the database (in-place updates that happened outside the changelog
+        window — e.g. between a snapshot save and its restore).
         """
         missing = [fact for fact in self.db if not self.has_fact(fact)]
         if len(self.db) - len(missing) != self.num_facts:
             self._compile()
             self.version += 1
             return True
+        stale: list[Fact] = []
+        for relation in self.relations.values():
+            attribute_names = relation.schema.attribute_names
+            columns = [relation.columns[name] for name in attribute_names]
+            for fact_id, row in relation.row_of.items():
+                fact = self.db._facts_by_id[fact_id]  # noqa: SLF001
+                for column, value in zip(columns, fact.values):
+                    code = column.codes[row]
+                    stored = None if code < 0 else column.vocab[code]
+                    if stored != value:
+                        stale.append(fact)
+                        break
+        self.update_facts(stale)
         if missing:
             self.add_facts(missing)
-            return True
-        return False
+        return bool(missing) or bool(stale)

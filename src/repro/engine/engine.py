@@ -18,9 +18,12 @@ like the reference BFS), and ``attribute_matrix(s, A)`` additionally
 aggregates destination mass over the dictionary-encoded values of ``A`` and
 renormalises over non-⊥ values (the paper's posterior convention).
 
-All products are cached per ``(scheme, compiled-version)`` so consumers that
-share an engine — FoRWaRD training, the dynamic extender, the experiment
-drivers — never recompute a distribution the engine has already seen.
+All products are cached per scheme under a *dirty signature* — the per-
+relation and per-foreign-key mutation counters the scheme actually reads —
+so consumers that share an engine — FoRWaRD training, the dynamic extender,
+the experiment drivers — never recompute a distribution the engine has
+already seen, and a single-fact insert/delete/update during streaming only
+invalidates the schemes whose relations or foreign keys it touched.
 Single-fact queries slice a cached matrix row when one is current; otherwise
 they run an index-backed BFS (O(walk support), so one-by-one dynamic
 insertion stays O(walk) instead of O(database)), and only a second
@@ -69,12 +72,14 @@ class WalkEngine:
         self.compiled = compiled if compiled is not None else CompiledDatabase(db)
         if self.compiled.db is not db:
             raise ValueError("compiled database is backed by a different Database")
-        # cache value -> (compiled version at build time, payload)
+        # cache value -> (dirty signature at build time, payload); signatures
+        # are per-foreign-key / per-relation, not the global version, so a
+        # mutation only invalidates the matrices it could have affected
         self._step_cache: dict[tuple[str, Direction], tuple[int, sparse.csr_matrix]] = {}
-        self._mass_cache: dict[WalkScheme, tuple[int, sparse.csr_matrix]] = {}
-        self._dest_cache: dict[WalkScheme, tuple[int, sparse.csr_matrix]] = {}
+        self._mass_cache: dict[WalkScheme, tuple[tuple, sparse.csr_matrix]] = {}
+        self._dest_cache: dict[WalkScheme, tuple[tuple, sparse.csr_matrix]] = {}
         self._attr_cache: dict[
-            tuple[WalkScheme, str], tuple[int, sparse.csr_matrix, np.ndarray]
+            tuple[WalkScheme, str], tuple[tuple, sparse.csr_matrix, np.ndarray]
         ] = {}
         self._column_cache: dict[
             tuple[str, str], tuple[int, sparse.csr_matrix, np.ndarray, np.ndarray]
@@ -113,21 +118,38 @@ class WalkEngine:
         return self.compiled.version
 
     def refresh(self) -> bool:
-        """Sync with the backing database (append new facts or recompile)."""
+        """Sync with the backing database by replaying its changelog."""
         return self.compiled.refresh()
 
     def add_facts(self, facts: Iterable[Fact]) -> None:
         """Append facts inserted into the database since compilation."""
         self.compiled.add_facts(facts)
 
+    def remove_facts(self, facts: Iterable[Fact | int]) -> None:
+        """Tombstone facts deleted from the database (lazy compaction)."""
+        self.compiled.remove_facts(facts)
+
+    def update_facts(self, facts: Iterable[Fact]) -> None:
+        """Re-encode updated facts in place (post-update values)."""
+        self.compiled.update_facts(facts)
+
     # ----------------------------------------------------------- transitions
 
     def step_matrix(self, step: WalkStep) -> sparse.csr_matrix:
-        """The row-stochastic transition matrix of one walk step."""
+        """The row-stochastic transition matrix of one walk step.
+
+        Cached per foreign-key dirty counter, not per global version: a
+        mutation that touches neither endpoint relation of ``fk`` leaves the
+        cached matrix valid, so single-fact churn during streaming only
+        rebuilds the matrices of the foreign keys it actually affected.
+        Tombstoned rows are masked by construction — their pointers (in both
+        directions) are repaired to ``-1`` at removal time.
+        """
         fk = step.foreign_key
         key = (fk.name, step.direction)
+        fk_dirty = self.compiled.fk_versions[fk.name]
         hit = self._step_cache.get(key)
-        if hit is not None and hit[0] == self.version:
+        if hit is not None and hit[0] == fk_dirty:
             return hit[1]
         pointers = self.compiled.fk_pointer_array(fk.name)
         n_source = self.compiled.relations[fk.source].num_rows
@@ -150,22 +172,40 @@ class WalkEngine:
             matrix = sparse.csr_matrix(
                 (data, linked[order], indptr), shape=(n_target, n_source)
             )
-        self._step_cache[key] = (self.version, matrix)
+        self._step_cache[key] = (fk_dirty, matrix)
         return matrix
 
     # -------------------------------------------------------- distributions
+
+    def _scheme_signature(self, scheme: WalkScheme) -> tuple:
+        """The dirty counters a scheme's distributions depend on.
+
+        A scheme reads the start relation's row space and every step's
+        transition matrix; each intermediate/end relation is an endpoint of
+        an adjacent step's foreign key, whose counter is bumped whenever the
+        relation is touched.  Mutations elsewhere leave the signature — and
+        therefore every cached matrix keyed on it — intact, so single-fact
+        churn during streaming only rebuilds the schemes it actually
+        affected.
+        """
+        compiled = self.compiled
+        return (
+            compiled.rel_versions[scheme.start_relation],
+            *(compiled.fk_versions[step.foreign_key.name] for step in scheme.steps),
+        )
 
     def destination_matrix(self, scheme: WalkScheme) -> sparse.csr_matrix:
         """Row ``i`` is the destination distribution of start-relation row ``i``.
 
         Shape is ``(n_start, n_end)`` in compiled row numbering; rows of
-        facts with no complete walk are empty.
+        facts with no complete walk are empty (tombstoned rows always are).
         """
+        signature = self._scheme_signature(scheme)
         hit = self._dest_cache.get(scheme)
-        if hit is not None and hit[0] == self.version:
+        if hit is not None and hit[0] == signature:
             return hit[1]
         matrix = _normalize_rows(self._mass_matrix(scheme).copy())
-        self._dest_cache[scheme] = (self.version, matrix)
+        self._dest_cache[scheme] = (signature, matrix)
         return matrix
 
     def _mass_matrix(self, scheme: WalkScheme) -> sparse.csr_matrix:
@@ -177,18 +217,25 @@ class WalkEngine:
         its prefix.  The returned matrix is cached — callers must copy before
         mutating.
         """
+        signature = self._scheme_signature(scheme)
         hit = self._mass_cache.get(scheme)
-        if hit is not None and hit[0] == self.version:
+        if hit is not None and hit[0] == signature:
             return hit[1]
         if not scheme.steps:
-            n_start = self.compiled.relations[scheme.start_relation].num_rows
-            mass = sparse.identity(n_start, format="csr")
+            start_rel = self.compiled.relations[scheme.start_relation]
+            if start_rel.num_dead:
+                # tombstoned rows must carry no mass, even onto themselves
+                mass = sparse.diags(
+                    start_rel.alive_array().astype(np.float64), format="csr"
+                )
+            else:
+                mass = sparse.identity(start_rel.num_rows, format="csr")
         elif len(scheme.steps) == 1:
             mass = self.step_matrix(scheme.steps[0])
         else:
             prefix = WalkScheme(scheme.start_relation, scheme.steps[:-1])
             mass = self._mass_matrix(prefix) @ self.step_matrix(scheme.steps[-1])
-        self._mass_cache[scheme] = (self.version, mass)
+        self._mass_cache[scheme] = (signature, mass)
         return mass
 
     def destination_row(self, fact: Fact, scheme: WalkScheme) -> tuple[np.ndarray, np.ndarray]:
@@ -211,7 +258,7 @@ class WalkEngine:
             # the fact was inserted without add_facts/refresh; catch up
             self.refresh()
         hit = self._dest_cache.get(scheme)
-        if hit is None or hit[0] != self.version:
+        if hit is None or hit[0] != self._scheme_signature(scheme):
             if self._row_cache_version != self.version:
                 self._row_cache.clear()
                 self._row_queries.clear()
@@ -258,18 +305,23 @@ class WalkEngine:
     ) -> tuple[sparse.csr_matrix, np.ndarray, np.ndarray]:
         """(one-hot indicator over non-⊥ codes, vocabulary, codes) of a column."""
         key = (relation, attribute)
+        rel_dirty = self.compiled.rel_versions[relation]
         hit = self._column_cache.get(key)
-        if hit is not None and hit[0] == self.version:
+        if hit is not None and hit[0] == rel_dirty:
             return hit[1], hit[2], hit[3]
-        column = self.compiled.relations[relation].columns[attribute]
+        compiled_rel = self.compiled.relations[relation]
+        column = compiled_rel.columns[attribute]
         codes = column.codes_array()
+        if compiled_rel.num_dead:
+            # tombstoned rows read as ⊥ so they never contribute a value
+            codes = np.where(compiled_rel.alive_array(), codes, -1)
         non_null = np.nonzero(codes >= 0)[0]
         indicator = sparse.csr_matrix(
             (np.ones(non_null.size), (non_null, codes[non_null])),
             shape=(codes.size, len(column.vocab)),
         )
         vocab = column.vocab_array()
-        self._column_cache[key] = (self.version, indicator, vocab, codes)
+        self._column_cache[key] = (rel_dirty, indicator, vocab, codes)
         return indicator, vocab, codes
 
     def attribute_matrix(
@@ -282,13 +334,17 @@ class WalkEngine:
         fact (no complete walk, or every destination has ⊥ in ``A``).
         """
         key = (scheme, attribute)
+        signature = (
+            self._scheme_signature(scheme),
+            self.compiled.rel_versions[scheme.end_relation],
+        )
         hit = self._attr_cache.get(key)
-        if hit is not None and hit[0] == self.version:
+        if hit is not None and hit[0] == signature:
             return hit[1], hit[2]
         destinations = self.destination_matrix(scheme)
         indicator, vocab, _codes = self._column(scheme.end_relation, attribute)
         matrix = _normalize_rows(destinations @ indicator)
-        self._attr_cache[key] = (self.version, matrix, vocab)
+        self._attr_cache[key] = (signature, matrix, vocab)
         return matrix, vocab
 
     def attribute_row(
@@ -301,7 +357,11 @@ class WalkEngine:
                 f"{scheme.start_relation!r}"
             )
         hit = self._attr_cache.get((scheme, attribute))
-        if hit is not None and hit[0] == self.version:
+        signature = (
+            self._scheme_signature(scheme),
+            self.compiled.rel_versions[scheme.end_relation],
+        )
+        if hit is not None and hit[0] == signature:
             matrix, vocab = hit[1], hit[2]
             row = self.compiled.relations[scheme.start_relation].row_of.get(fact.fact_id)
             if row is not None:

@@ -30,7 +30,13 @@ FORMAT_VERSION = 1
 
 
 def save_compiled(compiled: CompiledDatabase, path: str | Path) -> Path:
-    """Write a compiled database's arrays to a single ``.npz`` file."""
+    """Write a compiled database's arrays to a single ``.npz`` file.
+
+    Tombstoned rows are compacted away first (the snapshot format stores
+    dense, all-alive arrays), which leaves the in-memory compiled state
+    compacted too — distributions are unchanged, row numbers may not be.
+    """
+    compiled.compact()
     path = Path(path)
     relation_names = list(compiled.relations.keys())
     columns = [
@@ -101,7 +107,12 @@ def load_compiled(db: Database, path: str | Path, verify: bool = True) -> Compil
     compiled.db = db
     compiled.schema = db.schema
     compiled.version = 0
+    compiled.rel_versions = {name: 0 for name in db.schema.relation_names}
+    compiled.fk_versions = {fk.name: 0 for fk in db.schema.foreign_keys}
     compiled._fk_array_cache = {}
+    # the snapshot does not record the database's mutation counter, so the
+    # restored state has no known sync point; the first refresh scans
+    compiled._synced_db_version = None
 
     compiled.relations = {}
     for i, rel_name in enumerate(manifest["relations"]):
@@ -109,6 +120,8 @@ def load_compiled(db: Database, path: str | Path, verify: bool = True) -> Compil
         fact_ids = data[f"rel{i}_fact_ids"]
         relation.fact_ids = [int(fid) for fid in fact_ids]
         relation.row_of = {fid: row for row, fid in enumerate(relation.fact_ids)}
+        relation.alive = [True] * len(relation.fact_ids)
+        relation.num_dead = 0
         compiled.relations[rel_name] = relation
 
     for j, (rel_name, attr_name) in enumerate(manifest["columns"]):

@@ -26,8 +26,10 @@ from repro.evaluation.methods import (
 from repro.evaluation.baselines import FlatFeatureBaseline, majority_baseline_accuracy
 from repro.evaluation.static_experiment import StaticResult, run_static_experiment
 from repro.evaluation.dynamic_experiment import (
+    ChurnResult,
     DynamicResult,
     RatioSweepResult,
+    run_churn_experiment,
     run_dynamic_experiment,
     run_ratio_sweep,
 )
@@ -50,8 +52,10 @@ __all__ = [
     "majority_baseline_accuracy",
     "StaticResult",
     "run_static_experiment",
+    "ChurnResult",
     "DynamicResult",
     "RatioSweepResult",
+    "run_churn_experiment",
     "run_dynamic_experiment",
     "run_ratio_sweep",
     "format_static_table",

@@ -13,6 +13,14 @@ The five-step protocol of Section VI-E-1:
 The driver also records the numbers behind Tables V and VI: the wall-clock
 time of the static embedding and the average time to embed one newly
 arrived prediction tuple.
+
+:func:`run_churn_experiment` extends the protocol past the paper's
+insert-only setting: the same partitioned stream is replayed as a
+full-CRUD *churn* workload (inserts interleaved with deletions of
+previously streamed facts and in-place attribute updates) through a live
+:class:`~repro.service.service.EmbeddingService`, and the classifier is
+evaluated on the embeddings of the *surviving* new prediction facts read
+back from the versioned store.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.base import TupleEmbedding
 from repro.core.stability import embedding_drift
 from repro.datasets.base import Dataset
 from repro.dynamic.partition import Partition, partition_dataset
@@ -182,6 +191,164 @@ def run_dynamic_experiment(
         baseline_mean=float(np.mean([r.baseline_accuracy for r in runs])),
         static_train_seconds_mean=float(np.mean([r.static_train_seconds for r in runs])),
         seconds_per_new_tuple_mean=float(np.mean([r.seconds_per_new_tuple for r in runs])),
+        runs=runs,
+    )
+
+
+@dataclass
+class ChurnRunResult:
+    """Outcome of one run of the churn experiment."""
+
+    accuracy_surviving: float
+    """Classifier accuracy on the surviving (non-deleted) new facts."""
+    baseline_accuracy: float
+    facts_inserted: int
+    facts_deleted: int
+    facts_updated: int
+    num_surviving_prediction_facts: int
+    max_trained_drift: float
+    """Maximum change of any trained fact's stored embedding (0 == stable)."""
+    total_apply_seconds: float
+
+
+@dataclass
+class ChurnResult:
+    """Aggregated churn-experiment result for one dataset."""
+
+    dataset: str
+    method: str
+    ratio_new: float
+    delete_fraction: float
+    update_fraction: float
+    policy: str
+    accuracy_mean: float
+    accuracy_std: float
+    baseline_mean: float
+    runs: list[ChurnRunResult] = field(default_factory=list)
+
+
+def _churn_once(
+    dataset: Dataset,
+    config,
+    ratio_new: float,
+    delete_fraction: float,
+    update_fraction: float,
+    policy: str,
+    classifier_factory: ClassifierFactory,
+    rng: np.random.Generator,
+) -> ChurnRunResult:
+    from repro.core.forward import ForwardEmbedder
+    from repro.service.feed import churn_feed
+    from repro.service.service import EmbeddingService
+
+    labels = dataset.labels()
+    partition = partition_dataset(dataset, ratio_new, rng=rng)
+
+    engine = WalkEngine(partition.db)
+    model = ForwardEmbedder(
+        partition.db, dataset.prediction_relation, config, rng=rng, engine=engine
+    ).fit()
+    old_prediction_facts = list(partition.db.facts(dataset.prediction_relation))
+    embedding_before = model.embedding().restrict(old_prediction_facts)
+
+    classifier = DownstreamClassifier(classifier_factory)
+    classifier.train(align_embedding(embedding_before, labels))
+
+    feed = churn_feed(
+        partition,
+        delete_fraction=delete_fraction,
+        update_fraction=update_fraction,
+        rng=rng,
+    )
+    service = EmbeddingService(
+        model, partition.db, engine=engine, policy=policy,
+        seed=int(rng.integers(2**31)),
+    )
+    service.sync(feed)
+    stats = service.stats(feed)
+    head = service.store.head
+
+    # trained embeddings must not have moved in the store (stability)
+    trained_drift = 0.0
+    for fid in model.fact_ids:
+        if fid in head:
+            trained_drift = max(
+                trained_drift,
+                float(np.max(np.abs(head.vector(fid) - model.vector(fid)))),
+            )
+
+    surviving = [
+        fid
+        for fid in partition.new_prediction_ids
+        if fid in partition.db._facts_by_id  # noqa: SLF001 - survived the churn
+        and fid in head
+    ]
+    embedding_after = TupleEmbedding(head.dimension)
+    for fid in surviving:
+        embedding_after.set(fid, head.vector(fid))
+    surviving_facts = [partition.db.fact(fid) for fid in surviving]
+    data = align_embedding(embedding_after, labels, facts=surviving_facts)
+    accuracy = classifier.accuracy(data) if len(data) else float("nan")
+    surviving_labels = [labels[fid] for fid in surviving if fid in labels]
+    baseline = (
+        majority_baseline_accuracy(surviving_labels)
+        if surviving_labels
+        else float("nan")
+    )
+    return ChurnRunResult(
+        accuracy_surviving=accuracy,
+        baseline_accuracy=baseline,
+        facts_inserted=stats.facts_inserted,
+        facts_deleted=stats.facts_deleted,
+        facts_updated=stats.facts_updated,
+        num_surviving_prediction_facts=len(surviving),
+        max_trained_drift=trained_drift,
+        total_apply_seconds=stats.total_apply_seconds,
+    )
+
+
+def run_churn_experiment(
+    dataset: Dataset,
+    config=None,
+    ratio_new: float = 0.1,
+    delete_fraction: float = 0.15,
+    update_fraction: float = 0.15,
+    policy: str = "recompute",
+    n_runs: int = 3,
+    classifier_factory: ClassifierFactory = default_classifier_factory,
+    rng=None,
+) -> ChurnResult:
+    """The churn scenario: inserts, deletions and updates served online.
+
+    The insert stream of the standard dynamic protocol is replayed as a
+    :func:`~repro.service.feed.churn_feed` through a live
+    :class:`~repro.service.service.EmbeddingService` (FoRWaRD), and the
+    old-data classifier is evaluated on the surviving new prediction facts'
+    embeddings read from the head store snapshot — deleted tuples must be
+    gone from the store, trained embeddings must not have drifted.
+    """
+    from repro.core.config import ForwardConfig
+
+    config = config or ForwardConfig()
+    generator = ensure_rng(rng)
+    runs = [
+        _churn_once(
+            dataset, config, ratio_new, delete_fraction, update_fraction,
+            policy, classifier_factory, run_rng,
+        )
+        for run_rng in spawn_rngs(generator, n_runs)
+    ]
+    accuracies = np.array([r.accuracy_surviving for r in runs])
+    return ChurnResult(
+        dataset=dataset.name,
+        method="forward",
+        ratio_new=ratio_new,
+        delete_fraction=delete_fraction,
+        update_fraction=update_fraction,
+        policy=policy,
+        accuracy_mean=float(np.nanmean(accuracies)),
+        accuracy_std=float(np.nanstd(accuracies)),
+        baseline_mean=float(np.nanmean([r.baseline_accuracy for r in runs])),
         runs=runs,
     )
 

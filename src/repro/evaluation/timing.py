@@ -16,19 +16,24 @@ from repro.evaluation.static_experiment import StaticResult
 
 
 def latency_summary(seconds: Sequence[float]) -> dict[str, float]:
-    """Summary statistics of a latency sample (p50/p95/mean/max, in seconds).
+    """Summary statistics of a latency sample (count/p50/p95/p99/mean/max).
 
     The serving layer reports per-batch apply latencies through this helper
-    so the streaming benchmark and the replay CLI emit identical fields.
-    An empty sample yields all zeros.
+    so the streaming/churn benchmarks and the replay CLI emit identical
+    fields.  Non-finite samples (NaN/inf — a clock that went backwards, a
+    crashed probe) are dropped before aggregation so one bad sample cannot
+    poison every percentile; ``count`` reports the samples actually used.
+    An empty (or all-invalid) sample yields all zeros.
     """
     values = np.asarray(list(seconds), dtype=np.float64)
+    values = values[np.isfinite(values)]
     if values.size == 0:
         return {
             "count": 0,
             "mean_seconds": 0.0,
             "p50_seconds": 0.0,
             "p95_seconds": 0.0,
+            "p99_seconds": 0.0,
             "max_seconds": 0.0,
         }
     return {
@@ -36,6 +41,7 @@ def latency_summary(seconds: Sequence[float]) -> dict[str, float]:
         "mean_seconds": float(values.mean()),
         "p50_seconds": float(np.percentile(values, 50)),
         "p95_seconds": float(np.percentile(values, 95)),
+        "p99_seconds": float(np.percentile(values, 99)),
         "max_seconds": float(values.max()),
     }
 

@@ -8,8 +8,10 @@ jobs.  This package turns that machinery into a long-lived *service*:
   snapshotable store of tuple embeddings with batched queries (fetch by
   fact, k-nearest-neighbour, per-relation slices);
 * :mod:`repro.service.feed` — :class:`ChangeFeed` (a.k.a. ``UpdateLog``),
-  an ordered stream of insert batches with idempotent batch ids, plus the
-  :func:`partition_feed` adapter that replays a dataset's dynamic split;
+  an ordered stream of typed change batches (insert / delete / update ops)
+  with idempotent batch ids, plus the :func:`partition_feed` adapter that
+  replays a dataset's dynamic split and :func:`churn_feed`, which turns the
+  same split into a full-CRUD churn workload;
 * :mod:`repro.service.service` — :class:`EmbeddingService`, the
   orchestrator that drives any :class:`~repro.api.protocol.Embedder`
   supporting ``partial_fit`` (a :class:`~repro.core.forward.ForwardModel`
@@ -21,18 +23,29 @@ jobs.  This package turns that machinery into a long-lived *service*:
   shim).
 """
 
-from repro.service.feed import ChangeFeed, InsertBatch, UpdateLog, partition_feed
+from repro.service.feed import (
+    ChangeBatch,
+    ChangeFeed,
+    ChangeOp,
+    InsertBatch,
+    UpdateLog,
+    churn_feed,
+    partition_feed,
+)
 from repro.service.service import ApplyOutcome, EmbeddingService, ServiceStats
 from repro.service.store import EmbeddingStore, StoreSnapshot
 
 __all__ = [
     "ApplyOutcome",
+    "ChangeBatch",
     "ChangeFeed",
+    "ChangeOp",
     "EmbeddingService",
     "EmbeddingStore",
     "InsertBatch",
     "ServiceStats",
     "StoreSnapshot",
     "UpdateLog",
+    "churn_feed",
     "partition_feed",
 ]

@@ -5,15 +5,19 @@ layer.  It drives any :class:`~repro.api.protocol.Embedder` that supports
 ``partial_fit`` — a trained :class:`~repro.core.forward.ForwardModel` is
 still accepted directly and wrapped on the spot — together with an
 :class:`~repro.service.store.EmbeddingStore`.  Each
-:class:`~repro.service.feed.InsertBatch` applied from the change feed
+:class:`~repro.service.feed.ChangeBatch` applied from the change feed
 
-1. inserts the batch's facts into the database (facts already present —
-   at-least-once overlap — are skipped),
+1. applies the batch's typed ops to the database in order — inserts (facts
+   already present from an at-least-once overlap are skipped), plain
+   non-cascading deletes, and in-place value updates,
 2. notifies the embedder so incremental state (e.g. FoRWaRD's compiled
-   engine) is appended to, not recompiled,
+   engine) is appended to / tombstoned / re-encoded, never recompiled,
 3. embeds through ``partial_fit``/``recompute_extension`` under the
-   configured policy, and
-4. commits exactly one new store version tagged with the batch id.
+   configured policy — re-extending only the affected neighbourhood under
+   ``on_arrival`` (the batch's new and updated tracked facts), and the
+   surviving streamed set under ``recompute`` — and
+4. commits exactly one new store version tagged with the batch id, with
+   deleted facts tombstoned out of every store query.
 
 Duplicate batch ids are acknowledged without re-applying, so an
 at-least-once feed converges to exactly-once effects.
@@ -47,7 +51,7 @@ from repro.api.protocol import Embedder
 from repro.core.forward import ForwardModel
 from repro.db.database import Database, Fact
 from repro.engine import WalkEngine
-from repro.service.feed import ChangeFeed, InsertBatch
+from repro.service.feed import ChangeBatch, ChangeFeed
 from repro.service.store import EmbeddingStore, StoreSnapshot
 
 POLICIES = ("recompute", "on_arrival")
@@ -65,6 +69,8 @@ class ApplyOutcome:
     facts_embedded: int
     seconds: float
     store_version: int
+    facts_deleted: int = 0
+    facts_updated: int = 0
 
 
 @dataclass(frozen=True)
@@ -86,6 +92,8 @@ class ServiceStats:
     engine has seen is reflected in the head store version)."""
     apply_seconds: tuple[float, ...] = field(repr=False, default=())
     """Per-batch apply latencies, for percentile reporting."""
+    facts_deleted: int = 0
+    facts_updated: int = 0
 
 
 class EmbeddingService:
@@ -193,6 +201,8 @@ class EmbeddingService:
         self._duplicates = 0
         self._facts_inserted = 0
         self._facts_embedded = 0
+        self._facts_deleted = 0
+        self._facts_updated = 0
         self._latencies: list[float] = []
         if store is None:
             store = EmbeddingStore(embedder.dimension)
@@ -255,8 +265,17 @@ class EmbeddingService:
 
     # --------------------------------------------------------------- apply
 
-    def apply(self, batch: InsertBatch) -> ApplyOutcome:
-        """Apply one feed batch: insert, extend, commit one store version."""
+    def apply(self, batch: ChangeBatch) -> ApplyOutcome:
+        """Apply one feed batch and commit exactly one store version.
+
+        Ops are applied in batch order: inserts go in via
+        ``Database.reinsert`` (facts already present are skipped), deletions
+        are plain (non-cascading) ``Database.delete`` calls — deleted tuples
+        are tombstoned out of the store and the compiled engine — and
+        updates rewrite the fact's values in place.  Every op is idempotent,
+        so re-delivered batches converge even before the batch-id dedup
+        short-circuits them.
+        """
         start = time.perf_counter()
         if self.store.has_batch(batch.batch_id):
             self._duplicates += 1
@@ -265,14 +284,35 @@ class EmbeddingService:
                 batch.sequence, batch.batch_id, False, 0, 0,
                 time.perf_counter() - start, self.store.version,
             )
-        inserted = []
-        for fact in batch.facts:
-            if fact in self.db:  # at-least-once overlap with an earlier batch
-                continue
-            self.db.reinsert(fact)
-            inserted.append(fact)
+        inserted: list[Fact] = []
+        deleted: list[Fact] = []
+        updated: list[Fact] = []
+        for op in batch.ops:
+            fact = op.fact
+            if op.kind == "insert":
+                if fact in self.db:  # at-least-once overlap with an earlier batch
+                    continue
+                self.db.reinsert(fact)
+                inserted.append(fact)
+            elif op.kind == "delete":
+                if fact.fact_id not in self.db._facts_by_id:  # noqa: SLF001
+                    continue  # already deleted (redelivery or racing batch)
+                current = self.db.fact(fact.fact_id)
+                self.db.delete(current)
+                deleted.append(current)
+            else:  # update
+                if fact.fact_id not in self.db._facts_by_id:  # noqa: SLF001
+                    continue  # updating a deleted fact is a no-op
+                current = self.db.fact(fact.fact_id)
+                if current.values == fact.values:
+                    continue  # idempotent re-delivery
+                updated.append(self.db.update(current, fact.as_dict()))
         self._embedder.notify_inserted(inserted)
-        for fact in batch.facts:
+        if deleted:
+            self._embedder.notify_deleted(deleted)
+        if updated:
+            self._embedder.notify_updated(updated)
+        for fact in batch.inserts:
             if (
                 self._tracks(fact.relation)
                 and not self._embedder.is_trained(fact.fact_id)
@@ -280,8 +320,20 @@ class EmbeddingService:
             ):
                 self._arrived.append(fact)
                 self._arrived_ids.add(fact.fact_id)
-        updates = self._embed(batch)
-        snapshot = self.store.commit(updates, batch_id=batch.batch_id)
+        # deletions leave the arrival log; updates refresh its fact objects
+        if deleted:
+            dead = {f.fact_id for f in deleted}
+            if dead & self._arrived_ids:
+                self._arrived_ids -= dead
+                self._arrived = [f for f in self._arrived if f.fact_id not in dead]
+        refreshed = [f for f in updated if f.fact_id in self._arrived_ids]
+        if refreshed:
+            by_id = {f.fact_id: f for f in refreshed}
+            self._arrived = [by_id.get(f.fact_id, f) for f in self._arrived]
+        updates = self._embed(batch, inserted, refreshed)
+        snapshot = self.store.commit(
+            updates, batch_id=batch.batch_id, deletes=[f.fact_id for f in deleted]
+        )
         # the arrival log travels with the store so a restarted service
         # (which only sees duplicate re-deliveries) can rebuild it exactly
         self.store.metadata["arrived_fact_ids"] = [f.fact_id for f in self._arrived]
@@ -293,23 +345,38 @@ class EmbeddingService:
         self._batches_applied += 1
         self._facts_inserted += len(inserted)
         self._facts_embedded += len(updates)
+        self._facts_deleted += len(deleted)
+        self._facts_updated += len(updated)
         self._last_sequence = max(self._last_sequence, batch.sequence)
         return ApplyOutcome(
             batch.sequence, batch.batch_id, True, len(inserted), len(updates),
-            seconds, snapshot.version,
+            seconds, snapshot.version, len(deleted), len(updated),
         )
 
-    def _embed(self, batch: InsertBatch) -> dict[Fact, np.ndarray]:
+    def _embed(
+        self,
+        batch: ChangeBatch,
+        inserted: Sequence[Fact],
+        refreshed: Sequence[Fact],
+    ) -> dict[Fact, np.ndarray]:
         if self.policy == "on_arrival":
-            new_facts = [f for f in batch.facts if f.fact_id in self._arrived_ids]
+            # the affected neighbourhood under on_arrival is the batch
+            # itself: newly arrived tracked facts, plus streamed facts whose
+            # own values were updated (their embeddings were discarded by
+            # notify_updated, so partial_fit re-derives them); every other
+            # embedding stays frozen by policy
+            new_facts = [f for f in batch.inserts if f.fact_id in self._arrived_ids]
+            new_facts += [f for f in refreshed if self._tracks(f.relation)]
             embedded = self._embedder.partial_fit(new_facts)
             return {
                 fact: embedded.vector(fact)
                 for fact in new_facts
                 if fact in embedded
             }
-        # recompute: one batched pass over every streamed fact against the
-        # current database; re-seeding makes the pass deterministic
+        # recompute: one batched pass over every *surviving* streamed fact
+        # against the current database; re-seeding makes the pass
+        # deterministic, so the head store always equals a one-shot extender
+        # run on the current database
         return dict(self._embedder.recompute_extension(self._arrived, self._seed))
 
     def sync(self, feed: ChangeFeed) -> list[ApplyOutcome]:
@@ -332,6 +399,8 @@ class EmbeddingService:
             feed_lag=(feed.last_sequence - self._last_sequence) if feed is not None else 0,
             version_skew=self._embedder.engine_version - self._engine_version_at_commit,
             apply_seconds=tuple(self._latencies),
+            facts_deleted=self._facts_deleted,
+            facts_updated=self._facts_updated,
         )
 
     # ------------------------------------------------------------- queries

@@ -10,15 +10,20 @@ them.
 
 Commits are copy-on-write: :meth:`EmbeddingStore.commit` builds the next
 version's arrays from the head snapshot plus the batch of updated vectors
-and leaves every earlier snapshot untouched.  Each commit records the feed
-batch id that produced it, which makes replays idempotent at the store
-level too: committing an already-applied batch id returns the snapshot that
-batch originally produced instead of minting a new version.
+and leaves every earlier snapshot untouched.  Deletions *tombstone* rows —
+the row stays in the arrays (so sibling rows keep their numbers and the
+copy stays cheap) but is masked out of every query: lookups, fetches, kNN
+and relation slices never see a deleted tuple.  Once tombstones dominate,
+the next commit compacts them away in one amortised rebuild.  Each commit
+records the feed batch id that produced it, which makes replays idempotent
+at the store level too: committing an already-applied batch id returns the
+snapshot that batch originally produced instead of minting a new version.
 
 Persistence is ``.npz``-backed through :mod:`repro.core.persistence`: a
-saved store directory holds the head snapshot's embedding matrix plus a
-JSON sidecar with the version counter, per-fact relations and the applied
-batch-id log, so a restarted service resumes at the persisted version.
+saved store directory holds the head snapshot's live embedding matrix plus
+a JSON sidecar with the version counter, per-fact relations and the applied
+batch-id log, so a restarted service resumes at the persisted version
+(tombstones are compacted away by the round trip).
 """
 
 from __future__ import annotations
@@ -35,11 +40,15 @@ from repro.db.database import Fact
 
 
 class StoreSnapshot:
-    """One immutable version of the store: fact ids, relations and vectors."""
+    """One immutable version of the store: fact ids, relations and vectors.
+
+    ``alive`` masks tombstoned (deleted) rows; only live rows are reachable
+    through ``row_of``, counted by ``num_facts`` and returned by queries.
+    """
 
     __slots__ = (
-        "version", "batch_id", "fact_ids", "relations", "vectors", "row_of",
-        "_normalized", "_relations_array",
+        "version", "batch_id", "fact_ids", "relations", "vectors", "alive",
+        "row_of", "_normalized", "_relations_array",
     )
 
     def __init__(
@@ -49,6 +58,7 @@ class StoreSnapshot:
         fact_ids: np.ndarray,
         relations: tuple[str, ...],
         vectors: np.ndarray,
+        alive: np.ndarray | None = None,
     ):
         self.version = int(version)
         self.batch_id = batch_id
@@ -57,9 +67,19 @@ class StoreSnapshot:
         self.vectors = np.asarray(vectors, dtype=np.float64)
         if self.vectors.shape[0] != self.fact_ids.size or len(self.relations) != self.fact_ids.size:
             raise ValueError("fact_ids, relations and vectors must align")
+        if alive is None:
+            alive = np.ones(self.fact_ids.size, dtype=bool)
+        self.alive = np.asarray(alive, dtype=bool)
+        if self.alive.size != self.fact_ids.size:
+            raise ValueError("alive mask must align with fact_ids")
         self.fact_ids.setflags(write=False)
         self.vectors.setflags(write=False)
-        self.row_of = {int(fid): row for row, fid in enumerate(self.fact_ids)}
+        self.alive.setflags(write=False)
+        self.row_of = {
+            int(fid): row
+            for row, fid in enumerate(self.fact_ids)
+            if self.alive[row]
+        }
         self._normalized: np.ndarray | None = None
         self._relations_array = np.empty(len(self.relations), dtype=object)
         self._relations_array[:] = self.relations
@@ -68,7 +88,17 @@ class StoreSnapshot:
 
     @property
     def num_facts(self) -> int:
+        """Live (queryable) facts; tombstoned rows are not counted."""
+        return int(np.count_nonzero(self.alive))
+
+    @property
+    def num_rows(self) -> int:
+        """Physical rows, tombstones included."""
         return self.fact_ids.size
+
+    @property
+    def num_dead(self) -> int:
+        return self.num_rows - self.num_facts
 
     @property
     def dimension(self) -> int:
@@ -83,19 +113,22 @@ class StoreSnapshot:
     # ------------------------------------------------------------- queries
 
     def vector(self, fact: Fact | int) -> np.ndarray:
-        """The embedding of one fact (a copy; snapshots are immutable)."""
+        """The embedding of one live fact (a copy; snapshots are immutable)."""
         return self.vectors[self.row_of[_key(fact)]].copy()
 
     def fetch(self, facts: Iterable[Fact | int]) -> np.ndarray:
-        """Batched fetch-by-fact: the ``(len(facts), dimension)`` matrix."""
+        """Batched fetch-by-fact: the ``(len(facts), dimension)`` matrix.
+
+        Raises ``KeyError`` for unknown *and* deleted facts alike.
+        """
         rows = [self.row_of[_key(f)] for f in facts]
         if not rows:
             return np.zeros((0, self.dimension))
         return self.vectors[np.asarray(rows, dtype=np.int64)].copy()
 
     def relation_slice(self, relation: str) -> tuple[np.ndarray, np.ndarray]:
-        """``(fact_ids, vectors)`` of every stored fact of one relation."""
-        mask = self._relations_array == relation
+        """``(fact_ids, vectors)`` of every *live* stored fact of one relation."""
+        mask = (self._relations_array == relation) & self.alive
         return self.fact_ids[mask].copy(), self.vectors[mask].copy()
 
     def normalized(self) -> np.ndarray:
@@ -113,13 +146,13 @@ class StoreSnapshot:
         k: int = 5,
         relation: str | None = None,
     ) -> list[tuple[int, float]]:
-        """The ``k`` facts most cosine-similar to ``query``, best first.
+        """The ``k`` live facts most cosine-similar to ``query``, best first.
 
         ``query`` may be a stored fact (excluded from its own result) or a
-        raw vector; ``relation`` restricts the candidate pool.  One matrix
-        product against the cached normalised matrix, then a top-``k``
-        partial sort — the batched analogue of
-        :func:`repro.core.similarity.most_similar`.
+        raw vector; ``relation`` restricts the candidate pool; tombstoned
+        rows are never candidates.  One matrix product against the cached
+        normalised matrix, then a top-``k`` partial sort — the batched
+        analogue of :func:`repro.core.similarity.most_similar`.
         """
         if k <= 0:
             raise ValueError("k must be positive")
@@ -131,7 +164,7 @@ class StoreSnapshot:
             query_vector = self.vectors[query_row]
         norm = float(np.linalg.norm(query_vector))
         scores = self.normalized() @ (query_vector / max(norm, 1e-12))
-        excluded = np.zeros(self.num_facts, dtype=bool)
+        excluded = ~self.alive.copy()
         if query_row is not None:
             excluded[query_row] = True
         if relation is not None:
@@ -145,10 +178,10 @@ class StoreSnapshot:
         return [(int(self.fact_ids[row]), float(scores[row])) for row in top]
 
     def embedding(self) -> TupleEmbedding:
-        """This snapshot as a :class:`TupleEmbedding` (a mutable copy)."""
+        """This snapshot's live facts as a :class:`TupleEmbedding` (mutable copy)."""
         result = TupleEmbedding(self.dimension)
-        for fid, vector in zip(self.fact_ids, self.vectors):
-            result.set(int(fid), vector)
+        for fid, row in self.row_of.items():
+            result.set(fid, self.vectors[row])
         return result
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -168,8 +201,15 @@ class EmbeddingStore:
     ``commit`` produces a new :class:`StoreSnapshot`; every snapshot remains
     readable (and immutable) until the store is pruned.  Updates keyed by
     :class:`Fact` carry their relation; plain ``int`` keys are only valid
-    for facts the store has already seen.
+    for facts the store has already seen.  ``deletes`` tombstone facts out
+    of every subsequent query; tombstones are compacted automatically once
+    they dominate the arrays.
     """
+
+    #: Tombstone fraction beyond which a commit compacts the arrays.
+    COMPACT_FRACTION = 0.5
+    #: Minimum tombstones before compaction is considered at all.
+    COMPACT_MIN_DEAD = 64
 
     def __init__(self, dimension: int):
         if dimension <= 0:
@@ -213,14 +253,19 @@ class EmbeddingStore:
 
     def commit(
         self,
-        updates: Mapping[Fact | int, np.ndarray] | Iterable[tuple[Fact | int, np.ndarray]],
+        updates: Mapping[Fact | int, np.ndarray] | Iterable[tuple[Fact | int, np.ndarray]] = (),
         batch_id: str | None = None,
+        *,
+        deletes: Iterable[Fact | int] = (),
     ) -> StoreSnapshot:
-        """Copy-on-write commit of a batch of new/updated vectors.
+        """Copy-on-write commit of new/updated vectors and deletions.
 
-        Returns the new head snapshot — or, when ``batch_id`` was already
-        committed, the snapshot that commit produced (at-least-once feeds
-        re-deliver; the store applies each batch exactly once).
+        ``deletes`` tombstone the named facts (unknown or already-deleted
+        facts are ignored — at-least-once feeds re-deliver); deletions win
+        over updates of the same fact within one commit.  Returns the new
+        head snapshot — or, when ``batch_id`` was already committed, the
+        snapshot that commit produced (the store applies each batch exactly
+        once).
         """
         if batch_id is not None and batch_id in self._applied:
             # the producing snapshot may have been pruned (or predate a
@@ -229,9 +274,11 @@ class EmbeddingStore:
         items = updates.items() if isinstance(updates, Mapping) else updates
         head = self._head
         vectors = head.vectors.copy()
+        alive = head.alive.copy()
         appended_ids: list[int] = []
         appended_relations: list[str] = []
         appended_vectors: list[np.ndarray] = []
+        appended_row_of: dict[int, int] = {}
         for fact, vector in items:
             vector = np.asarray(vector, dtype=np.float64)
             if vector.shape != (self.dimension,):
@@ -242,7 +289,10 @@ class EmbeddingStore:
             row = head.row_of.get(fid)
             if row is not None:
                 vectors[row] = vector
+            elif fid in appended_row_of:
+                appended_vectors[appended_row_of[fid]] = vector
             elif isinstance(fact, Fact):
+                appended_row_of[fid] = len(appended_ids)
                 appended_ids.append(fid)
                 appended_relations.append(fact.relation)
                 appended_vectors.append(vector)
@@ -255,10 +305,26 @@ class EmbeddingStore:
             fact_ids = np.concatenate([head.fact_ids, np.asarray(appended_ids, dtype=np.int64)])
             relations = head.relations + tuple(appended_relations)
             vectors = np.vstack([vectors, np.vstack(appended_vectors)])
+            alive = np.concatenate([alive, np.ones(len(appended_ids), dtype=bool)])
         else:
             fact_ids = head.fact_ids
             relations = head.relations
-        snapshot = StoreSnapshot(head.version + 1, batch_id, fact_ids, relations, vectors)
+        for fact in deletes:
+            fid = _key(fact)
+            row = head.row_of.get(fid)
+            if row is not None:
+                alive[row] = False
+            elif fid in appended_row_of:
+                alive[head.num_rows + appended_row_of[fid]] = False
+        num_dead = int(alive.size - np.count_nonzero(alive))
+        if num_dead >= self.COMPACT_MIN_DEAD and num_dead > self.COMPACT_FRACTION * alive.size:
+            fact_ids = fact_ids[alive]
+            relations = tuple(np.asarray(relations, dtype=object)[alive])
+            vectors = vectors[alive]
+            alive = None  # all-alive after compaction
+        snapshot = StoreSnapshot(
+            head.version + 1, batch_id, fact_ids, relations, vectors, alive
+        )
         self._snapshots[snapshot.version] = snapshot
         self._head = snapshot
         if batch_id is not None:
@@ -292,7 +358,9 @@ class EmbeddingStore:
             "version": head.version,
             "batch_id": head.batch_id,
             "applied": self._applied,
-            "relations": {int(fid): rel for fid, rel in zip(head.fact_ids, head.relations)},
+            "relations": {
+                int(fid): head.relations[row] for fid, row in head.row_of.items()
+            },
             "metadata": self.metadata,
         }
         (directory / "store.json").write_text(json.dumps(metadata, indent=2))
