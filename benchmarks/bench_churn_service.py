@@ -33,6 +33,7 @@ import numpy as np
 from repro.core import ForwardConfig
 from repro.datasets import load_dataset
 from repro.engine import WalkEngine
+from repro.obs import Telemetry
 from repro.service.replay import render_report, run_streaming_replay
 from repro.walks import enumerate_walk_schemes
 
@@ -122,6 +123,7 @@ def _run() -> dict:
         ops=("insert", "delete", "update"),
         delete_fraction=CHURN_FRACTION,
         update_fraction=CHURN_FRACTION,
+        telemetry=Telemetry(),
     )
     from repro import __version__
 
@@ -163,6 +165,12 @@ def test_churn_service_on_mondial():
         f"{replay['one_shot_max_abs_diff']:.2e} (tolerance {replay['one_shot_tolerance']:.0e})"
     )
     assert replay["feed_lag"] == 0 and replay["version_skew"] == 0
+    obs = replay["observability"]
+    assert obs["stage_coverage"] >= 0.9, (
+        f"apply stages account for only {obs['stage_coverage']:.1%} of apply "
+        "wall time (required >=90%)"
+    )
+    assert obs["cache_hit_ratios"], "no engine cache activity was recorded"
 
 
 if __name__ == "__main__":

@@ -20,6 +20,7 @@ from __future__ import annotations
 import json
 
 from repro.core import ForwardConfig
+from repro.obs import Telemetry
 from repro.service.replay import run_streaming_replay, render_report
 
 try:  # pytest-style result persistence when run by the harness
@@ -50,6 +51,7 @@ def _run() -> dict:
         seed=0,
         policy="recompute",
         config=TINY_CONFIG,
+        telemetry=Telemetry(),
     )
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / "BENCH_streaming.json").write_text(json.dumps(report, indent=2))
@@ -69,6 +71,18 @@ def test_streaming_service_on_mondial():
     assert latency["count"] == report["feed_batches"]
     assert latency["p99_seconds"] >= latency["p95_seconds"] >= latency["p50_seconds"]
     assert report["feed_lag"] == 0 and report["version_skew"] == 0
+    obs = report["observability"]
+    assert obs["stage_coverage"] >= 0.9, (
+        f"apply stages account for only {obs['stage_coverage']:.1%} of apply "
+        "wall time (required >=90%)"
+    )
+    assert set(obs["stages"]) == {
+        "service.apply.decode",
+        "service.apply.engine_sync",
+        "service.apply.embed",
+        "service.apply.store_commit",
+    }
+    assert obs["cache_hit_ratios"], "no engine cache activity was recorded"
 
 
 if __name__ == "__main__":

@@ -17,7 +17,14 @@ import argparse
 import json
 from pathlib import Path
 
-from repro.cli.common import CLIError, add_standard_options, make_runner
+from repro.cli.common import (
+    CLIError,
+    add_observability_options,
+    add_standard_options,
+    export_observability,
+    make_runner,
+    telemetry_from_args,
+)
 
 SUITES = {
     "streaming": "Mondial insert stream through the live embedding service "
@@ -34,6 +41,7 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=0.15, help="dataset generation scale")
     parser.add_argument("--insert-ratio", type=float, default=0.1)
     parser.add_argument("--out", default=".", help="output directory for BENCH_*.json")
+    add_observability_options(parser)
     add_standard_options(parser)
 
 
@@ -58,6 +66,7 @@ def _run_streaming(args: argparse.Namespace) -> int:
         dimension=16, n_samples=400, batch_size=1024, max_walk_length=2,
         epochs=4, learning_rate=0.02, n_new_samples=30,
     )
+    telemetry = telemetry_from_args(args)
     try:
         report = run_streaming_replay(
             args.dataset,
@@ -66,6 +75,7 @@ def _run_streaming(args: argparse.Namespace) -> int:
             seed=args.seed,
             policy="recompute",
             config=config,
+            telemetry=telemetry,
         )
     except KeyError as error:
         raise CLIError(str(error.args[0])) from None
@@ -73,6 +83,7 @@ def _run_streaming(args: argparse.Namespace) -> int:
     out.mkdir(parents=True, exist_ok=True)
     path = out / "BENCH_streaming.json"
     path.write_text(json.dumps(report, indent=2))
+    export_observability(telemetry, args, report.get("total_apply_seconds"))
     print(render_report(report))
     print(f"\nReport written to {path}")
     return 0 if report.get("verified_against_one_shot", True) else 1

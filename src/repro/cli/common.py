@@ -152,6 +152,57 @@ def add_standard_options(parser: argparse.ArgumentParser, seed: int = 0) -> None
     )
 
 
+def add_observability_options(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--trace`` / ``--metrics-out`` options.
+
+    Passing either turns full telemetry on for the run (the default is the
+    zero-cost no-op bundle); see ``docs/OBSERVABILITY.md``.
+    """
+    parser.add_argument(
+        "--trace", metavar="FILE", type=Path, default=None,
+        help="write a trace of the run: a .jsonl suffix gives one span "
+        "record per line, anything else the Chrome trace-event JSON that "
+        "chrome://tracing / Perfetto render as a flame graph",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE", type=Path, default=None,
+        help="write the run's metrics (counters, gauges, latency "
+        "histograms, per-stage apply breakdown, cache hit ratios) as JSON",
+    )
+
+
+def telemetry_from_args(args: argparse.Namespace):
+    """An enabled :class:`~repro.obs.Telemetry` when the user opted in.
+
+    Returns ``None`` (meaning: the library-level no-op default) unless
+    ``--trace`` or ``--metrics-out`` was given.
+    """
+    from repro.obs import Telemetry
+
+    if getattr(args, "trace", None) or getattr(args, "metrics_out", None):
+        return Telemetry()
+    return None
+
+
+def export_observability(
+    telemetry, args: argparse.Namespace, total_apply_seconds: float | None = None
+) -> None:
+    """Write the ``--trace`` / ``--metrics-out`` files a run asked for."""
+    if telemetry is None:
+        return
+    trace = getattr(args, "trace", None)
+    if trace:
+        telemetry.tracer.export(trace)
+        print(f"trace written to {trace}")
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        from repro.obs import metrics_payload
+
+        payload = metrics_payload(telemetry, total_apply_seconds)
+        Path(metrics_out).write_text(json.dumps(payload, indent=2))
+        print(f"metrics written to {metrics_out}")
+
+
 def load_config_file(path: str | Path) -> dict[str, Any]:
     """Load a JSON or YAML mapping of option defaults."""
     path = Path(path)

@@ -14,7 +14,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.cli import bench, embed, evaluate, ingest, replay, serve
+from repro.cli import bench, embed, evaluate, ingest, replay, serve, stats
 from repro.cli.common import CLIError, parse_with_config
 
 SUBCOMMANDS = {
@@ -24,6 +24,7 @@ SUBCOMMANDS = {
     "replay": (replay, "replay a dataset's insert stream (BENCH_streaming.json)"),
     "evaluate": (evaluate, "run the paper's static/dynamic experiments"),
     "bench": (bench, "run a reduced-scale benchmark suite"),
+    "stats": (stats, "summarize --metrics-out/--trace observability artifacts"),
 }
 
 

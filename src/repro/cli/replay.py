@@ -24,7 +24,14 @@ import argparse
 import json
 from pathlib import Path
 
-from repro.cli.common import CLIError, add_standard_options, make_runner
+from repro.cli.common import (
+    CLIError,
+    add_observability_options,
+    add_standard_options,
+    export_observability,
+    make_runner,
+    telemetry_from_args,
+)
 
 
 def add_arguments(parser: argparse.ArgumentParser) -> None:
@@ -62,6 +69,7 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         "--no-verify", action="store_true",
         help="skip the one-shot equivalence verification",
     )
+    add_observability_options(parser)
     add_standard_options(parser)
 
 
@@ -75,6 +83,7 @@ def execute(args: argparse.Namespace) -> int:
         DEFAULT_CONFIG, dimension=args.dimension, epochs=args.epochs
     )
     ops = tuple(part.strip() for part in args.ops.split(",") if part.strip())
+    telemetry = telemetry_from_args(args)
     try:
         report = run_streaming_replay(
             args.dataset,
@@ -88,12 +97,14 @@ def execute(args: argparse.Namespace) -> int:
             ops=ops,
             delete_fraction=args.delete_fraction,
             update_fraction=args.update_fraction,
+            telemetry=telemetry,
         )
     except ValueError as error:
         raise CLIError(str(error)) from None
     except KeyError as error:
         raise CLIError(str(error.args[0])) from None
     args.output.write_text(json.dumps(report, indent=2))
+    export_observability(telemetry, args, report.get("total_apply_seconds"))
     print(render_report(report))
     print(f"\nReport written to {args.output}")
     if report.get("verified_against_one_shot") is False:

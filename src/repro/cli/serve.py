@@ -23,9 +23,12 @@ from pathlib import Path
 from repro.cli.common import (
     CLIError,
     add_ingest_options,
+    add_observability_options,
     add_standard_options,
+    export_observability,
     ingest_source,
     make_runner,
+    telemetry_from_args,
 )
 
 
@@ -45,6 +48,7 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
                         default="recompute")
     parser.add_argument("--out", help="directory to persist the final store into")
     add_ingest_options(parser)
+    add_observability_options(parser)
     add_standard_options(parser)
 
 
@@ -116,9 +120,11 @@ def execute(args: argparse.Namespace) -> int:
         embedder.fit(stream.base, relation, rng=args.seed)
     except ValueError as error:
         raise CLIError(f"embedding failed: {error}") from None
+    telemetry = telemetry_from_args(args)
     try:
         service = EmbeddingService(
-            embedder, stream.base, policy=args.policy, seed=args.seed
+            embedder, stream.base, policy=args.policy, seed=args.seed,
+            telemetry=telemetry,
         )
     except ValueError as error:
         raise CLIError(str(error)) from None
@@ -134,7 +140,9 @@ def execute(args: argparse.Namespace) -> int:
     print(f"{'apply p50 seconds':<28}{latency['p50_seconds']:>12.4f}")
     print(f"{'apply p95 seconds':<28}{latency['p95_seconds']:>12.4f}")
     print(f"{'apply p99 seconds':<28}{latency['p99_seconds']:>12.4f}")
-    print(f"{'feed lag':<28}{stats.feed_lag:>12}")
+    feed_lag = "unknown" if stats.feed_lag is None else stats.feed_lag
+    print(f"{'feed lag':<28}{feed_lag:>12}")
+    export_observability(telemetry, args, stats.total_apply_seconds)
 
     if args.out:
         directory = service.store.save(Path(args.out))

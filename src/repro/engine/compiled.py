@@ -39,12 +39,14 @@ affected them.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Iterable
 
 import numpy as np
 
 from repro.db.database import Database, Fact
 from repro.db.schema import RelationSchema
+from repro.obs import NULL_TELEMETRY, Telemetry
 
 Value = Any
 
@@ -170,7 +172,7 @@ class CompiledDatabase:
     #: Minimum tombstones before compaction is considered at all.
     COMPACT_MIN_DEAD = 64
 
-    def __init__(self, db: Database):
+    def __init__(self, db: Database, *, telemetry: Telemetry | None = None):
         self.db = db
         self.schema = db.schema
         self.relations: dict[str, CompiledRelation] = {}
@@ -184,11 +186,28 @@ class CompiledDatabase:
         }
         self._fk_array_cache: dict[str, tuple[int, np.ndarray]] = {}
         self._synced_db_version: int | None = None
+        self.set_telemetry(telemetry)
         self._compile()
+
+    def set_telemetry(self, telemetry: Telemetry | None) -> None:
+        """Attach (or detach, with None) a telemetry bundle.
+
+        Instruments are bound once here so the mutation paths pay one
+        attribute access plus a no-op call when observability is off.
+        """
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        metrics = self.telemetry.metrics
+        self._h_compile = metrics.histogram("engine.compile.seconds")
+        self._c_compiles = metrics.counter("engine.compiles")
+        self._c_replayed = metrics.counter("engine.refresh.replayed_ops")
+        self._c_recompiles = metrics.counter("engine.refresh.recompiles")
+        self._c_tombstones = metrics.counter("engine.tombstones")
+        self._c_compactions = metrics.counter("engine.compactions")
 
     # ------------------------------------------------------------- building
 
     def _compile(self) -> None:
+        started = time.perf_counter()
         self.relations = {rel.name: CompiledRelation(rel) for rel in self.schema}
         for rel_name in self.schema.relation_names:
             compiled_rel = self.relations[rel_name]
@@ -210,6 +229,8 @@ class CompiledDatabase:
         for name in self.fk_versions:
             self.fk_versions[name] += 1
         self._synced_db_version = getattr(self.db, "version", None)
+        self._h_compile.observe(time.perf_counter() - started)
+        self._c_compiles.inc()
 
     def _touch_relation(self, rel_name: str) -> None:
         """Dirty a relation's row-space and every foreign key touching it."""
@@ -320,6 +341,7 @@ class CompiledDatabase:
             if row is None:
                 continue
             removed += 1
+            self._c_tombstones.inc()
             doomed.setdefault(rel_name, set()).add(row)
             for fk in self.schema.foreign_keys_from(rel_name):
                 self.fk_target_rows[fk.name][row] = -1
@@ -357,7 +379,9 @@ class CompiledDatabase:
         """
         if not any(rel.num_dead for rel in self.relations.values()):
             return False
-        self._compile()
+        self._c_compactions.inc()
+        with self.telemetry.span("engine.compact"):
+            self._compile()
         self.version += 1
         return True
 
@@ -464,9 +488,11 @@ class CompiledDatabase:
         events = self.db.changes_since(self._synced_db_version)
         if events is None:
             # the window fell out of the bounded changelog: recompile
+            self._c_recompiles.inc()
             self._compile()
             self.version += 1
             return True
+        self._c_replayed.inc(len(events))
         changed = False
         for _event_version, op, fact in events:
             if op == "insert":

@@ -32,6 +32,7 @@ insertion stays O(walk) instead of O(database)), and only a second
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
@@ -39,6 +40,7 @@ from scipy import sparse
 
 from repro.db.database import Database, Fact
 from repro.engine.compiled import CompiledDatabase
+from repro.obs import ENGINE_CACHE_KINDS, NULL_TELEMETRY, Telemetry
 from repro.walks.schemes import Direction, WalkScheme, WalkStep
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (walks -> engine)
@@ -67,11 +69,26 @@ def _normalize_rows(matrix: sparse.csr_matrix) -> sparse.csr_matrix:
 class WalkEngine:
     """Vectorised walk-distribution computation over a compiled database."""
 
-    def __init__(self, db: Database, compiled: CompiledDatabase | None = None):
+    def __init__(
+        self,
+        db: Database,
+        compiled: CompiledDatabase | None = None,
+        *,
+        telemetry: Telemetry | None = None,
+    ):
         self.db = db
-        self.compiled = compiled if compiled is not None else CompiledDatabase(db)
+        self.compiled = (
+            compiled
+            if compiled is not None
+            else CompiledDatabase(db, telemetry=telemetry)
+        )
         if self.compiled.db is not db:
             raise ValueError("compiled database is backed by a different Database")
+        # adopt the compiled database's bundle when none was given, so an
+        # engine wrapped around a pre-instrumented compilation keeps counting
+        self.set_telemetry(
+            telemetry if telemetry is not None else self.compiled.telemetry
+        )
         # cache value -> (dirty signature at build time, payload); signatures
         # are per-foreign-key / per-relation, not the global version, so a
         # mutation only invalidates the matrices it could have affected
@@ -90,6 +107,28 @@ class WalkEngine:
         self._row_cache: dict[tuple[int, WalkScheme], tuple[np.ndarray, np.ndarray]] = {}
         self._row_queries: dict[WalkScheme, int] = {}
         self._row_cache_version = self.compiled.version
+
+    def set_telemetry(self, telemetry: Telemetry | None) -> None:
+        """Attach (or detach, with None) a telemetry bundle.
+
+        Binds one hit and one miss counter per cache kind
+        (``engine.cache.<kind>.{hits,misses}``) plus the refresh-latency
+        histogram, and propagates the bundle to the compiled database.  The
+        disabled default binds shared no-op instruments, so each cache probe
+        pays one dict lookup and a no-op call.
+        """
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        metrics = self.telemetry.metrics
+        self._cache_hits = {
+            kind: metrics.counter(f"engine.cache.{kind}.hits")
+            for kind in ENGINE_CACHE_KINDS
+        }
+        self._cache_misses = {
+            kind: metrics.counter(f"engine.cache.{kind}.misses")
+            for kind in ENGINE_CACHE_KINDS
+        }
+        self._h_refresh = metrics.histogram("engine.refresh.seconds")
+        self.compiled.set_telemetry(self.telemetry)
 
     # ---------------------------------------------------------- persistence
 
@@ -119,7 +158,12 @@ class WalkEngine:
 
     def refresh(self) -> bool:
         """Sync with the backing database by replaying its changelog."""
-        return self.compiled.refresh()
+        if not self.telemetry.enabled:
+            return self.compiled.refresh()
+        started = time.perf_counter()
+        changed = self.compiled.refresh()
+        self._h_refresh.observe(time.perf_counter() - started)
+        return changed
 
     def add_facts(self, facts: Iterable[Fact]) -> None:
         """Append facts inserted into the database since compilation."""
@@ -150,7 +194,9 @@ class WalkEngine:
         fk_dirty = self.compiled.fk_versions[fk.name]
         hit = self._step_cache.get(key)
         if hit is not None and hit[0] == fk_dirty:
+            self._cache_hits["step"].inc()
             return hit[1]
+        self._cache_misses["step"].inc()
         pointers = self.compiled.fk_pointer_array(fk.name)
         n_source = self.compiled.relations[fk.source].num_rows
         n_target = self.compiled.relations[fk.target].num_rows
@@ -203,7 +249,9 @@ class WalkEngine:
         signature = self._scheme_signature(scheme)
         hit = self._dest_cache.get(scheme)
         if hit is not None and hit[0] == signature:
+            self._cache_hits["dest"].inc()
             return hit[1]
+        self._cache_misses["dest"].inc()
         matrix = _normalize_rows(self._mass_matrix(scheme).copy())
         self._dest_cache[scheme] = (signature, matrix)
         return matrix
@@ -220,7 +268,9 @@ class WalkEngine:
         signature = self._scheme_signature(scheme)
         hit = self._mass_cache.get(scheme)
         if hit is not None and hit[0] == signature:
+            self._cache_hits["mass"].inc()
             return hit[1]
+        self._cache_misses["mass"].inc()
         if not scheme.steps:
             start_rel = self.compiled.relations[scheme.start_relation]
             if start_rel.num_dead:
@@ -266,9 +316,11 @@ class WalkEngine:
             row_key = (fact.fact_id, scheme)
             cached_row = self._row_cache.get(row_key)
             if cached_row is not None:
+                self._cache_hits["row"].inc()
                 return cached_row
             first_querier = self._row_queries.setdefault(scheme, fact.fact_id)
             if first_querier == fact.fact_id:
+                self._cache_misses["row"].inc()
                 result = self._bfs_row(fact, scheme)
                 if self._row_cache_version == self.version:  # unchanged by a refresh
                     self._row_cache[row_key] = result
@@ -308,7 +360,9 @@ class WalkEngine:
         rel_dirty = self.compiled.rel_versions[relation]
         hit = self._column_cache.get(key)
         if hit is not None and hit[0] == rel_dirty:
+            self._cache_hits["column"].inc()
             return hit[1], hit[2], hit[3]
+        self._cache_misses["column"].inc()
         compiled_rel = self.compiled.relations[relation]
         column = compiled_rel.columns[attribute]
         codes = column.codes_array()
@@ -340,7 +394,9 @@ class WalkEngine:
         )
         hit = self._attr_cache.get(key)
         if hit is not None and hit[0] == signature:
+            self._cache_hits["attr"].inc()
             return hit[1], hit[2]
+        self._cache_misses["attr"].inc()
         destinations = self.destination_matrix(scheme)
         indicator, vocab, _codes = self._column(scheme.end_relation, attribute)
         matrix = _normalize_rows(destinations @ indicator)

@@ -113,6 +113,7 @@ def load_compiled(db: Database, path: str | Path, verify: bool = True) -> Compil
     # the snapshot does not record the database's mutation counter, so the
     # restored state has no known sync point; the first refresh scans
     compiled._synced_db_version = None
+    compiled.set_telemetry(None)
 
     compiled.relations = {}
     for i, rel_name in enumerate(manifest["relations"]):

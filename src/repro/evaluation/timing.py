@@ -3,47 +3,26 @@
 The timing numbers are measured inside the static and dynamic experiment
 drivers; these helpers only reshape them into per-table rows so the
 benchmark harness and EXPERIMENTS.md generation stay declarative.
+
+:func:`latency_summary` — historically defined here — moved to
+:mod:`repro.obs.metrics` when the observability layer absorbed percentile
+aggregation as its single implementation; it is re-exported unchanged so
+existing imports (and the BENCH field names it emits) keep working.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
 from repro.evaluation.dynamic_experiment import DynamicResult
 from repro.evaluation.static_experiment import StaticResult
+from repro.obs.metrics import latency_summary
 
-
-def latency_summary(seconds: Sequence[float]) -> dict[str, float]:
-    """Summary statistics of a latency sample (count/p50/p95/p99/mean/max).
-
-    The serving layer reports per-batch apply latencies through this helper
-    so the streaming/churn benchmarks and the replay CLI emit identical
-    fields.  Non-finite samples (NaN/inf — a clock that went backwards, a
-    crashed probe) are dropped before aggregation so one bad sample cannot
-    poison every percentile; ``count`` reports the samples actually used.
-    An empty (or all-invalid) sample yields all zeros.
-    """
-    values = np.asarray(list(seconds), dtype=np.float64)
-    values = values[np.isfinite(values)]
-    if values.size == 0:
-        return {
-            "count": 0,
-            "mean_seconds": 0.0,
-            "p50_seconds": 0.0,
-            "p95_seconds": 0.0,
-            "p99_seconds": 0.0,
-            "max_seconds": 0.0,
-        }
-    return {
-        "count": int(values.size),
-        "mean_seconds": float(values.mean()),
-        "p50_seconds": float(np.percentile(values, 50)),
-        "p95_seconds": float(np.percentile(values, 95)),
-        "p99_seconds": float(np.percentile(values, 99)),
-        "max_seconds": float(values.max()),
-    }
+__all__ = [
+    "latency_summary",
+    "static_timing_rows",
+    "dynamic_timing_rows",
+]
 
 
 def static_timing_rows(results: Sequence[StaticResult]) -> list[dict]:

@@ -1,0 +1,136 @@
+"""Stage profiling: inclusive/exclusive wall time attributed per stage.
+
+:class:`StageProfiler` is the cheap complement to the tracer: instead of
+recording every span it *accumulates* per-stage totals, so a hot function
+wrapped in a stage costs two clock reads and a dict update no matter how
+often it runs.  Stages nest::
+
+    profiler = StageProfiler()
+    with profiler.stage("apply"):
+        with profiler.stage("apply.embed"):
+            ...
+
+and the report attributes time both ways: *inclusive* (the stage and
+everything nested under it) and *exclusive* (the stage minus its nested
+stages), which is what you need to find where the time actually goes —
+a stage whose exclusive time ≈ its inclusive time is itself the hot spot,
+not a wrapper around one.
+
+:meth:`StageProfiler.wrap` decorates a function so every call runs inside
+a stage.  A disabled profiler (``StageProfiler(enabled=False)``) hands out
+one shared no-op stage and reports nothing.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from typing import Callable
+
+
+class _NullStage:
+    """Shared no-op stage of a disabled profiler."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullStage":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_STAGE = _NullStage()
+
+
+class _Stage:
+    """One live stage activation (context manager, one per use)."""
+
+    __slots__ = ("_profiler", "name", "_start", "_child_seconds")
+
+    def __init__(self, profiler: "StageProfiler", name: str):
+        self._profiler = profiler
+        self.name = name
+        self._child_seconds = 0.0
+
+    def __enter__(self) -> "_Stage":
+        self._profiler._thread_stack().append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        inclusive = time.perf_counter() - self._start
+        stack = self._profiler._thread_stack()
+        while stack and stack[-1] is not self:  # unwind leaked inner stages
+            stack.pop()
+        if stack:
+            stack.pop()
+        if stack:
+            stack[-1]._child_seconds += inclusive
+        self._profiler._accumulate(self.name, inclusive, inclusive - self._child_seconds)
+        return False
+
+
+class StageProfiler:
+    """Accumulates inclusive/exclusive wall time per named stage."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = bool(enabled)
+        self._totals: dict[str, list] = {}  # name -> [calls, inclusive, exclusive]
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _thread_stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _accumulate(self, name: str, inclusive: float, exclusive: float) -> None:
+        with self._lock:
+            totals = self._totals.get(name)
+            if totals is None:
+                self._totals[name] = [1, inclusive, exclusive]
+            else:
+                totals[0] += 1
+                totals[1] += inclusive
+                totals[2] += exclusive
+
+    def stage(self, name: str):
+        """A context-managed stage; nested stages subtract from ``exclusive``."""
+        if not self.enabled:
+            return NULL_STAGE
+        return _Stage(self, name)
+
+    def wrap(self, name: str | None = None) -> Callable:
+        """Decorator running every call of the function inside a stage."""
+
+        def decorate(fn: Callable) -> Callable:
+            stage_name = name if name is not None else fn.__qualname__
+
+            @functools.wraps(fn)
+            def wrapped(*args, **kwargs):
+                with self.stage(stage_name):
+                    return fn(*args, **kwargs)
+
+            return wrapped
+
+        return decorate
+
+    def report(self) -> dict[str, dict[str, float]]:
+        """Per-stage totals: ``{name: {calls, inclusive_seconds, exclusive_seconds}}``."""
+        with self._lock:
+            return {
+                name: {
+                    "calls": totals[0],
+                    "inclusive_seconds": totals[1],
+                    "exclusive_seconds": totals[2],
+                }
+                for name, totals in sorted(self._totals.items())
+            }
+
+    def clear(self) -> None:
+        """Reset every accumulated total (open stages are unaffected)."""
+        with self._lock:
+            self._totals.clear()

@@ -1,0 +1,237 @@
+"""Nested-span tracing on monotonic clocks, exportable to JSONL and Chrome.
+
+:class:`Tracer` hands out context-managed spans::
+
+    tracer = Tracer()
+    with tracer.span("service.apply", batch_id="b1"):
+        with tracer.span("service.apply.embed"):
+            ...
+
+Spans nest through a per-thread stack, so concurrently traced threads never
+see each other's parents; finished spans are appended to one shared,
+lock-protected record list.  All clocks are ``time.perf_counter`` —
+monotonic and sub-microsecond — with start times reported relative to the
+tracer's creation, so a trace is self-contained and immune to wall-clock
+jumps.
+
+A *disabled* tracer (``Tracer(enabled=False)`` — what
+:data:`repro.obs.NULL_TELEMETRY` carries) returns one shared no-op span
+handle from :meth:`Tracer.span` and records nothing, so instrumented hot
+paths cost a method call and nothing else when observability is off.
+
+Two export formats cover the two ways people read traces:
+
+* :meth:`Tracer.export_jsonl` — one JSON object per span, loadable back
+  with :func:`load_jsonl` (lossless round trip);
+* :meth:`Tracer.export_chrome` — the Chrome trace-event format
+  (``{"traceEvents": [...]}``) that ``chrome://tracing`` / Perfetto render
+  as a flame graph.
+
+:meth:`Tracer.export` dispatches on the file suffix (``.jsonl`` → JSONL,
+anything else → Chrome JSON).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from itertools import count
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span: name, timing, position in the span tree."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    start: float
+    """Seconds since the tracer's creation (monotonic clock)."""
+    duration: float
+    depth: int
+    """Nesting depth at entry (0 for root spans of a thread)."""
+    thread_id: int
+    attrs: dict
+
+    def to_json(self) -> dict:
+        """A JSON-safe dict with one key per field (JSONL line payload)."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "depth": self.depth,
+            "thread_id": self.thread_id,
+            "attrs": self.attrs,
+        }
+
+
+class _NullSpan:
+    """The shared no-op span handle of a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """A live span between ``__enter__`` and ``__exit__`` (one per use)."""
+
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id", "depth", "_start")
+
+    def __init__(self, tracer: "Tracer", span_id: int, name: str, attrs: dict):
+        self._tracer = tracer
+        self.span_id = span_id
+        self.name = name
+        self.attrs = attrs
+
+    def set(self, **attrs) -> "_ActiveSpan":
+        """Attach (or overwrite) span attributes; chainable."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_ActiveSpan":
+        stack = self._tracer._thread_stack()
+        parent = stack[-1] if stack else None
+        self.parent_id = parent.span_id if parent is not None else None
+        self.depth = len(stack)
+        stack.append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        end = time.perf_counter()
+        tracer = self._tracer
+        stack = tracer._thread_stack()
+        # tolerate mismatched exits (an inner span leaked by an exception
+        # path): unwind down to this span, never past it
+        while stack and stack[-1] is not self:
+            stack.pop()
+        if stack:
+            stack.pop()
+        tracer._record(
+            SpanRecord(
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                name=self.name,
+                start=self._start - tracer._origin,
+                duration=end - self._start,
+                depth=self.depth,
+                thread_id=threading.get_ident(),
+                attrs=dict(self.attrs),
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Thread-safe producer of nested :class:`SpanRecord` trees.
+
+    One tracer per process (or per run) is the intended granularity; spans
+    from any number of threads interleave safely.  When constructed with
+    ``enabled=False`` every :meth:`span` call returns the shared no-op
+    handle and nothing is ever recorded.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = bool(enabled)
+        self._origin = time.perf_counter()
+        self._records: list[SpanRecord] = []
+        self._lock = threading.Lock()
+        self._ids = count(1)
+        self._local = threading.local()
+
+    def _thread_stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    # ------------------------------------------------------------ producing
+
+    def span(self, name: str, **attrs):
+        """A context-managed span named ``name`` with initial attributes.
+
+        Nested use builds the parent/child tree; the handle's ``set()``
+        attaches further attributes while the span is open.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        return _ActiveSpan(self, next(self._ids), name, attrs)
+
+    # ------------------------------------------------------------ consuming
+
+    def spans(self) -> tuple[SpanRecord, ...]:
+        """A snapshot of every finished span, in completion order."""
+        with self._lock:
+            return tuple(self._records)
+
+    def clear(self) -> None:
+        """Drop all finished spans (open spans are unaffected)."""
+        with self._lock:
+            self._records.clear()
+
+    def export_jsonl(self, path: str | Path) -> Path:
+        """Write one JSON object per span; lossless (see :func:`load_jsonl`)."""
+        path = Path(path)
+        lines = [json.dumps(record.to_json()) for record in self.spans()]
+        path.write_text("\n".join(lines) + ("\n" if lines else ""))
+        return path
+
+    def export_chrome(self, path: str | Path) -> Path:
+        """Write the Chrome trace-event JSON (open in ``chrome://tracing``).
+
+        Every span becomes one complete ("ph": "X") event with microsecond
+        timestamps; span attributes travel in ``args``.
+        """
+        path = Path(path)
+        events = [
+            {
+                "name": record.name,
+                "ph": "X",
+                "ts": record.start * 1e6,
+                "dur": record.duration * 1e6,
+                "pid": 0,
+                "tid": record.thread_id,
+                "args": record.attrs,
+            }
+            for record in sorted(self.spans(), key=lambda r: r.start)
+        ]
+        path.write_text(json.dumps({"traceEvents": events}, indent=1))
+        return path
+
+    def export(self, path: str | Path) -> Path:
+        """Export dispatching on suffix: ``.jsonl`` → JSONL, else Chrome JSON."""
+        path = Path(path)
+        if path.suffix.lower() == ".jsonl":
+            return self.export_jsonl(path)
+        return self.export_chrome(path)
+
+
+def load_jsonl(path: str | Path) -> list[SpanRecord]:
+    """Read spans written by :meth:`Tracer.export_jsonl` back as records."""
+    records: list[SpanRecord] = []
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        payload = json.loads(line)
+        records.append(SpanRecord(**payload))
+    return records

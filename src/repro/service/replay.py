@@ -48,6 +48,7 @@ from repro.db.database import Database
 from repro.dynamic.partition import partition_dataset
 from repro.engine import WalkEngine
 from repro.evaluation.timing import latency_summary
+from repro.obs import Telemetry, observability_report
 from repro.service.feed import OP_KINDS, ChangeFeed, churn_feed, partition_feed
 from repro.service.service import EmbeddingService
 
@@ -77,6 +78,7 @@ def run_streaming_replay(
     ops: tuple[str, ...] = ("insert",),
     delete_fraction: float = 0.15,
     update_fraction: float = 0.15,
+    telemetry: Telemetry | None = None,
 ) -> dict:
     """Replay one dataset's change stream through an embedding service.
 
@@ -85,6 +87,12 @@ def run_streaming_replay(
     absolute difference against a one-shot dynamic-extender run on the same
     final database, plus (for churn streams) the count of deleted facts
     confirmed absent from the head store.
+
+    When an enabled ``telemetry`` bundle is passed it is attached to the
+    service (and through it the engine and the store) for the whole replay,
+    and the report gains an ``"observability"`` block — the per-stage apply
+    breakdown and engine cache hit ratios of
+    :func:`repro.obs.observability_report`.
     """
     config = config or DEFAULT_CONFIG
     ops = tuple(ops)
@@ -120,7 +128,8 @@ def run_streaming_replay(
             rng=seed,
         )
     service = EmbeddingService(
-        model, partition.db, engine=engine, policy=policy, seed=seed
+        model, partition.db, engine=engine, policy=policy, seed=seed,
+        telemetry=telemetry,
     )
     outcomes = service.sync(feed)
     stats = service.stats(feed)
@@ -152,6 +161,7 @@ def run_streaming_replay(
         "total_apply_seconds": stats.total_apply_seconds,
         "facts_per_second": stats.facts_per_second,
         "latency": latency_summary(stats.apply_seconds),
+        "apply_seconds": list(stats.apply_seconds),
         "batches": [
             {
                 "sequence": o.sequence,
@@ -166,6 +176,10 @@ def run_streaming_replay(
             for o in outcomes
         ],
     }
+    if telemetry is not None and telemetry.enabled:
+        report["observability"] = observability_report(
+            telemetry, stats.total_apply_seconds
+        )
 
     deleted_ids = {
         op.fact.fact_id for batch in feed for op in batch.ops if op.kind == "delete"

@@ -51,6 +51,7 @@ from repro.api.protocol import Embedder
 from repro.core.forward import ForwardModel
 from repro.db.database import Database, Fact
 from repro.engine import WalkEngine
+from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.service.feed import ChangeBatch, ChangeFeed
 from repro.service.store import EmbeddingStore, StoreSnapshot
 
@@ -85,8 +86,10 @@ class ServiceStats:
     facts_embedded: int
     total_apply_seconds: float
     facts_per_second: float
-    feed_lag: int
-    """Feed batches published but not yet applied (0 when fully caught up)."""
+    feed_lag: int | None
+    """Feed batches published but not yet applied (0 when fully caught up).
+    ``None`` when no feed was passed to :meth:`EmbeddingService.stats` —
+    without one the lag is unknown, not zero."""
     version_skew: int
     """Engine mutations since the last store commit (0 when every insert the
     engine has seen is reflected in the head store version)."""
@@ -127,6 +130,12 @@ class EmbeddingService:
         after each commit — each snapshot holds a full copy of the
         embedding matrix, so an unbounded history grows linearly with
         applied batches).  ``None`` keeps every version.
+    telemetry:
+        An optional :class:`~repro.obs.Telemetry` bundle.  When given, every
+        apply is traced (one ``service.apply`` span broken into decode →
+        engine sync → embed → store commit stages), counters/gauges/latency
+        histograms are recorded, and the bundle is propagated to the walk
+        engine and the store.  The default is the shared no-op bundle.
     """
 
     def __init__(
@@ -139,6 +148,7 @@ class EmbeddingService:
         policy: str = "recompute",
         seed: int = 0,
         retain_versions: int | None = 16,
+        telemetry: Telemetry | None = None,
     ):
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
@@ -203,6 +213,7 @@ class EmbeddingService:
         self._facts_embedded = 0
         self._facts_deleted = 0
         self._facts_updated = 0
+        self._total_ops = 0
         self._latencies: list[float] = []
         if store is None:
             store = EmbeddingStore(embedder.dimension)
@@ -246,6 +257,41 @@ class EmbeddingService:
                 self._arrived.append(self.db.fact(fid))
                 self._arrived_ids.add(fid)
         self._engine_version_at_commit = self._embedder.engine_version
+        self.set_telemetry(telemetry)
+
+    def set_telemetry(self, telemetry: Telemetry | None) -> None:
+        """Attach (or detach, with None) a telemetry bundle to every layer.
+
+        Binds the service's own counters/gauges/histograms and propagates
+        the bundle down to the walk engine (cache hit/miss counters, refresh
+        latency) and the store (commit and query latencies).  Instruments
+        are shared no-ops when the bundle is disabled, so the apply path is
+        observability-free by default.
+        """
+        self._tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        metrics = self._tel.metrics
+        self._c_batches = metrics.counter("service.batches")
+        self._c_duplicates = metrics.counter("service.duplicates")
+        self._c_ops = metrics.counter("service.ops")
+        self._c_inserted = metrics.counter("service.facts.inserted")
+        self._c_deleted = metrics.counter("service.facts.deleted")
+        self._c_updated = metrics.counter("service.facts.updated")
+        self._c_embedded = metrics.counter("service.facts.embedded")
+        self._h_apply = metrics.histogram("service.apply.seconds")
+        self._g_feed_lag = metrics.gauge("service.feed_lag")
+        self._g_version_skew = metrics.gauge("service.version_skew")
+        self._g_store_version = metrics.gauge("service.store_version")
+        self._g_facts_per_second = metrics.gauge("service.facts_per_second")
+        self._g_ops_per_second = metrics.gauge("service.ops_per_second")
+        engine = self._embedder.engine
+        if engine is not None:
+            engine.set_telemetry(self._tel)
+        self.store.set_telemetry(self._tel)
+
+    @property
+    def telemetry(self) -> Telemetry:
+        """The attached bundle (the shared no-op one unless opted in)."""
+        return self._tel
 
     def _tracks(self, relation: str) -> bool:
         return self._tracked_relation is None or relation == self._tracked_relation
@@ -277,41 +323,56 @@ class EmbeddingService:
         short-circuits them.
         """
         start = time.perf_counter()
-        if self.store.has_batch(batch.batch_id):
-            self._duplicates += 1
-            self._last_sequence = max(self._last_sequence, batch.sequence)
-            return ApplyOutcome(
-                batch.sequence, batch.batch_id, False, 0, 0,
-                time.perf_counter() - start, self.store.version,
-            )
+        span = self._tel.span(
+            "service.apply", batch_id=batch.batch_id, ops=len(batch.ops)
+        )
+        span.__enter__()
+        try:
+            if self.store.has_batch(batch.batch_id):
+                span.set(duplicate=True)
+                self._c_duplicates.inc()
+                self._duplicates += 1
+                self._last_sequence = max(self._last_sequence, batch.sequence)
+                return ApplyOutcome(
+                    batch.sequence, batch.batch_id, False, 0, 0,
+                    time.perf_counter() - start, self.store.version,
+                )
+            return self._apply_live(batch, start)
+        finally:
+            span.__exit__(None, None, None)
+
+    def _apply_live(self, batch: ChangeBatch, start: float) -> ApplyOutcome:
+        """The non-duplicate apply path (inside the ``service.apply`` span)."""
         inserted: list[Fact] = []
         deleted: list[Fact] = []
         updated: list[Fact] = []
-        for op in batch.ops:
-            fact = op.fact
-            if op.kind == "insert":
-                if fact in self.db:  # at-least-once overlap with an earlier batch
-                    continue
-                self.db.reinsert(fact)
-                inserted.append(fact)
-            elif op.kind == "delete":
-                if fact.fact_id not in self.db._facts_by_id:  # noqa: SLF001
-                    continue  # already deleted (redelivery or racing batch)
-                current = self.db.fact(fact.fact_id)
-                self.db.delete(current)
-                deleted.append(current)
-            else:  # update
-                if fact.fact_id not in self.db._facts_by_id:  # noqa: SLF001
-                    continue  # updating a deleted fact is a no-op
-                current = self.db.fact(fact.fact_id)
-                if current.values == fact.values:
-                    continue  # idempotent re-delivery
-                updated.append(self.db.update(current, fact.as_dict()))
-        self._embedder.notify_inserted(inserted)
-        if deleted:
-            self._embedder.notify_deleted(deleted)
-        if updated:
-            self._embedder.notify_updated(updated)
+        with self._tel.stage("service.apply.decode"):
+            for op in batch.ops:
+                fact = op.fact
+                if op.kind == "insert":
+                    if fact in self.db:  # at-least-once overlap with an earlier batch
+                        continue
+                    self.db.reinsert(fact)
+                    inserted.append(fact)
+                elif op.kind == "delete":
+                    if fact.fact_id not in self.db._facts_by_id:  # noqa: SLF001
+                        continue  # already deleted (redelivery or racing batch)
+                    current = self.db.fact(fact.fact_id)
+                    self.db.delete(current)
+                    deleted.append(current)
+                else:  # update
+                    if fact.fact_id not in self.db._facts_by_id:  # noqa: SLF001
+                        continue  # updating a deleted fact is a no-op
+                    current = self.db.fact(fact.fact_id)
+                    if current.values == fact.values:
+                        continue  # idempotent re-delivery
+                    updated.append(self.db.update(current, fact.as_dict()))
+        with self._tel.stage("service.apply.engine_sync"):
+            self._embedder.notify_inserted(inserted)
+            if deleted:
+                self._embedder.notify_deleted(deleted)
+            if updated:
+                self._embedder.notify_updated(updated)
         for fact in batch.inserts:
             if (
                 self._tracks(fact.relation)
@@ -330,15 +391,17 @@ class EmbeddingService:
         if refreshed:
             by_id = {f.fact_id: f for f in refreshed}
             self._arrived = [by_id.get(f.fact_id, f) for f in self._arrived]
-        updates = self._embed(batch, inserted, refreshed)
-        snapshot = self.store.commit(
-            updates, batch_id=batch.batch_id, deletes=[f.fact_id for f in deleted]
-        )
-        # the arrival log travels with the store so a restarted service
-        # (which only sees duplicate re-deliveries) can rebuild it exactly
-        self.store.metadata["arrived_fact_ids"] = [f.fact_id for f in self._arrived]
-        if self.retain_versions is not None:
-            self.store.prune(keep_last=self.retain_versions)
+        with self._tel.stage("service.apply.embed"):
+            updates = self._embed(batch, inserted, refreshed)
+        with self._tel.stage("service.apply.store_commit"):
+            snapshot = self.store.commit(
+                updates, batch_id=batch.batch_id, deletes=[f.fact_id for f in deleted]
+            )
+            # the arrival log travels with the store so a restarted service
+            # (which only sees duplicate re-deliveries) can rebuild it exactly
+            self.store.metadata["arrived_fact_ids"] = [f.fact_id for f in self._arrived]
+            if self.retain_versions is not None:
+                self.store.prune(keep_last=self.retain_versions)
         self._engine_version_at_commit = self._embedder.engine_version
         seconds = time.perf_counter() - start
         self._latencies.append(seconds)
@@ -347,7 +410,15 @@ class EmbeddingService:
         self._facts_embedded += len(updates)
         self._facts_deleted += len(deleted)
         self._facts_updated += len(updated)
+        self._total_ops += len(batch.ops)
         self._last_sequence = max(self._last_sequence, batch.sequence)
+        self._c_batches.inc()
+        self._c_ops.inc(len(batch.ops))
+        self._c_inserted.inc(len(inserted))
+        self._c_deleted.inc(len(deleted))
+        self._c_updated.inc(len(updated))
+        self._c_embedded.inc(len(updates))
+        self._h_apply.observe(seconds)
         return ApplyOutcome(
             batch.sequence, batch.batch_id, True, len(inserted), len(updates),
             seconds, snapshot.version, len(deleted), len(updated),
@@ -387,6 +458,20 @@ class EmbeddingService:
 
     def stats(self, feed: ChangeFeed | None = None) -> ServiceStats:
         total = float(sum(self._latencies))
+        facts_per_second = (self._facts_inserted / total) if total > 0 else 0.0
+        # without a feed the lag is unknown, not zero: report None so callers
+        # can distinguish "caught up" from "nothing to compare against"
+        feed_lag = (
+            (feed.last_sequence - self._last_sequence) if feed is not None else None
+        )
+        version_skew = self._embedder.engine_version - self._engine_version_at_commit
+        self._g_feed_lag.set(feed_lag)
+        self._g_version_skew.set(version_skew)
+        self._g_store_version.set(self.store.version)
+        self._g_facts_per_second.set(facts_per_second)
+        self._g_ops_per_second.set(
+            (self._total_ops / total) if total > 0 else 0.0
+        )
         return ServiceStats(
             store_version=self.store.version,
             engine_version=self._embedder.engine_version,
@@ -395,9 +480,9 @@ class EmbeddingService:
             facts_inserted=self._facts_inserted,
             facts_embedded=self._facts_embedded,
             total_apply_seconds=total,
-            facts_per_second=(self._facts_inserted / total) if total > 0 else 0.0,
-            feed_lag=(feed.last_sequence - self._last_sequence) if feed is not None else 0,
-            version_skew=self._embedder.engine_version - self._engine_version_at_commit,
+            facts_per_second=facts_per_second,
+            feed_lag=feed_lag,
+            version_skew=version_skew,
             apply_seconds=tuple(self._latencies),
             facts_deleted=self._facts_deleted,
             facts_updated=self._facts_updated,

@@ -29,6 +29,7 @@ batch-id log, so a restarted service resumes at the persisted version
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
 from typing import Iterable, Mapping
 
@@ -37,6 +38,7 @@ import numpy as np
 from repro.core.base import TupleEmbedding
 from repro.core.persistence import load_embedding, save_embedding
 from repro.db.database import Fact
+from repro.obs import NULL_TELEMETRY, Telemetry
 
 
 class StoreSnapshot:
@@ -49,6 +51,7 @@ class StoreSnapshot:
     __slots__ = (
         "version", "batch_id", "fact_ids", "relations", "vectors", "alive",
         "row_of", "_normalized", "_relations_array",
+        "_telemetry", "_h_fetch", "_h_knn", "_h_slice",
     )
 
     def __init__(
@@ -83,6 +86,15 @@ class StoreSnapshot:
         self._normalized: np.ndarray | None = None
         self._relations_array = np.empty(len(self.relations), dtype=object)
         self._relations_array[:] = self.relations
+        self.set_telemetry(None)
+
+    def set_telemetry(self, telemetry: Telemetry | None) -> None:
+        """Bind the query-latency histograms (no-ops when disabled)."""
+        self._telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        metrics = self._telemetry.metrics
+        self._h_fetch = metrics.histogram("store.fetch.seconds")
+        self._h_knn = metrics.histogram("store.knn.seconds")
+        self._h_slice = metrics.histogram("store.slice.seconds")
 
     # -------------------------------------------------------------- basics
 
@@ -121,15 +133,22 @@ class StoreSnapshot:
 
         Raises ``KeyError`` for unknown *and* deleted facts alike.
         """
+        started = time.perf_counter()
         rows = [self.row_of[_key(f)] for f in facts]
         if not rows:
-            return np.zeros((0, self.dimension))
-        return self.vectors[np.asarray(rows, dtype=np.int64)].copy()
+            result = np.zeros((0, self.dimension))
+        else:
+            result = self.vectors[np.asarray(rows, dtype=np.int64)].copy()
+        self._h_fetch.observe(time.perf_counter() - started)
+        return result
 
     def relation_slice(self, relation: str) -> tuple[np.ndarray, np.ndarray]:
         """``(fact_ids, vectors)`` of every *live* stored fact of one relation."""
+        started = time.perf_counter()
         mask = (self._relations_array == relation) & self.alive
-        return self.fact_ids[mask].copy(), self.vectors[mask].copy()
+        result = self.fact_ids[mask].copy(), self.vectors[mask].copy()
+        self._h_slice.observe(time.perf_counter() - started)
+        return result
 
     def normalized(self) -> np.ndarray:
         """The row-normalised embedding matrix (cached per snapshot)."""
@@ -156,6 +175,7 @@ class StoreSnapshot:
         """
         if k <= 0:
             raise ValueError("k must be positive")
+        started = time.perf_counter()
         if isinstance(query, np.ndarray):
             query_vector = np.asarray(query, dtype=np.float64)
             query_row = None
@@ -172,10 +192,13 @@ class StoreSnapshot:
         scores = np.where(excluded, -np.inf, scores)
         k = min(k, int(np.sum(~excluded)))
         if k == 0:
-            return []
-        top = np.argpartition(-scores, k - 1)[:k]
-        top = top[np.argsort(-scores[top], kind="stable")]
-        return [(int(self.fact_ids[row]), float(scores[row])) for row in top]
+            result: list[tuple[int, float]] = []
+        else:
+            top = np.argpartition(-scores, k - 1)[:k]
+            top = top[np.argsort(-scores[top], kind="stable")]
+            result = [(int(self.fact_ids[row]), float(scores[row])) for row in top]
+        self._h_knn.observe(time.perf_counter() - started)
+        return result
 
     def embedding(self) -> TupleEmbedding:
         """This snapshot's live facts as a :class:`TupleEmbedding` (mutable copy)."""
@@ -211,7 +234,7 @@ class EmbeddingStore:
     #: Minimum tombstones before compaction is considered at all.
     COMPACT_MIN_DEAD = 64
 
-    def __init__(self, dimension: int):
+    def __init__(self, dimension: int, *, telemetry: Telemetry | None = None):
         if dimension <= 0:
             raise ValueError("dimension must be positive")
         self.dimension = int(dimension)
@@ -224,6 +247,24 @@ class EmbeddingStore:
         self.metadata: dict = {}
         """JSON-safe side data persisted with the store (e.g. the service's
         arrival log); survives :meth:`save`/:meth:`load`."""
+        self.set_telemetry(telemetry)
+
+    def set_telemetry(self, telemetry: Telemetry | None) -> None:
+        """Attach (or detach, with None) a telemetry bundle.
+
+        Binds the commit instruments and pushes the query-latency histograms
+        into every snapshot already minted (readers hold snapshots, so a
+        late attach must reach them too).
+        """
+        self._telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        metrics = self._telemetry.metrics
+        self._h_commit = metrics.histogram("store.commit.seconds")
+        self._c_cow_bytes = metrics.counter("store.cow.bytes")
+        self._c_compactions = metrics.counter("store.compactions")
+        self._g_tombstone_ratio = metrics.gauge("store.tombstone_ratio")
+        self._g_version = metrics.gauge("store.version")
+        for snapshot in self._snapshots.values():
+            snapshot.set_telemetry(self._telemetry)
 
     # -------------------------------------------------------------- lookup
 
@@ -271,6 +312,7 @@ class EmbeddingStore:
             # the producing snapshot may have been pruned (or predate a
             # restart); the head is then the closest still-resolvable view
             return self._snapshots.get(self._applied[batch_id], self._head)
+        started = time.perf_counter()
         items = updates.items() if isinstance(updates, Mapping) else updates
         head = self._head
         vectors = head.vectors.copy()
@@ -322,13 +364,21 @@ class EmbeddingStore:
             relations = tuple(np.asarray(relations, dtype=object)[alive])
             vectors = vectors[alive]
             alive = None  # all-alive after compaction
+            self._c_compactions.inc()
         snapshot = StoreSnapshot(
             head.version + 1, batch_id, fact_ids, relations, vectors, alive
         )
+        snapshot.set_telemetry(self._telemetry)
         self._snapshots[snapshot.version] = snapshot
         self._head = snapshot
         if batch_id is not None:
             self._applied[batch_id] = snapshot.version
+        self._c_cow_bytes.inc(int(snapshot.vectors.nbytes))
+        self._g_tombstone_ratio.set(
+            snapshot.num_dead / snapshot.num_rows if snapshot.num_rows else 0.0
+        )
+        self._g_version.set(snapshot.version)
+        self._h_commit.observe(time.perf_counter() - started)
         return snapshot
 
     def prune(self, keep_last: int = 1) -> int:

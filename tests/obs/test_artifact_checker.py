@@ -1,0 +1,104 @@
+"""The CI artifact checker accepts real exports and rejects corrupted ones.
+
+``tools/check_obs_artifacts.py`` guards the ``--trace``/``--metrics-out``
+file layout in CI; these tests pin its contract from both sides so the
+checker itself cannot silently rot into accept-everything.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs import Telemetry, metrics_payload
+
+TOOLS = Path(__file__).resolve().parents[2] / "tools"
+
+
+@pytest.fixture(scope="module")
+def checker():
+    sys.path.insert(0, str(TOOLS))
+    try:
+        import check_obs_artifacts
+    finally:
+        sys.path.remove(str(TOOLS))
+    return check_obs_artifacts
+
+
+@pytest.fixture
+def telemetry():
+    """A bundle with one full apply cycle recorded (all four stages)."""
+    telemetry = Telemetry()
+    with telemetry.span("service.apply", batch_id="b1"):
+        for name in (
+            "service.apply.decode",
+            "service.apply.engine_sync",
+            "service.apply.embed",
+            "service.apply.store_commit",
+        ):
+            with telemetry.stage(name):
+                pass
+    telemetry.metrics.histogram("service.apply.seconds").observe(0.25)
+    telemetry.metrics.counter("engine.cache.step.hits").inc(3)
+    telemetry.metrics.counter("engine.cache.step.misses").inc()
+    return telemetry
+
+
+class TestAcceptsRealArtifacts:
+    def test_metrics_payload_is_clean(self, checker, telemetry, tmp_path):
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(metrics_payload(telemetry, 0.25)))
+        assert checker.check_metrics(path) == []
+
+    def test_both_trace_flavours_are_clean(self, checker, telemetry, tmp_path):
+        jsonl = telemetry.tracer.export(tmp_path / "trace.jsonl")
+        chrome = telemetry.tracer.export(tmp_path / "trace.json")
+        assert checker.check_trace(jsonl) == []
+        assert checker.check_trace(chrome) == []
+
+    def test_dispatch_tells_metrics_from_traces(self, checker, telemetry, tmp_path):
+        metrics = tmp_path / "metrics.json"
+        metrics.write_text(json.dumps(metrics_payload(telemetry, 0.25)))
+        chrome = telemetry.tracer.export(tmp_path / "trace.json")
+        assert checker.check_artifact(metrics) == []
+        assert checker.check_artifact(chrome) == []
+        assert checker.check_artifact(tmp_path / "missing.json") != []
+
+
+class TestRejectsCorruption:
+    def test_missing_block_is_flagged(self, checker, telemetry, tmp_path):
+        payload = metrics_payload(telemetry, 0.25)
+        del payload["stage_coverage"]
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(payload))
+        assert any("stage_coverage" in p for p in checker.check_metrics(path))
+
+    def test_missing_stage_is_flagged(self, checker, telemetry, tmp_path):
+        payload = metrics_payload(telemetry, 0.25)
+        del payload["stages"]["service.apply.embed"]
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(payload))
+        assert any("service.apply.embed" in p for p in checker.check_metrics(path))
+
+    def test_inconsistent_cache_ratio_is_flagged(self, checker, telemetry, tmp_path):
+        payload = metrics_payload(telemetry, 0.25)
+        payload["cache_hit_ratios"]["step"]["hit_ratio"] = 0.1
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(payload))
+        assert any("inconsistent" in p for p in checker.check_metrics(path))
+
+    def test_dangling_parent_is_flagged(self, checker, telemetry, tmp_path):
+        jsonl = telemetry.tracer.export(tmp_path / "trace.jsonl")
+        records = [json.loads(line) for line in jsonl.read_text().splitlines()]
+        orphan = next(r for r in records if r["parent_id"] is not None)
+        orphan["parent_id"] = 10**9
+        jsonl.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+        assert any("is not in the file" in p for p in checker.check_trace(jsonl))
+
+    def test_non_complete_chrome_event_is_flagged(self, checker, telemetry, tmp_path):
+        chrome = telemetry.tracer.export(tmp_path / "trace.json")
+        payload = json.loads(chrome.read_text())
+        payload["traceEvents"][0]["ph"] = "B"
+        chrome.write_text(json.dumps(payload))
+        assert any("ph=X" in p for p in checker.check_trace(chrome))

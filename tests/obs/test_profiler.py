@@ -1,0 +1,82 @@
+"""Stage-profiler tests: inclusive/exclusive attribution and the no-op path."""
+
+import time
+
+from repro.obs import StageProfiler
+from repro.obs.profiler import NULL_STAGE
+
+
+class TestAttribution:
+    def test_exclusive_subtracts_nested_stages(self):
+        profiler = StageProfiler()
+        with profiler.stage("outer"):
+            time.sleep(0.002)
+            with profiler.stage("inner"):
+                time.sleep(0.005)
+        report = profiler.report()
+        outer, inner = report["outer"], report["inner"]
+        assert outer["calls"] == 1 and inner["calls"] == 1
+        assert inner["inclusive_seconds"] >= 0.004
+        assert outer["inclusive_seconds"] >= inner["inclusive_seconds"]
+        # outer's exclusive time excludes everything spent inside inner
+        expected_exclusive = outer["inclusive_seconds"] - inner["inclusive_seconds"]
+        assert outer["exclusive_seconds"] == _approx(expected_exclusive)
+        # a leaf stage is all exclusive
+        assert inner["exclusive_seconds"] == _approx(inner["inclusive_seconds"])
+
+    def test_repeated_stages_accumulate(self):
+        profiler = StageProfiler()
+        for _ in range(3):
+            with profiler.stage("s"):
+                pass
+        report = profiler.report()
+        assert report["s"]["calls"] == 3
+        assert report["s"]["inclusive_seconds"] >= 0.0
+
+    def test_wrap_decorator_profiles_every_call(self):
+        profiler = StageProfiler()
+
+        @profiler.wrap("wrapped")
+        def work(x):
+            return x + 1
+
+        assert work(1) == 2 and work(2) == 3
+        assert profiler.report()["wrapped"]["calls"] == 2
+
+    def test_wrap_defaults_to_the_qualname(self):
+        profiler = StageProfiler()
+
+        @profiler.wrap()
+        def helper():
+            return 7
+
+        assert helper() == 7
+        (name,) = profiler.report()
+        assert name.endswith("helper")
+
+    def test_clear_resets_totals(self):
+        profiler = StageProfiler()
+        with profiler.stage("s"):
+            pass
+        profiler.clear()
+        assert profiler.report() == {}
+
+
+class TestDisabledProfiler:
+    def test_hands_out_the_shared_null_stage(self):
+        profiler = StageProfiler(enabled=False)
+        assert profiler.stage("a") is NULL_STAGE
+        assert profiler.stage("b") is NULL_STAGE
+
+    def test_records_nothing(self):
+        profiler = StageProfiler(enabled=False)
+        with profiler.stage("outer"):
+            with profiler.stage("inner"):
+                pass
+        assert profiler.report() == {}
+
+
+def _approx(value):
+    import pytest
+
+    return pytest.approx(value, abs=1e-6)

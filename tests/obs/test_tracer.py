@@ -1,0 +1,132 @@
+"""Tracer tests: span nesting, attributes, exports, and the no-op path."""
+
+import json
+import threading
+
+from repro.obs import SpanRecord, Tracer, load_jsonl
+from repro.obs.tracer import NULL_SPAN
+
+
+class TestSpanNesting:
+    def test_parent_child_and_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans()  # completion order: inner first
+        assert inner.name == "inner" and outer.name == "outer"
+        assert outer.parent_id is None and outer.depth == 0
+        assert inner.parent_id == outer.span_id and inner.depth == 1
+
+    def test_sibling_spans_share_a_parent(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b, root = tracer.spans()
+        assert a.parent_id == root.span_id and b.parent_id == root.span_id
+        assert a.span_id != b.span_id
+
+    def test_durations_nest(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans()
+        assert 0.0 <= inner.duration <= outer.duration
+        assert outer.start <= inner.start
+
+    def test_attrs_at_creation_and_via_set(self):
+        tracer = Tracer()
+        with tracer.span("apply", batch_id="b1") as span:
+            span.set(duplicate=True)
+        (record,) = tracer.spans()
+        assert record.attrs == {"batch_id": "b1", "duplicate": True}
+
+    def test_exception_still_records_and_propagates(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert [s.name for s in tracer.spans()] == ["boom"]
+
+    def test_threads_do_not_share_parents(self):
+        tracer = Tracer()
+
+        def worker():
+            with tracer.span("thread-root"):
+                pass
+
+        with tracer.span("main-root"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        by_name = {s.name: s for s in tracer.spans()}
+        assert by_name["thread-root"].parent_id is None
+        assert by_name["thread-root"].thread_id != by_name["main-root"].thread_id
+
+
+class TestExports:
+    def test_jsonl_round_trip_is_lossless(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer", k=1):
+            with tracer.span("inner"):
+                pass
+        path = tracer.export_jsonl(tmp_path / "trace.jsonl")
+        restored = load_jsonl(path)
+        assert restored == list(tracer.spans())
+        assert all(isinstance(r, SpanRecord) for r in restored)
+
+    def test_chrome_export_structure(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("apply", batch_id="b1"):
+            pass
+        path = tracer.export_chrome(tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        (event,) = payload["traceEvents"]
+        assert event["ph"] == "X" and event["name"] == "apply"
+        assert event["args"] == {"batch_id": "b1"}
+        (record,) = tracer.spans()
+        assert event["ts"] == record.start * 1e6
+        assert event["dur"] == record.duration * 1e6
+
+    def test_export_dispatches_on_suffix(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        jsonl = tracer.export(tmp_path / "t.jsonl")
+        chrome = tracer.export(tmp_path / "t.json")
+        assert len(load_jsonl(jsonl)) == 1
+        assert "traceEvents" in json.loads(chrome.read_text())
+
+    def test_empty_exports(self, tmp_path):
+        tracer = Tracer()
+        assert load_jsonl(tracer.export_jsonl(tmp_path / "e.jsonl")) == []
+        payload = json.loads(tracer.export_chrome(tmp_path / "e.json").read_text())
+        assert payload == {"traceEvents": []}
+
+    def test_clear_drops_spans(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        tracer.clear()
+        assert tracer.spans() == ()
+
+
+class TestDisabledTracer:
+    def test_hands_out_the_shared_null_span(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("anything", k=1)
+        assert span is NULL_SPAN
+        assert tracer.span("other") is span
+
+    def test_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("outer"):
+            with tracer.span("inner") as inner:
+                inner.set(k=2)
+        assert tracer.spans() == ()
