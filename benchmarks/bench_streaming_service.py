@@ -1,15 +1,23 @@
-"""Streaming service benchmark — Mondial insert stream, served online.
+"""Streaming service benchmark — the Mondial throughput ladder.
 
-Replays a 10% insert stream of the Mondial dataset through a live
-:class:`~repro.service.service.EmbeddingService` and records what a server
-operator watches: ingest throughput (facts/second) and per-batch apply
-latency (p50/p95).  The run is self-verifying — the final store must match
-a one-shot dynamic-extender run on the same final database to 1e-9 — and
-must commit at least two store versions.
+Replays the Mondial insert stream through a live
+:class:`~repro.service.service.EmbeddingService` at increasing dataset
+scales (the "rungs") and asserts, at every rung, the throughput floor and
+both exactness bars of :mod:`repro.service.ladder`:
 
-The full JSON report is written to ``benchmarks/results/BENCH_streaming.json``
-(uploaded as a CI artifact); a rendered summary goes to
-``benchmarks/results/streaming_service.txt``.
+* facts/second (telemetry off) must clear the rung's recorded floor — at
+  scale 0.3 the floor *is* the acceptance bar, 10x the seed repository's
+  single-run baseline of 12.603 facts/s;
+* the streamed store must match a one-shot dynamic-extender run to 1e-9;
+* a full-CRUD churn replay of the same rung must match its one-shot run to
+  1e-12 (deletes/updates invalidate the batched pipeline's struct-keyed
+  caches, so this is the cache-correctness leg).
+
+The reduced profile (default) climbs scales 0.15 and 0.3; the full profile
+(``REPRO_BENCH_SCALE=full``) adds 1.0 and 4.0 (a 4x-replicated Mondial).
+The versioned ladder payload is written to
+``benchmarks/results/BENCH_streaming.json`` (uploaded as a CI artifact);
+a rendered table goes to ``benchmarks/results/streaming_service.txt``.
 
 Run under pytest (``python -m pytest benchmarks/bench_streaming_service.py``)
 or directly (``python benchmarks/bench_streaming_service.py``).
@@ -19,9 +27,11 @@ from __future__ import annotations
 
 import json
 
-from repro.core import ForwardConfig
-from repro.obs import Telemetry
-from repro.service.replay import run_streaming_replay, render_report
+from repro.service.ladder import (
+    check_ladder,
+    render_ladder,
+    run_throughput_ladder,
+)
 
 try:  # pytest-style result persistence when run by the harness
     from conftest import FULL_SCALE, RESULTS_DIR, write_result
@@ -32,46 +42,31 @@ except ImportError:  # direct script execution from the repository root
     sys.path.insert(0, str(Path(__file__).parent))
     from conftest import FULL_SCALE, RESULTS_DIR, write_result
 
-SCALE = 1.0 if FULL_SCALE else 0.15
-INSERT_RATIO = 0.1
-
-#: Tiny hyper-parameters: the benchmark measures the serving layer, not
-#: embedding quality, so training is kept as small as the pipeline allows.
-TINY_CONFIG = ForwardConfig(
-    dimension=16, n_samples=400, batch_size=1024, max_walk_length=2, epochs=4,
-    learning_rate=0.02, n_new_samples=30,
-)
-
 
 def _run() -> dict:
-    report = run_streaming_replay(
-        "mondial",
-        insert_ratio=INSERT_RATIO,
-        scale=SCALE,
-        seed=0,
-        policy="recompute",
-        config=TINY_CONFIG,
-        telemetry=Telemetry(),
-    )
+    payload = run_throughput_ladder(full=FULL_SCALE, progress=print)
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    (RESULTS_DIR / "BENCH_streaming.json").write_text(json.dumps(report, indent=2))
-    write_result("streaming_service", render_report(report))
-    return report
+    (RESULTS_DIR / "BENCH_streaming.json").write_text(json.dumps(payload, indent=2))
+    write_result("streaming_service", render_ladder(payload))
+    return payload
 
 
-def test_streaming_service_on_mondial():
-    report = _run()
-    assert report["store_versions_committed"] >= 2
-    assert report["verified_against_one_shot"], (
-        f"streamed store deviates from the one-shot run by "
-        f"{report['one_shot_max_abs_diff']:.2e} (tolerance {report['one_shot_tolerance']:.0e})"
-    )
-    assert report["facts_per_second"] > 0
-    latency = report["latency"]
-    assert latency["count"] == report["feed_batches"]
-    assert latency["p99_seconds"] >= latency["p95_seconds"] >= latency["p50_seconds"]
-    assert report["feed_lag"] == 0 and report["version_skew"] == 0
-    obs = report["observability"]
+def test_streaming_throughput_ladder():
+    payload = _run()
+    problems = check_ladder(payload)
+    assert not problems, "ladder violations:\n" + "\n".join(problems)
+    assert len(payload["rungs"]) >= 2
+    for rung in payload["rungs"]:
+        latency = rung["latency"]
+        assert latency["count"] == rung["feed_batches"]
+        assert latency["p99_seconds"] >= latency["p95_seconds"] >= latency["p50_seconds"]
+        assert rung["feed_lag"] == 0 and rung["version_skew"] == 0
+        verification = rung["verification"]
+        assert verification["verified"] and verification["churn_verified"]
+        assert verification["churn_facts_deleted"] > 0
+        assert verification["churn_facts_updated"] > 0
+    # the smallest rung carries the instrumented run's observability block
+    obs = payload["rungs"][0]["observability"]
     assert obs["stage_coverage"] >= 0.9, (
         f"apply stages account for only {obs['stage_coverage']:.1%} of apply "
         "wall time (required >=90%)"
@@ -82,11 +77,21 @@ def test_streaming_service_on_mondial():
         "service.apply.embed",
         "service.apply.store_commit",
     }
+    assert set(obs["pipeline"]["stages"]) == {
+        "service.embed.prepare",
+        "service.embed.assemble",
+        "service.embed.solve",
+    }
+    assert obs["pipeline"]["coverage"] >= 0.9, (
+        f"pipeline stages account for only "
+        f"{obs['pipeline']['coverage']:.1%} of the embed stage"
+    )
     assert obs["cache_hit_ratios"], "no engine cache activity was recorded"
 
 
 if __name__ == "__main__":
     result = _run()
-    print(render_report(result))
-    if not result["verified_against_one_shot"]:
-        raise SystemExit("streamed store does not match the one-shot run")
+    print(render_ladder(result))
+    problems = check_ladder(result)
+    if problems:
+        raise SystemExit("ladder violations:\n" + "\n".join(problems))

@@ -59,6 +59,7 @@ class ForwardEmbedding(Embedder):
         self._extender: ForwardDynamicExtender | None = None
         self._recompute_old_paths = False
         self._extension_rng: int | np.random.Generator | None = None
+        self._workers = 0
 
     @classmethod
     def from_model(
@@ -118,9 +119,11 @@ class ForwardEmbedding(Embedder):
         *,
         recompute_old_paths: bool = False,
         rng: int | np.random.Generator | None = None,
+        workers: int = 0,
     ) -> None:
         self._recompute_old_paths = recompute_old_paths
         self._extension_rng = rng
+        self._workers = int(workers)
         self._extender = None
 
     @property
@@ -173,14 +176,26 @@ class ForwardEmbedding(Embedder):
         self._check_fitted()
         return (*self.model_.fact_ids, *self.model_.extended_fact_ids)
 
+    def prime_extension(self) -> None:
+        """Warm the extender's per-target batch contexts (serving startup).
+
+        Optional serving hook: the per-target anchor state the batched
+        pipeline needs is fact-independent, so the service pays for it once
+        before the stream instead of inside the first batch's apply path.
+        """
+        if self._recompute_old_paths:
+            self.extender.prime()
+
     def recompute_extension(
         self, facts: Sequence[Fact], seed: int | None
     ) -> Mapping[Fact, np.ndarray]:
         extender = self.extender
         extender.rng = ensure_rng(seed)
+        facts = list(facts)
+        vectors = extender.extend_batch(facts, workers=self._workers)
         updates: dict[Fact, np.ndarray] = {}
         for fact in facts:
-            vector = extender.embed_fact(fact)
+            vector = vectors[fact.fact_id]
             self.model_.add_extended(fact, vector)
             updates[fact] = vector
         return updates
@@ -249,8 +264,11 @@ class Node2VecEmbedding(Embedder):
         *,
         recompute_old_paths: bool = False,
         rng: int | np.random.Generator | None = None,
+        workers: int = 0,
     ) -> None:
-        del recompute_old_paths  # the model's graph is extended in place
+        # the model's graph is extended in place, and skip-gram continuation
+        # has no parallelisable solve stage
+        del recompute_old_paths, workers
         self._extension_rng = rng
         self._extender = None
 

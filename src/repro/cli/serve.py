@@ -46,6 +46,11 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
                         help="facts per feed batch (default: 32)")
     parser.add_argument("--policy", choices=("recompute", "on_arrival"),
                         default="recompute")
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="process-pool size for the recompute solve stage (0 = in-process; "
+        "embeddings are byte-identical for any value)",
+    )
     parser.add_argument("--out", help="directory to persist the final store into")
     add_ingest_options(parser)
     add_observability_options(parser)
@@ -124,7 +129,7 @@ def execute(args: argparse.Namespace) -> int:
     try:
         service = EmbeddingService(
             embedder, stream.base, policy=args.policy, seed=args.seed,
-            telemetry=telemetry,
+            telemetry=telemetry, workers=args.workers,
         )
     except ValueError as error:
         raise CLIError(str(error)) from None

@@ -12,6 +12,12 @@ latency histogram percentiles, and the raw counters/gauges.  With
 ``--trace`` it additionally summarizes a span trace — JSONL traces are
 aggregated per span name; Chrome traces are recognised and counted.
 
+``BENCH_streaming.json`` files are accepted in place of a metrics payload,
+in both formats: the throughput-ladder payload (``rungs`` list, rendered as
+the per-rung floor/speedup table of :func:`repro.service.ladder.
+render_ladder`) and the old single-run replay report that ``python -m
+repro bench`` still writes.
+
 No recomputation happens here: the artifacts are self-contained, so the
 subcommand works on files copied off a CI run or another machine.
 """
@@ -134,12 +140,25 @@ def render_trace(path: Path) -> str:
     return "\n".join(lines)
 
 
+def render_payload(payload: dict) -> str:
+    """Dispatch on payload shape: ladder, single-run report, or metrics."""
+    if "rungs" in payload:
+        from repro.service.ladder import render_ladder
+
+        return render_ladder(payload)
+    if "facts_per_second" in payload:
+        from repro.service.replay import render_report
+
+        return render_report(payload)
+    return render_metrics(payload)
+
+
 def execute(args: argparse.Namespace) -> int:
     """Run an already parsed stats invocation."""
     if args.metrics is None and args.trace is None:
         raise CLIError("pass a metrics JSON file and/or --trace FILE")
     if args.metrics is not None:
-        print(render_metrics(_load_json(args.metrics)))
+        print(render_payload(_load_json(args.metrics)))
     if args.trace is not None:
         if not args.trace.exists():
             raise CLIError(f"file {args.trace} does not exist")

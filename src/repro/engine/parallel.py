@@ -1,0 +1,99 @@
+"""Opt-in worker pool for the per-fact least-squares solves.
+
+Layer: ``engine`` (process-level parallelism helpers).
+
+The batched extension pipeline (:meth:`ForwardDynamicExtender.extend_batch`)
+assembles one independent linear system per new fact; solving them is
+embarrassingly parallel.  :func:`solve_systems` fans the solves out over a
+``multiprocessing`` pool when ``workers > 1`` and falls back to an in-process
+loop otherwise (and whenever a pool cannot be created, e.g. in restricted
+sandboxes) — the fallback is silent because the results are identical either
+way.
+
+Determinism contract
+--------------------
+Worker results are **byte-identical** to the serial path: every system is
+fully assembled (with all RNG draws consumed) *before* the pool is involved,
+each system is solved by the same :func:`~repro.utils.linalg.solve_least_squares`
+on bit-identical arrays, and results are reassembled by index, so neither the
+worker count nor OS scheduling can influence a single output bit.
+
+Systems are shipped to the pool in the engine's ``.npz`` snapshot format
+(:mod:`repro.engine.persistence` uses the same container): one in-memory npz
+archive holding every system, broadcast once per pool via the initializer
+instead of per-task pickling.
+"""
+
+from __future__ import annotations
+
+import io
+from multiprocessing import get_context
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.linalg import solve_least_squares
+
+__all__ = ["pack_systems", "unpack_systems", "solve_systems"]
+
+
+def pack_systems(systems: Sequence[tuple[np.ndarray, np.ndarray]]) -> bytes:
+    """Serialize ``(matrix, rhs)`` systems into one in-memory npz archive."""
+    arrays: dict[str, np.ndarray] = {"count": np.array(len(systems), dtype=np.int64)}
+    for i, (matrix, rhs) in enumerate(systems):
+        arrays[f"matrix_{i}"] = np.ascontiguousarray(matrix, dtype=np.float64)
+        arrays[f"rhs_{i}"] = np.ascontiguousarray(rhs, dtype=np.float64)
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays)
+    return buffer.getvalue()
+
+
+def unpack_systems(payload: bytes) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Inverse of :func:`pack_systems` (round-trips bit-identically)."""
+    with np.load(io.BytesIO(payload)) as data:
+        count = int(data["count"])
+        return [(data[f"matrix_{i}"], data[f"rhs_{i}"]) for i in range(count)]
+
+
+# Broadcast state of the current pool's workers, set by the initializer.
+_WORKER_SYSTEMS: list[tuple[np.ndarray, np.ndarray]] | None = None
+
+
+def _init_worker(payload: bytes) -> None:
+    global _WORKER_SYSTEMS
+    _WORKER_SYSTEMS = unpack_systems(payload)
+
+
+def _solve_at(index: int) -> tuple[int, np.ndarray]:
+    assert _WORKER_SYSTEMS is not None
+    matrix, rhs = _WORKER_SYSTEMS[index]
+    return index, solve_least_squares(matrix, rhs)
+
+
+def solve_systems(
+    systems: Sequence[tuple[np.ndarray, np.ndarray]], workers: int = 0
+) -> list[np.ndarray]:
+    """Solve every ``(matrix, rhs)`` system; byte-identical for any ``workers``.
+
+    ``workers <= 1`` (the default) solves in-process.  With more workers the
+    systems are packed once, broadcast to a pool, solved by index and
+    reassembled in order.  Pool creation failures degrade to the serial path.
+    """
+    systems = list(systems)
+    if workers <= 1 or len(systems) <= 1:
+        return [solve_least_squares(matrix, rhs) for matrix, rhs in systems]
+    payload = pack_systems(systems)
+    try:
+        context = get_context("fork")
+        with context.Pool(
+            processes=min(int(workers), len(systems)),
+            initializer=_init_worker,
+            initargs=(payload,),
+        ) as pool:
+            solved = pool.map(_solve_at, range(len(systems)))
+    except (OSError, ValueError, ImportError):  # pragma: no cover - env dependent
+        return [solve_least_squares(matrix, rhs) for matrix, rhs in systems]
+    vectors: list[np.ndarray] = [np.empty(0)] * len(systems)
+    for index, vector in solved:
+        vectors[index] = vector
+    return vectors

@@ -37,10 +37,12 @@ from repro.obs.metrics import (
 from repro.obs.profiler import StageProfiler
 from repro.obs.report import (
     ENGINE_CACHE_KINDS,
+    PIPELINE_STAGES,
     SERVICE_STAGES,
     cache_hit_ratios,
     metrics_payload,
     observability_report,
+    pipeline_breakdown,
     stage_breakdown,
 )
 from repro.obs.tracer import SpanRecord, Tracer, load_jsonl
@@ -52,6 +54,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NULL_TELEMETRY",
+    "PIPELINE_STAGES",
     "SERVICE_STAGES",
     "SpanRecord",
     "StageProfiler",
@@ -62,6 +65,7 @@ __all__ = [
     "load_jsonl",
     "metrics_payload",
     "observability_report",
+    "pipeline_breakdown",
     "stage_breakdown",
 ]
 

@@ -11,7 +11,11 @@ benchmarks, the ``--metrics-out`` file and ``BENCH_*.json`` reports embed:
   ``coverage`` (how much of the apply time the stages account for — the
   regression guard asserts ≥ 0.9);
 * :func:`cache_hit_ratios` — per-kind engine cache hit ratios from the
-  ``engine.cache.<kind>.{hits,misses}`` counters;
+  ``engine.cache.<kind>.{hits,misses}`` counters (plus append-``extends``
+  where the kind supports them);
+* :func:`pipeline_breakdown` — the batched extension pipeline inside the
+  embed stage (prepare → assemble → solve), with its share of the embed
+  stage's inclusive time;
 * :func:`observability_report` — both of the above;
 * :func:`metrics_payload` — the full ``--metrics-out`` file content
   (registry snapshot + the derived blocks), validated by
@@ -34,6 +38,14 @@ SERVICE_STAGES = (
     "service.apply.engine_sync",
     "service.apply.embed",
     "service.apply.store_commit",
+)
+
+#: The batched extension pipeline stages inside ``service.apply.embed``
+#: (see :meth:`ForwardDynamicExtender.extend_batch`).
+PIPELINE_STAGES = (
+    "service.embed.prepare",
+    "service.embed.assemble",
+    "service.embed.solve",
 )
 
 
@@ -89,12 +101,45 @@ def cache_hit_ratios(telemetry: "Telemetry") -> dict[str, dict]:
         misses = counters.get(f"engine.cache.{kind}.misses", 0)
         if hits + misses == 0:
             continue
-        ratios[kind] = {
+        entry = {
             "hits": hits,
             "misses": misses,
             "hit_ratio": hits / (hits + misses),
         }
+        extends = counters.get(f"engine.cache.{kind}.extends", 0)
+        if extends:
+            # append-extensions are neither hits nor misses (the cached rows
+            # were reused, but new rows were computed); reported separately
+            # so hit_ratio keeps its hits/(hits+misses) meaning
+            entry["extends"] = extends
+        ratios[kind] = entry
     return ratios
+
+
+def pipeline_breakdown(telemetry: "Telemetry") -> dict:
+    """The batched embed pipeline: per-stage seconds inside the embed stage.
+
+    ``coverage`` is the pipeline's share of the ``service.apply.embed``
+    inclusive time — the regression guard asserts ≥ 0.9 whenever the
+    recompute policy ran, i.e. the three stages account for (almost) all of
+    the embed stage's wall time.
+    """
+    report = telemetry.profiler.report()
+    stages: dict[str, dict] = {}
+    covered = 0.0
+    for name in PIPELINE_STAGES:
+        totals = report.get(name)
+        if totals is None:
+            continue
+        covered += totals["inclusive_seconds"]
+        stages[name] = dict(totals)
+    embed = report.get("service.apply.embed", {})
+    embed_seconds = embed.get("inclusive_seconds", 0.0)
+    return {
+        "stages": stages,
+        "embed_seconds": float(embed_seconds),
+        "coverage": covered / embed_seconds if embed_seconds > 0 else 0.0,
+    }
 
 
 def observability_report(
@@ -102,12 +147,16 @@ def observability_report(
 ) -> dict:
     """The block ``BENCH_streaming.json``/``BENCH_churn.json`` embed."""
     breakdown = stage_breakdown(telemetry, total_apply_seconds)
-    return {
+    report = {
         "stages": breakdown["stages"],
         "stage_coverage": breakdown["coverage"],
         "total_apply_seconds": breakdown["total_apply_seconds"],
         "cache_hit_ratios": cache_hit_ratios(telemetry),
     }
+    pipeline = pipeline_breakdown(telemetry)
+    if pipeline["stages"]:
+        report["pipeline"] = pipeline
+    return report
 
 
 def metrics_payload(
@@ -122,4 +171,7 @@ def metrics_payload(
     payload["stages"] = breakdown["stages"]
     payload["stage_coverage"] = breakdown["coverage"]
     payload["cache_hit_ratios"] = cache_hit_ratios(telemetry)
+    pipeline = pipeline_breakdown(telemetry)
+    if pipeline["stages"]:
+        payload["pipeline"] = pipeline
     return payload

@@ -20,7 +20,10 @@ jobs.  This package turns that machinery into a long-lived *service*:
 * :mod:`repro.service.replay` — the streaming scenario driver behind
   ``python -m repro replay`` (the historical ``python -m
   repro.service.replay`` entry point forwards there as a deprecation
-  shim).
+  shim);
+* :mod:`repro.service.ladder` — the throughput-ladder perf-regression
+  harness: the same replay at increasing dataset scales, with asserted
+  throughput floors and exactness bars per rung.
 """
 
 from repro.service.feed import (
@@ -31,6 +34,12 @@ from repro.service.feed import (
     UpdateLog,
     churn_feed,
     partition_feed,
+)
+from repro.service.ladder import (
+    check_ladder,
+    is_ladder_payload,
+    render_ladder,
+    run_throughput_ladder,
 )
 from repro.service.service import ApplyOutcome, EmbeddingService, ServiceStats
 from repro.service.store import EmbeddingStore, StoreSnapshot
@@ -46,6 +55,10 @@ __all__ = [
     "ServiceStats",
     "StoreSnapshot",
     "UpdateLog",
+    "check_ladder",
     "churn_feed",
+    "is_ladder_payload",
     "partition_feed",
+    "render_ladder",
+    "run_throughput_ladder",
 ]

@@ -79,6 +79,7 @@ def run_streaming_replay(
     delete_fraction: float = 0.15,
     update_fraction: float = 0.15,
     telemetry: Telemetry | None = None,
+    workers: int = 0,
 ) -> dict:
     """Replay one dataset's change stream through an embedding service.
 
@@ -93,6 +94,9 @@ def run_streaming_replay(
     and the report gains an ``"observability"`` block — the per-stage apply
     breakdown and engine cache hit ratios of
     :func:`repro.obs.observability_report`.
+
+    ``workers`` sizes the process pool of the recompute solve stage (0/1 =
+    in-process); any value yields byte-identical embeddings.
     """
     config = config or DEFAULT_CONFIG
     ops = tuple(ops)
@@ -129,7 +133,7 @@ def run_streaming_replay(
         )
     service = EmbeddingService(
         model, partition.db, engine=engine, policy=policy, seed=seed,
-        telemetry=telemetry,
+        telemetry=telemetry, workers=workers,
     )
     outcomes = service.sync(feed)
     stats = service.stats(feed)
@@ -144,6 +148,7 @@ def run_streaming_replay(
         "insert_ratio": insert_ratio,
         "policy": policy,
         "ops": list(ops),
+        "workers": int(workers),
         "feed_batches": len(feed),
         "feed_facts": feed.num_facts,
         "feed_ops": feed.num_ops,

@@ -136,6 +136,11 @@ class EmbeddingService:
         engine sync → embed → store commit stages), counters/gauges/latency
         histograms are recorded, and the bundle is propagated to the walk
         engine and the store.  The default is the shared no-op bundle.
+    workers:
+        Process-pool size for the re-extension solve stage under the
+        ``recompute`` policy (0/1 = in-process, the default).  Results are
+        byte-identical to the serial path for any value — see
+        :mod:`repro.engine.parallel` for the determinism contract.
     """
 
     def __init__(
@@ -149,6 +154,7 @@ class EmbeddingService:
         seed: int = 0,
         retain_versions: int | None = 16,
         telemetry: Telemetry | None = None,
+        workers: int = 0,
     ):
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
@@ -200,9 +206,16 @@ class EmbeddingService:
         self.policy = policy
         self.retain_versions = retain_versions
         self._seed = seed
+        self.workers = int(workers)
         embedder.configure_extension(
-            recompute_old_paths=(policy == "recompute"), rng=seed
+            recompute_old_paths=(policy == "recompute"), rng=seed,
+            workers=self.workers,
         )
+        prime = getattr(embedder, "prime_extension", None)
+        if prime is not None:
+            # warm the batched pipeline's fact-independent anchor state at
+            # startup so the first feed batch pays only its marginal cost
+            prime()
         self._tracked_relation = embedder.tracked_relation
         self._arrived: list[Fact] = []  # streamed tracked facts, arrival order
         self._arrived_ids: set[int] = set()

@@ -85,6 +85,14 @@ class WalkScheme:
                     f"at {previous!r}"
                 )
             previous = step.to_relation
+        # schemes key the engine's per-scheme caches, so their hash is taken
+        # on every lookup of the batched hot path; precompute the same value
+        # the generated frozen-dataclass hash would produce (equality is
+        # untouched, so hash/eq consistency is preserved)
+        object.__setattr__(self, "_hash", hash((self.start_relation, self.steps)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def length(self) -> int:

@@ -1,0 +1,288 @@
+"""The batched extension pipeline: equivalence, memoisation, cache keying.
+
+:meth:`ForwardDynamicExtender.extend_batch` must be indistinguishable from
+the per-fact serial path under a shared seed (same RNG draw order, same
+equations, same least-squares solutions), its per-sequence memo must be
+draw-free on replay, and its scheme-level caches must be keyed on the
+engine's structural counters — batches touching disjoint foreign keys skip
+recomputation, while an update or delete invalidates exactly the walk
+targets whose schemes traverse the touched relation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ForwardConfig
+from repro.core.forward import ForwardEmbedder
+from repro.core.forward_dynamic import ForwardDynamicExtender
+from repro.datasets.movies import make_movies
+from repro.dynamic.partition import partition_dataset
+from repro.engine import WalkEngine
+from repro.obs import Telemetry
+from repro.utils.rng import ensure_rng
+
+CONFIG = ForwardConfig(
+    dimension=8, n_samples=60, batch_size=128, max_walk_length=2, epochs=2,
+    learning_rate=0.05, n_new_samples=10,
+)
+
+#: Walk targets of the movie schema from MOVIES at length <= 2, counted by
+#: hand from Figure 2: 3 own attributes (title/genre/budget), 2 on STUDIOS
+#: via the studio FK, 3 back on MOVIES via studio forward+backward, and
+#: 2+2+3 through COLLABORATIONS (actor1/actor2 to ACTORS, movie back to
+#: MOVIES).  COLLABORATIONS itself has no non-FK attribute.
+N_TARGETS = 15
+
+#: Rewriting a non-FK STUDIOS attribute bumps only the STUDIOS relation's
+#: struct version (walk structure through STUDIOS is unchanged), so exactly
+#: the targets *ending* on STUDIOS — name and loc — lose cache freshness.
+N_STUDIO_TARGETS = 2
+
+
+@pytest.fixture
+def streamed():
+    """A trained movies model plus an inserted two-fact stream."""
+    dataset = make_movies()
+    partition = partition_dataset(dataset, ratio_new=0.3, rng=ensure_rng(5))
+    model = ForwardEmbedder(
+        partition.db, partition.prediction_relation, CONFIG, rng=0
+    ).fit()
+    new_facts = []
+    for batch in reversed(partition.new_batches):
+        for fact in batch:
+            partition.db.reinsert(fact)
+            new_facts.append(fact)
+    # a second brand-new movie so prefix-replay tests have >= 2 facts
+    new_facts.append(partition.db.insert("MOVIES", {
+        "mid": "m99", "studio": "s02", "title": "Sequel", "genre": "Drama",
+        "budget": 90,
+    }))
+    prediction = [
+        f for f in new_facts if f.relation == partition.prediction_relation
+    ]
+    return model, partition.db, new_facts, prediction
+
+
+def _extender(model, db, new_facts, telemetry=None):
+    engine = WalkEngine(db, telemetry=telemetry) if telemetry else WalkEngine(db)
+    extender = ForwardDynamicExtender(
+        model, db, recompute_old_paths=True, rng=123, engine=engine
+    )
+    extender.notify_inserted(new_facts)
+    return extender
+
+
+class TestSerialEquivalence:
+    def test_batched_matches_per_fact_exactly(self, streamed):
+        model, db, new_facts, prediction = streamed
+        serial = _extender(model, db, new_facts)
+        serial.rng = ensure_rng(99)
+        expected = {f.fact_id: serial.embed_fact(f) for f in prediction}
+
+        batched = _extender(model, db, new_facts)
+        batched.rng = ensure_rng(99)
+        result = batched.extend_batch(prediction)
+        assert set(result) == set(expected)
+        for fact_id, vector in expected.items():
+            np.testing.assert_allclose(result[fact_id], vector, atol=1e-12)
+
+    def test_rng_left_where_serial_leaves_it(self, streamed):
+        model, db, new_facts, prediction = streamed
+        serial = _extender(model, db, new_facts)
+        serial.rng = ensure_rng(99)
+        for fact in prediction:
+            serial.embed_fact(fact)
+
+        batched = _extender(model, db, new_facts)
+        batched.rng = ensure_rng(99)
+        batched.extend_batch(prediction)
+        assert (
+            batched.rng.bit_generator.state == serial.rng.bit_generator.state
+        )
+
+    def test_empty_batch_returns_empty(self, streamed):
+        model, db, new_facts, _ = streamed
+        extender = _extender(model, db, new_facts)
+        assert extender.extend_batch([]) == {}
+
+
+class TestSequenceMemo:
+    def test_replay_with_same_seed_is_bit_identical(self, streamed):
+        model, db, new_facts, prediction = streamed
+        extender = _extender(model, db, new_facts)
+        extender.rng = ensure_rng(7)
+        first = extender.extend_batch(prediction)
+        extender.rng = ensure_rng(7)
+        second = extender.extend_batch(prediction)
+        for fact_id, vector in first.items():
+            assert np.array_equal(second[fact_id], vector)
+
+    def test_replay_reuses_vectors_without_resolving(self, streamed):
+        model, db, new_facts, prediction = streamed
+        extender = _extender(model, db, new_facts)
+        extender.rng = ensure_rng(7)
+        first = extender.extend_batch(prediction)
+        extender.rng = ensure_rng(7)
+        second = extender.extend_batch(prediction)
+        # the memo returns the recorded arrays themselves, not recomputations
+        for fact_id in first:
+            assert second[fact_id] is first[fact_id]
+
+    def test_growing_prefix_replay_matches_fresh_pass(self, streamed):
+        model, db, new_facts, prediction = streamed
+        assert len(prediction) >= 2
+        extender = _extender(model, db, new_facts)
+        extender.rng = ensure_rng(7)
+        extender.extend_batch(prediction[:1])
+        extender.rng = ensure_rng(7)
+        grown = extender.extend_batch(prediction)
+
+        fresh = _extender(model, db, new_facts)
+        fresh.rng = ensure_rng(7)
+        expected = fresh.extend_batch(prediction)
+        for fact_id, vector in expected.items():
+            assert np.array_equal(grown[fact_id], vector)
+
+    def test_different_seed_invalidates_memo(self, streamed):
+        model, db, new_facts, prediction = streamed
+        extender = _extender(model, db, new_facts)
+        extender.rng = ensure_rng(7)
+        first = extender.extend_batch(prediction)
+        extender.rng = ensure_rng(8)
+        second = extender.extend_batch(prediction)
+
+        fresh = _extender(model, db, new_facts)
+        fresh.rng = ensure_rng(8)
+        expected = fresh.extend_batch(prediction)
+        for fact_id in expected:
+            assert np.array_equal(second[fact_id], expected[fact_id])
+        del first
+
+
+class TestSchemeCacheAccounting:
+    def _counters(self, telemetry):
+        counters = telemetry.metrics.snapshot()["counters"]
+        prefix = "pipeline.cache."
+        return {
+            name[len(prefix):]: value
+            for name, value in counters.items()
+            if name.startswith(prefix)
+        }
+
+    def test_prime_builds_every_context_once(self, streamed):
+        model, db, new_facts, _ = streamed
+        telemetry = Telemetry()
+        extender = _extender(model, db, new_facts, telemetry)
+        assert len(model.targets) == N_TARGETS
+        extender.prime()
+        counts = self._counters(telemetry)
+        assert counts.get("context.misses", 0) == N_TARGETS
+        assert counts.get("context.hits", 0) == 0
+        extender.prime()  # idempotent: every context is now struct-fresh
+        counts = self._counters(telemetry)
+        assert counts.get("context.hits", 0) == N_TARGETS
+        assert counts.get("context.misses", 0) == N_TARGETS
+
+    def test_pure_appends_hit_every_cache(self, streamed):
+        model, db, new_facts, prediction = streamed
+        telemetry = Telemetry()
+        extender = _extender(model, db, new_facts, telemetry)
+        extender.prime()
+        extender.rng = ensure_rng(3)
+        extender.extend_batch(prediction)
+        first = self._counters(telemetry)
+        # an insert-only stream never changes struct signatures, so the
+        # second pass reuses every context and every new-fact distribution
+        assert first.get("newdist.misses", 0) == N_TARGETS * len(prediction)
+        extender.rng = ensure_rng(3)
+        extender.extend_batch(prediction)
+        second = self._counters(telemetry)
+        assert second["newdist.hits"] - first.get("newdist.hits", 0) == (
+            N_TARGETS * len(prediction)
+        )
+        assert second["newdist.misses"] == first["newdist.misses"]
+        assert second["context.misses"] == first["context.misses"]
+
+    def test_disjoint_fk_update_invalidates_only_studio_targets(self, streamed):
+        model, db, new_facts, prediction = streamed
+        telemetry = Telemetry()
+        extender = _extender(model, db, new_facts, telemetry)
+        extender.prime()
+        extender.rng = ensure_rng(3)
+        extender.extend_batch(prediction)
+        before = self._counters(telemetry)
+
+        # rewriting a STUDIOS attribute bumps the structural counters of the
+        # studio FK and of STUDIOS itself — and nothing else
+        studio = db.facts("STUDIOS")[0]
+        db.update(studio, {"loc": "NY"})
+        extender.notify_updated([db.fact(studio.fact_id)])
+        extender.rng = ensure_rng(3)
+        extender.extend_batch(prediction)
+        after = self._counters(telemetry)
+        assert after["newdist.misses"] - before["newdist.misses"] == (
+            N_STUDIO_TARGETS * len(prediction)
+        )
+        assert after["newdist.hits"] - before["newdist.hits"] == (
+            (N_TARGETS - N_STUDIO_TARGETS) * len(prediction)
+        )
+
+    def test_delete_invalidates_like_update(self, streamed):
+        model, db, new_facts, prediction = streamed
+        telemetry = Telemetry()
+        extender = _extender(model, db, new_facts, telemetry)
+        extender.prime()
+        extender.rng = ensure_rng(3)
+        extender.extend_batch(prediction)
+        before = self._counters(telemetry)
+
+        # deleting an ACTORS fact tombstones its row — the ACTORS struct
+        # version is bumped, so the four ACTORS-ending targets (name/worth
+        # through actor1 and actor2) lose struct freshness; nothing else does
+        victim = next(f for f in db.facts("ACTORS") if f["aid"] == "a03")
+        db.delete(victim)
+        extender.notify_deleted([victim])
+        extender.rng = ensure_rng(3)
+        extender.extend_batch(prediction)
+        after = self._counters(telemetry)
+        assert after["newdist.misses"] - before["newdist.misses"] == (
+            4 * len(prediction)
+        )
+        assert after["newdist.hits"] - before["newdist.hits"] == (
+            (N_TARGETS - 4) * len(prediction)
+        )
+
+    def test_batched_embeddings_survive_invalidation(self, streamed):
+        model, db, new_facts, prediction = streamed
+        extender = _extender(model, db, new_facts)
+        extender.rng = ensure_rng(3)
+        extender.extend_batch(prediction)
+
+        studio = db.facts("STUDIOS")[0]
+        db.update(studio, {"loc": "NY"})
+        extender.notify_updated([db.fact(studio.fact_id)])
+        extender.rng = ensure_rng(3)
+        streamed_result = extender.extend_batch(prediction)
+
+        fresh = _extender(model, db, new_facts)
+        fresh.rng = ensure_rng(3)
+        expected = fresh.extend_batch(prediction)
+        for fact_id, vector in expected.items():
+            np.testing.assert_allclose(
+                streamed_result[fact_id], vector, atol=1e-12
+            )
+
+
+class TestPrime:
+    def test_prime_does_not_consume_randomness(self, streamed):
+        model, db, new_facts, prediction = streamed
+        primed = _extender(model, db, new_facts)
+        primed.rng = ensure_rng(42)
+        primed.prime()
+        primed_result = primed.extend_batch(prediction)
+
+        unprimed = _extender(model, db, new_facts)
+        unprimed.rng = ensure_rng(42)
+        unprimed_result = unprimed.extend_batch(prediction)
+        for fact_id, vector in unprimed_result.items():
+            assert np.array_equal(primed_result[fact_id], vector)

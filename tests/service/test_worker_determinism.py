@@ -1,0 +1,148 @@
+"""Worker-pool determinism: ``workers`` must never change a single bit.
+
+The determinism contract of :mod:`repro.engine.parallel` — every linear
+system is fully assembled (all RNG draws consumed) before the pool is
+involved, each system is solved by the same routine on bit-identical
+arrays, and results are reassembled by index — means the opt-in worker
+pool is an implementation detail.  These tests pin the contract at
+exactly 0.0 across ``workers in {0, 2, 4}`` on both datasets the ISSUE
+names: Mondial (through the full :class:`EmbeddingService` stack) and
+movies (through :meth:`ForwardDynamicExtender.extend_batch` directly).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ForwardConfig
+from repro.core.forward import ForwardEmbedder
+from repro.core.forward_dynamic import ForwardDynamicExtender
+from repro.datasets import load_dataset, make_movies
+from repro.dynamic import partition_dataset
+from repro.engine import WalkEngine
+from repro.engine.parallel import pack_systems, solve_systems, unpack_systems
+from repro.service import EmbeddingService, partition_feed
+from repro.utils.rng import ensure_rng
+
+SEED = 11
+WORKER_COUNTS = (0, 2, 4)
+
+CONFIG = ForwardConfig(
+    dimension=8, n_samples=60, batch_size=128, max_walk_length=2, epochs=2,
+    learning_rate=0.05, n_new_samples=10,
+)
+
+
+def _stream(dataset, ratio_new, rng_seed):
+    partition = partition_dataset(dataset, ratio_new=ratio_new, rng=ensure_rng(rng_seed))
+    model = ForwardEmbedder(
+        partition.db, partition.prediction_relation, CONFIG, rng=0
+    ).fit()
+    new_facts = []
+    for batch in reversed(partition.new_batches):
+        for fact in batch:
+            partition.db.reinsert(fact)
+            new_facts.append(fact)
+    prediction = [
+        f for f in new_facts if f.relation == partition.prediction_relation
+    ]
+    return model, partition.db, new_facts, prediction
+
+
+def _batched(model, db, new_facts, prediction, workers):
+    extender = ForwardDynamicExtender(
+        model, db, recompute_old_paths=True, rng=123, engine=WalkEngine(db)
+    )
+    extender.notify_inserted(new_facts)
+    extender.rng = ensure_rng(SEED)
+    return extender.extend_batch(prediction, workers=workers)
+
+
+class TestExtenderByteIdentity:
+    @pytest.mark.parametrize(
+        "dataset_args",
+        [("movies", None), ("mondial", 0.1)],
+        ids=["movies", "mondial"],
+    )
+    def test_workers_never_change_a_bit(self, dataset_args):
+        name, scale = dataset_args
+        dataset = (
+            make_movies() if name == "movies"
+            else load_dataset(name, scale=scale, seed=7)
+        )
+        model, db, new_facts, prediction = _stream(dataset, 0.3, 5)
+        assert prediction, "stream must contain prediction facts"
+        baseline = _batched(model, db, new_facts, prediction, workers=0)
+        for workers in WORKER_COUNTS[1:]:
+            pooled = _batched(model, db, new_facts, prediction, workers=workers)
+            assert set(pooled) == set(baseline)
+            for fact_id, vector in baseline.items():
+                # byte identity, not closeness: exactly 0.0 difference
+                assert np.array_equal(pooled[fact_id], vector), (
+                    f"workers={workers} diverged on fact {fact_id} "
+                    f"(max abs diff "
+                    f"{np.max(np.abs(pooled[fact_id] - vector)):.3e})"
+                )
+
+
+class TestServiceByteIdentity:
+    def test_mondial_store_heads_identical_across_workers(self):
+        heads = []
+        for workers in WORKER_COUNTS:
+            dataset = load_dataset("mondial", scale=0.1, seed=7)
+            partition = partition_dataset(dataset, ratio_new=0.2, rng=SEED)
+            engine = WalkEngine(partition.db)
+            model = ForwardEmbedder(
+                partition.db, dataset.prediction_relation, CONFIG,
+                rng=SEED, engine=engine,
+            ).fit()
+            service = EmbeddingService(
+                model, partition.db, engine=engine, policy="recompute",
+                seed=SEED, workers=workers,
+            )
+            service.sync(partition_feed(partition, group_size=2))
+            heads.append(service.store.head)
+        baseline = heads[0]
+        for workers, head in zip(WORKER_COUNTS[1:], heads[1:]):
+            assert set(head.fact_ids) == set(baseline.fact_ids)
+            for fid in baseline.fact_ids:
+                diff = np.max(
+                    np.abs(head.vector(fid) - baseline.vector(fid)),
+                    initial=0.0,
+                )
+                assert diff == 0.0, (
+                    f"workers={workers} store head differs on fact {fid} "
+                    f"by {diff:.3e}"
+                )
+
+
+class TestPoolPrimitives:
+    def _systems(self, n=7):
+        rng = np.random.default_rng(3)
+        return [
+            (rng.normal(size=(rows, 8)), rng.normal(size=rows))
+            for rows in rng.integers(2, 20, size=n)
+        ]
+
+    def test_pack_unpack_roundtrip_is_bit_identical(self):
+        systems = self._systems()
+        restored = unpack_systems(pack_systems(systems))
+        assert len(restored) == len(systems)
+        for (matrix, rhs), (back_matrix, back_rhs) in zip(systems, restored):
+            assert np.array_equal(matrix, back_matrix)
+            assert np.array_equal(rhs, back_rhs)
+
+    def test_pool_solutions_equal_serial_exactly(self):
+        systems = self._systems()
+        serial = solve_systems(systems, workers=0)
+        for workers in WORKER_COUNTS[1:]:
+            pooled = solve_systems(systems, workers=workers)
+            assert len(pooled) == len(serial)
+            for a, b in zip(serial, pooled):
+                assert np.array_equal(a, b)
+
+    def test_empty_and_single_system(self):
+        assert solve_systems([], workers=4) == []
+        (single,) = self._systems(1)
+        serial = solve_systems([single], workers=0)
+        pooled = solve_systems([single], workers=4)
+        assert np.array_equal(serial[0], pooled[0])

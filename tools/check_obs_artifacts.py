@@ -26,9 +26,21 @@ Checked for ``--trace`` files (either export flavour):
 * JSONL: one span record per line with ids, timing, depth, and attrs —
   and every non-root ``parent_id`` resolving to another span in the file.
 
+``BENCH_streaming.json`` artifacts are recognised too, in both formats:
+
+* the throughput-ladder payload (``schema_version`` 2, a ``rungs`` list) is
+  validated against :func:`repro.service.ladder.check_ladder` — schema
+  shape, per-rung throughput floors and both exactness bars — so the CI
+  perf job fails on a floor violation even when the producing run forgot
+  to assert;
+* the old single-run replay report (``python -m repro bench`` still emits
+  it) keeps passing: throughput/latency fields plus, when present, a
+  honoured one-shot verification tolerance.
+
 Run from the repository root (CI does)::
 
     python tools/check_obs_artifacts.py metrics.json trace.json
+    python tools/check_obs_artifacts.py benchmarks/results/BENCH_streaming.json
 
 Exit code 0 when every named artifact is well-formed; 1 with one line per
 violation otherwise.
@@ -166,8 +178,46 @@ def check_trace(path: Path) -> list[str]:
     return problems
 
 
+def check_ladder_payload(path: Path, payload: dict) -> list[str]:
+    """Violations of one throughput-ladder ``BENCH_streaming.json``."""
+    try:
+        from repro.service.ladder import check_ladder
+    except ModuleNotFoundError:  # invoked without PYTHONPATH=src; self-locate
+        sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+        from repro.service.ladder import check_ladder
+
+    problems = [f"{path}: {problem}" for problem in check_ladder(payload)]
+    for rung in payload.get("rungs", ()):
+        label = f"{path}: rung scale={rung.get('scale')}"
+        latency = rung.get("latency")
+        if not isinstance(latency, dict) or LATENCY_FIELDS - latency.keys():
+            problems.append(f"{label}: latency summary lacks the stable fields")
+        if not _number(rung.get("facts_per_second")):
+            problems.append(f"{label}: facts_per_second is not numeric")
+    return problems
+
+
+def check_single_run_payload(path: Path, payload: dict) -> list[str]:
+    """Violations of one old-format (single-run) ``BENCH_streaming.json``."""
+    problems: list[str] = []
+    for field in ("repro_version", "dataset", "facts_per_second", "latency"):
+        if field not in payload:
+            problems.append(f"{path}: single-run report lacks {field!r}")
+    latency = payload.get("latency")
+    if isinstance(latency, dict) and LATENCY_FIELDS - latency.keys():
+        problems.append(f"{path}: latency summary lacks the stable fields")
+    diff = payload.get("one_shot_max_abs_diff")
+    tolerance = payload.get("one_shot_tolerance")
+    if diff is not None and _number(tolerance) and diff > tolerance:
+        problems.append(
+            f"{path}: one-shot difference {diff:.2e} exceeds the recorded "
+            f"tolerance {tolerance:.0e}"
+        )
+    return problems
+
+
 def check_artifact(path: Path) -> list[str]:
-    """Dispatch on content: metrics payloads vs trace files."""
+    """Dispatch on content: metrics, trace, or benchmark-report files."""
     if not path.is_file():
         return [f"{path}: no such file"]
     if path.suffix == ".jsonl":
@@ -175,6 +225,10 @@ def check_artifact(path: Path) -> list[str]:
     payload = json.loads(path.read_text(encoding="utf-8"))
     if isinstance(payload, dict) and "traceEvents" in payload:
         return check_trace(path)
+    if isinstance(payload, dict) and "rungs" in payload:
+        return check_ladder_payload(path, payload)
+    if isinstance(payload, dict) and "facts_per_second" in payload:
+        return check_single_run_payload(path, payload)
     return check_metrics(path)
 
 
