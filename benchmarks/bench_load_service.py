@@ -1,0 +1,98 @@
+"""Serve-tier load benchmark — concurrent readers vs one churn writer.
+
+Runs the :mod:`repro.serve` load generator against a live service: zipfian
+reader clients issue fetch/kNN/relation-slice queries through the snapshot
+router while a single writer thread applies the churn feed concurrently.
+The payload asserts the serving-tier acceptance bars:
+
+* sustained qps must clear the recorded floor under >= 64 simulated
+  clients;
+* every query kind reports p50/p99 latency;
+* clients pinned to the pre-churn snapshot must observe results
+  bit-identical (0.0 max-abs-diff) to a serial query of that version, no
+  matter how far the writer has advanced;
+* unpinned readers must observe store versions monotonically, and the
+  writer must commit at least once while reads are in flight (otherwise
+  nothing concurrent was measured).
+
+The reduced profile (default) runs the in-process transport; the full
+profile (``REPRO_BENCH_SCALE=full``) additionally drives the loopback HTTP
+transport with more clients.  The payload is written to
+``benchmarks/results/BENCH_load.json`` (uploaded as a CI artifact and
+validated by ``tools/check_obs_artifacts.py``); a rendered summary goes to
+``benchmarks/results/load_service.txt``.
+
+Run under pytest (``python -m pytest benchmarks/bench_load_service.py``)
+or directly (``python benchmarks/bench_load_service.py``).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.serve import LoadProfile, check_load, render_load, run_load_test
+
+try:  # pytest-style result persistence when run by the harness
+    from conftest import FULL_SCALE, RESULTS_DIR, write_result
+except ImportError:  # direct script execution from the repository root
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).parent))
+    from conftest import FULL_SCALE, RESULTS_DIR, write_result
+
+
+def _profile(transport: str) -> LoadProfile:
+    if FULL_SCALE:
+        return LoadProfile(
+            scale=0.3, clients=128, worker_threads=8, queries_per_client=8,
+            pinned_clients=8, transport=transport,
+            qps_floor=2000.0 if transport == "inproc" else 300.0,
+        )
+    return LoadProfile(
+        scale=0.1, clients=64, worker_threads=6, queries_per_client=4,
+        pinned_clients=4, transport=transport,
+        qps_floor=1000.0 if transport == "inproc" else 150.0,
+    )
+
+
+def _run() -> dict:
+    payload = run_load_test(_profile("inproc"))
+    if FULL_SCALE:
+        payload["http"] = run_load_test(_profile("http"))
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "BENCH_load.json").write_text(json.dumps(payload, indent=2))
+    rendered = render_load(payload)
+    if "http" in payload:
+        rendered += "\n\n" + render_load(payload["http"])
+    write_result("load_service", rendered)
+    return payload
+
+
+def test_serve_load():
+    payload = _run()
+    problems = check_load(payload)
+    if "http" in payload:
+        problems += [f"http: {p}" for p in check_load(payload["http"])]
+    assert not problems, "load-test violations:\n" + "\n".join(problems)
+    assert payload["profile"]["clients"] >= 64
+    pinned = payload["pinned_verification"]
+    assert pinned["bit_identical"] and pinned["max_abs_diff"] == 0.0
+    assert pinned["queries"] > 0
+    assert payload["writer"]["commits_during_load"] >= 1
+    for kind in ("fetch", "knn", "slice"):
+        entry = payload["per_kind"][kind]
+        assert entry["count"] >= 1
+        assert entry["latency"]["p99_seconds"] >= entry["latency"]["p50_seconds"]
+
+
+if __name__ == "__main__":
+    result = _run()
+    print(render_load(result))
+    problems = check_load(result)
+    if "http" in result:
+        print()
+        print(render_load(result["http"]))
+        problems += [f"http: {p}" for p in check_load(result["http"])]
+    if problems:
+        raise SystemExit("load-test violations:\n" + "\n".join(problems))

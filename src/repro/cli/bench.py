@@ -3,6 +3,7 @@
 ::
 
     python -m repro bench streaming --out results/
+    python -m repro bench load --transport http --clients 128
 
 Runs one of the named benchmark suites at a reduced scale and writes its
 ``BENCH_*.json`` artifact (stamped with ``repro.__version__``) into the
@@ -29,6 +30,9 @@ from repro.cli.common import (
 SUITES = {
     "streaming": "Mondial insert stream through the live embedding service "
     "(throughput, latency, one-shot verification) -> BENCH_streaming.json",
+    "load": "Concurrent serve-tier load test: zipfian readers vs one churn "
+    "writer (qps, per-kind p50/p99, staleness, pinned bit-identity) "
+    "-> BENCH_load.json",
 }
 
 
@@ -41,6 +45,21 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=0.15, help="dataset generation scale")
     parser.add_argument("--insert-ratio", type=float, default=0.1)
     parser.add_argument("--out", default=".", help="output directory for BENCH_*.json")
+    load = parser.add_argument_group("load suite")
+    load.add_argument("--transport", choices=("inproc", "http"), default="inproc",
+                      help="query transport: shared backend or loopback HTTP")
+    load.add_argument("--clients", type=int, default=64,
+                      help="simulated logical clients (default: 64)")
+    load.add_argument("--worker-threads", type=int, default=8,
+                      help="reader threads the clients are multiplexed over")
+    load.add_argument("--queries-per-client", type=int, default=10,
+                      help="queries per client per plan round")
+    load.add_argument("--zipf", type=float, default=1.1,
+                      help="zipfian skew exponent of the query population")
+    load.add_argument("--pinned-clients", type=int, default=4,
+                      help="clients pinned to the pre-churn version (bit-identity check)")
+    load.add_argument("--qps-floor", type=float, default=200.0,
+                      help="asserted queries/second floor, recorded in the payload")
     add_observability_options(parser)
     add_standard_options(parser)
 
@@ -53,6 +72,8 @@ def execute(args: argparse.Namespace) -> int:
         return 0 if args.list else 2
     if args.suite == "streaming":
         return _run_streaming(args)
+    if args.suite == "load":
+        return _run_load(args)
     raise CLIError(f"unknown suite {args.suite!r}")  # pragma: no cover - argparse guards
 
 
@@ -87,6 +108,39 @@ def _run_streaming(args: argparse.Namespace) -> int:
     print(render_report(report))
     print(f"\nReport written to {path}")
     return 0 if report.get("verified_against_one_shot", True) else 1
+
+
+def _run_load(args: argparse.Namespace) -> int:
+    from repro.serve import LoadProfile, check_load, render_load, run_load_test
+
+    # the load suite defaults to a mild churn so readers race real commits;
+    # insert-ratio keeps its streaming meaning (fraction held out as feed)
+    profile = LoadProfile(
+        dataset=args.dataset,
+        scale=args.scale,
+        insert_ratio=max(args.insert_ratio, 0.2),
+        seed=args.seed,
+        clients=args.clients,
+        worker_threads=args.worker_threads,
+        queries_per_client=args.queries_per_client,
+        zipf_exponent=args.zipf,
+        transport=args.transport,
+        pinned_clients=args.pinned_clients,
+        qps_floor=args.qps_floor,
+    )
+    telemetry = telemetry_from_args(args)
+    try:
+        payload = run_load_test(profile, telemetry=telemetry)
+    except KeyError as error:
+        raise CLIError(str(error.args[0])) from None
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / "BENCH_load.json"
+    path.write_text(json.dumps(payload, indent=2))
+    export_observability(telemetry, args, payload.get("duration_seconds"))
+    print(render_load(payload))
+    print(f"\nReport written to {path}")
+    return 0 if not check_load(payload) else 1
 
 
 run = make_runner(

@@ -13,11 +13,22 @@ stats (throughput, apply latency, store versions).  ``--out`` persists the
 final versioned store for a later restart.  Any registered method with
 ``partial_fit`` works under ``--policy on_arrival``; ``recompute`` (the
 default) additionally needs deterministic re-extension (FoRWaRD).
+
+With ``--port`` the final store is additionally served over the HTTP/JSON
+protocol of :mod:`repro.serve` (``--serve-seconds`` bounds the serving
+window; omit it to serve until interrupted)::
+
+    python -m repro serve --source data/ --relation TARGET --port 8765
+
+and ``--attach STORE_DIR --port N`` skips ingest/train entirely: it loads
+a store persisted by an earlier ``--out`` run and serves its snapshots as
+a read replica — the network face of the store's snapshot isolation.
 """
 
 from __future__ import annotations
 
 import argparse
+import time
 from pathlib import Path
 
 from repro.cli.common import (
@@ -52,6 +63,15 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         "embeddings are byte-identical for any value)",
     )
     parser.add_argument("--out", help="directory to persist the final store into")
+    parser.add_argument("--port", type=int, default=None,
+                        help="serve the final store over HTTP/JSON on this port "
+                        "(0 = pick a free one)")
+    parser.add_argument("--serve-seconds", type=float, default=None,
+                        help="stop serving after this many seconds "
+                        "(default: until interrupted)")
+    parser.add_argument("--attach", metavar="STORE_DIR", default=None,
+                        help="serve a store persisted by --out instead of "
+                        "ingesting/training (requires --port)")
     add_ingest_options(parser)
     add_observability_options(parser)
     add_standard_options(parser)
@@ -93,6 +113,53 @@ def _check_servable(embedder, spec: str, policy: str) -> None:
         raise CLIError(f"method spec {spec!r} supports no serving policy")
 
 
+def _serve_http(store, args, telemetry) -> None:
+    """Serve ``store`` over HTTP until ``--serve-seconds`` elapses (or ^C)."""
+    from repro.serve import EmbeddingServer, LocalBackend, SnapshotRouter
+
+    router = SnapshotRouter(store)
+    backend = LocalBackend(router, telemetry=telemetry)
+    server = EmbeddingServer(backend, port=args.port)
+    server.start()
+    print(
+        f"serving {store.head.num_facts} embeddings "
+        f"(version {store.version}, dimension {store.dimension}) at {server.url}"
+    )
+    print("endpoints: GET /health /stats /versions; "
+          "POST /fetch /knn /slice /pin /release")
+    try:
+        if args.serve_seconds is not None:
+            time.sleep(max(0.0, args.serve_seconds))
+        else:  # pragma: no cover - interactive serving loop
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.stop()
+
+
+def _attach(args: argparse.Namespace) -> int:
+    """Replica mode: load a persisted store and serve its snapshots."""
+    from repro.cli.common import require
+    from repro.service import EmbeddingStore
+
+    require(args, "port", "--port")
+    directory = Path(args.attach)
+    if not (directory / "store.json").exists():
+        raise CLIError(
+            f"{directory} is not a persisted store (no store.json); "
+            "create one with `python -m repro serve ... --out DIR`"
+        )
+    store = EmbeddingStore.load(directory)
+    telemetry = telemetry_from_args(args)
+    store.set_telemetry(telemetry)
+    print(f"attached to store {directory} at version {store.version}")
+    _serve_http(store, args, telemetry)
+    export_observability(telemetry, args, None)
+    return 0
+
+
 def execute(args: argparse.Namespace) -> int:
     """Run an already parsed serve invocation."""
     from repro.api import MethodSpecError, make_embedder
@@ -101,6 +168,8 @@ def execute(args: argparse.Namespace) -> int:
     from repro.io.stream import stream_table
     from repro.service import EmbeddingService
 
+    if args.attach:
+        return _attach(args)
     require(args, "source", "--source")
     relation = require(args, "relation", "--relation")
     result = ingest_source(args)
@@ -140,6 +209,9 @@ def execute(args: argparse.Namespace) -> int:
     print(f"served {len(stream.feed)} feed batches ({stats.facts_inserted} facts) "
           f"with {args.method} under policy {args.policy!r}")
     print(f"{'store versions committed':<28}{stats.store_version:>12}")
+    print(f"{'head / served version':<28}"
+          f"{f'{stats.head_version} / {stats.served_version}':>12}  "
+          f"(staleness {stats.staleness_versions})")
     print(f"{'facts embedded':<28}{stats.facts_embedded:>12}")
     print(f"{'facts / second':<28}{stats.facts_per_second:>12.1f}")
     print(f"{'apply p50 seconds':<28}{latency['p50_seconds']:>12.4f}")
@@ -147,11 +219,14 @@ def execute(args: argparse.Namespace) -> int:
     print(f"{'apply p99 seconds':<28}{latency['p99_seconds']:>12.4f}")
     feed_lag = "unknown" if stats.feed_lag is None else stats.feed_lag
     print(f"{'feed lag':<28}{feed_lag:>12}")
-    export_observability(telemetry, args, stats.total_apply_seconds)
 
     if args.out:
         directory = service.store.save(Path(args.out))
         print(f"store saved to {directory}")
+    if args.port is not None:
+        # serve before exporting so the serve-tier histograms are captured
+        _serve_http(service.store, args, telemetry)
+    export_observability(telemetry, args, stats.total_apply_seconds)
     return 0
 
 

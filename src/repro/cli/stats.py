@@ -12,11 +12,13 @@ latency histogram percentiles, and the raw counters/gauges.  With
 ``--trace`` it additionally summarizes a span trace — JSONL traces are
 aggregated per span name; Chrome traces are recognised and counted.
 
-``BENCH_streaming.json`` files are accepted in place of a metrics payload,
-in both formats: the throughput-ladder payload (``rungs`` list, rendered as
-the per-rung floor/speedup table of :func:`repro.service.ladder.
-render_ladder`) and the old single-run replay report that ``python -m
-repro bench`` still writes.
+``BENCH_*.json`` files are accepted in place of a metrics payload:
+``BENCH_load.json`` (the serve-tier load test, ``kind`` ``"load_test"``,
+rendered by :func:`repro.serve.loadgen.render_load`) and
+``BENCH_streaming.json`` in both of its formats — the throughput-ladder
+payload (``rungs`` list, rendered as the per-rung floor/speedup table of
+:func:`repro.service.ladder.render_ladder`) and the old single-run replay
+report that ``python -m repro bench`` still writes.
 
 No recomputation happens here: the artifacts are self-contained, so the
 subcommand works on files copied off a CI run or another machine.
@@ -79,6 +81,19 @@ def render_metrics(payload: dict) -> str:
                 f"  {kind:<14}{ratio['hit_ratio']:>10.1%} hit "
                 f"({ratio['hits']} hits / {ratio['misses']} misses)"
             )
+    serve = payload.get("serve", {})
+    if serve:
+        lines.append("serving endpoints")
+        for endpoint, summary in serve.get("endpoints", {}).items():
+            lines.append(
+                f"  {endpoint:<14}{summary['count']:>8}x"
+                f"  p50 {summary['p50_seconds'] * 1e3:.2f}ms"
+                f"  p99 {summary['p99_seconds'] * 1e3:.2f}ms"
+                f"  max {summary['max_seconds'] * 1e3:.2f}ms"
+            )
+        staleness = serve.get("staleness_versions")
+        shown = "unknown" if staleness is None else staleness
+        lines.append(f"  {'staleness (versions)':<22}{shown:>8}")
     histograms = payload.get("histograms", {})
     if histograms:
         lines.append("latency histograms")
@@ -141,7 +156,11 @@ def render_trace(path: Path) -> str:
 
 
 def render_payload(payload: dict) -> str:
-    """Dispatch on payload shape: ladder, single-run report, or metrics."""
+    """Dispatch on payload shape: load test, ladder, single-run, or metrics."""
+    if payload.get("kind") == "load_test":
+        from repro.serve.loadgen import render_load
+
+        return render_load(payload)
     if "rungs" in payload:
         from repro.service.ladder import render_ladder
 

@@ -38,11 +38,13 @@ from repro.obs.profiler import StageProfiler
 from repro.obs.report import (
     ENGINE_CACHE_KINDS,
     PIPELINE_STAGES,
+    SERVE_ENDPOINTS,
     SERVICE_STAGES,
     cache_hit_ratios,
     metrics_payload,
     observability_report,
     pipeline_breakdown,
+    serve_endpoint_latencies,
     stage_breakdown,
 )
 from repro.obs.tracer import SpanRecord, Tracer, load_jsonl
@@ -55,6 +57,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TELEMETRY",
     "PIPELINE_STAGES",
+    "SERVE_ENDPOINTS",
     "SERVICE_STAGES",
     "SpanRecord",
     "StageProfiler",
@@ -66,6 +69,7 @@ __all__ = [
     "metrics_payload",
     "observability_report",
     "pipeline_breakdown",
+    "serve_endpoint_latencies",
     "stage_breakdown",
 ]
 

@@ -16,6 +16,9 @@ benchmarks, the ``--metrics-out`` file and ``BENCH_*.json`` reports embed:
 * :func:`pipeline_breakdown` — the batched extension pipeline inside the
   embed stage (prepare → assemble → solve), with its share of the embed
   stage's inclusive time;
+* :func:`serve_endpoint_latencies` — the serve tier's per-endpoint
+  (``fetch``/``knn``/``slice``) latency summaries, staleness gauge and
+  query count, embedded when a serving layer ran;
 * :func:`observability_report` — both of the above;
 * :func:`metrics_payload` — the full ``--metrics-out`` file content
   (registry snapshot + the derived blocks), validated by
@@ -47,6 +50,9 @@ PIPELINE_STAGES = (
     "service.embed.assemble",
     "service.embed.solve",
 )
+
+#: The serve tier's query endpoints (see :class:`repro.serve.LocalBackend`).
+SERVE_ENDPOINTS = ("fetch", "knn", "slice")
 
 
 def stage_breakdown(
@@ -142,6 +148,32 @@ def pipeline_breakdown(telemetry: "Telemetry") -> dict:
     }
 
 
+def serve_endpoint_latencies(telemetry: "Telemetry") -> dict:
+    """The serve tier's per-endpoint latency summaries and staleness gauge.
+
+    Reads the ``serve.<endpoint>.seconds`` histograms the
+    :class:`~repro.serve.backend.LocalBackend` records per query, the
+    ``serve.staleness_versions`` gauge (version lag of the last answered
+    query behind the writer head) and the ``serve.queries`` counter.
+    Returns ``{}`` when no serve-tier query was recorded, so payloads of
+    runs without a serving layer stay unchanged.
+    """
+    snapshot = telemetry.metrics.snapshot()
+    histograms = snapshot["histograms"]
+    endpoints: dict[str, dict] = {}
+    for endpoint in SERVE_ENDPOINTS:
+        summary = histograms.get(f"serve.{endpoint}.seconds")
+        if summary and summary.get("count"):
+            endpoints[endpoint] = summary
+    if not endpoints:
+        return {}
+    return {
+        "endpoints": endpoints,
+        "staleness_versions": snapshot["gauges"].get("serve.staleness_versions"),
+        "queries": snapshot["counters"].get("serve.queries", 0),
+    }
+
+
 def observability_report(
     telemetry: "Telemetry", total_apply_seconds: float | None = None
 ) -> dict:
@@ -174,4 +206,7 @@ def metrics_payload(
     pipeline = pipeline_breakdown(telemetry)
     if pipeline["stages"]:
         payload["pipeline"] = pipeline
+    serve = serve_endpoint_latencies(telemetry)
+    if serve:
+        payload["serve"] = serve
     return payload

@@ -1,0 +1,144 @@
+"""HTTP client for the serve tier — the remote face of ``LocalBackend``.
+
+:class:`ServeClient` mirrors the :class:`~repro.serve.backend.LocalBackend`
+method-for-method and returns the same JSON dicts, so callers (the load
+generator, replica processes attaching to a served store, tests) can swap
+the in-process and networked transports without code changes.  Stdlib-only
+(``http.client``); each client owns one persistent connection, so use one
+client per thread — connections are not thread-safe.
+
+Floats survive the HTTP round trip exactly: both ends serialise with
+Python's ``repr``-based JSON float encoding, which round-trips IEEE-754
+doubles losslessly, so a pinned remote reader sees results bit-identical
+to a local reader of the same version.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from http.client import HTTPConnection
+
+
+class ServeError(RuntimeError):
+    """A non-2xx response from the serve tier; carries the HTTP status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServeClient:
+    """Talks to an :class:`~repro.serve.server.EmbeddingServer`.
+
+    Not thread-safe: give each reader thread its own client (they each
+    keep one persistent connection).  Usable as a context manager.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765, timeout: float = 10.0):
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self._conn: HTTPConnection | None = None
+
+    # ----------------------------------------------------------- transport
+
+    def _connection(self) -> HTTPConnection:
+        if self._conn is None:
+            self._conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+            self._conn.connect()
+            # small request/response pairs on a keep-alive connection: never
+            # let Nagle hold a packet back waiting for a delayed ACK
+            self._conn.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+        return self._conn
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        payload = None
+        headers = {}
+        if body is not None:
+            payload = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        conn = self._connection()
+        try:
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+        except (ConnectionError, OSError):
+            # stale keep-alive connection: reconnect once
+            self.close()
+            conn = self._connection()
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+        result = json.loads(data.decode("utf-8")) if data else {}
+        if response.status >= 300:
+            raise ServeError(response.status, str(result.get("error", result)))
+        return result
+
+    def close(self) -> None:
+        """Close the persistent connection (reopened lazily on next call)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- queries
+
+    def health(self) -> dict:
+        """Liveness probe; includes the writer's head version."""
+        return self._request("GET", "/health")
+
+    def stats(self) -> dict:
+        """Server-side router/backend bookkeeping."""
+        return self._request("GET", "/stats")
+
+    def versions(self) -> dict:
+        """Resolvable versions, head and pinned set."""
+        return self._request("GET", "/versions")
+
+    def fetch(self, fact_ids: list[int], version: int | None = None) -> dict:
+        """Batched fetch-by-fact-id at ``version`` (latest when None)."""
+        body: dict = {"fact_ids": [int(fid) for fid in fact_ids]}
+        if version is not None:
+            body["version"] = int(version)
+        return self._request("POST", "/fetch", body)
+
+    def knn(
+        self,
+        query: int | list[float],
+        k: int = 5,
+        relation: str | None = None,
+        version: int | None = None,
+    ) -> dict:
+        """Top-``k`` cosine neighbours of a fact id or raw vector."""
+        body: dict = {"query": query, "k": int(k)}
+        if relation is not None:
+            body["relation"] = relation
+        if version is not None:
+            body["version"] = int(version)
+        return self._request("POST", "/knn", body)
+
+    def slice(self, relation: str, version: int | None = None) -> dict:
+        """All live facts of one relation."""
+        body: dict = {"relation": relation}
+        if version is not None:
+            body["version"] = int(version)
+        return self._request("POST", "/slice", body)
+
+    # ------------------------------------------------------------- pinning
+
+    def pin(self, version: int | None = None) -> dict:
+        """Lease ``version`` (head when None) server-side; returns it."""
+        body = {} if version is None else {"version": int(version)}
+        return self._request("POST", "/pin", body)
+
+    def release(self, version: int) -> dict:
+        """Drop one server-side lease on ``version``."""
+        return self._request("POST", "/release", {"version": int(version)})

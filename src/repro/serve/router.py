@@ -1,0 +1,183 @@
+"""Snapshot routing: leases that pin store versions for concurrent readers.
+
+The store already gives us the hard part of a many-readers/one-writer tier
+for free — every commit is an immutable :class:`~repro.service.store.StoreSnapshot`
+— but a reader still needs two guarantees the raw store does not provide on
+its own:
+
+* **Resolvability.**  The service prunes old versions after every commit;
+  a reader that resolved version ``v`` a moment ago must still be able to
+  re-resolve (and keep querying) ``v`` while it holds a lease, no matter
+  how far the writer has advanced or how many compactions have run.
+* **Monotonicity.**  A reader that follows the head must never observe the
+  version number going backwards.
+
+:class:`SnapshotRouter` provides both.  ``lease()`` pins a version in the
+store (refcounted) and hands back a :class:`ReaderLease` whose snapshot
+stays bit-identical for the lease's lifetime; ``latest()`` returns the
+current head and enforces monotonic observation.  The router also raises
+the store's ``retention_window`` so the last few committed versions stay
+addressable for time-travel reads even *before* anyone pins them, and
+:meth:`collect` is the GC hook that prunes everything older and unpinned.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.service.store import EmbeddingStore, StoreSnapshot
+
+
+class ReaderLease:
+    """A pinned, released-once handle on one immutable store version.
+
+    Obtained from :meth:`SnapshotRouter.lease`; usable as a context manager.
+    While the lease is live, ``snapshot`` answers fetch/kNN/slice queries
+    bit-identically to the moment the lease was taken, and the pinned
+    version can be re-resolved by number from any thread.  ``release()``
+    is idempotent.
+    """
+
+    __slots__ = ("_router", "snapshot", "_released", "_lock")
+
+    def __init__(self, router: "SnapshotRouter", snapshot: StoreSnapshot):
+        self._router = router
+        self.snapshot = snapshot
+        self._released = False
+        self._lock = threading.Lock()
+
+    @property
+    def version(self) -> int:
+        """The pinned store version this lease resolves."""
+        return self.snapshot.version
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def staleness(self) -> int:
+        """How many versions the writer head is ahead of this lease."""
+        return self._router.staleness_of(self.version)
+
+    def release(self) -> None:
+        """Drop this lease's pin (idempotent)."""
+        with self._lock:
+            if self._released:
+                return
+            self._released = True
+        self._router._release(self.version)
+
+    def __enter__(self) -> "ReaderLease":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "released" if self._released else "live"
+        return f"ReaderLease(version={self.version}, {state})"
+
+
+class SnapshotRouter:
+    """Hands readers pinned snapshot versions while one writer commits.
+
+    ``retention_window`` is the number of trailing versions kept resolvable
+    beyond pinned ones (the router installs it as the store's pruning
+    floor), so a reader may lease a slightly-stale version explicitly —
+    time travel within the window — and unpinned recent versions survive
+    the service's per-commit prune.
+
+    Thread-safe: leases may be taken and released from any thread while
+    the (single) writer commits and prunes concurrently.
+    """
+
+    def __init__(self, store: EmbeddingStore, *, retention_window: int = 8):
+        if retention_window < 1:
+            raise ValueError("retention_window must be at least 1")
+        self.store = store
+        self.retention_window = int(retention_window)
+        store.retention_window = max(store.retention_window, self.retention_window)
+        self._lock = threading.Lock()
+        self._last_observed = store.version
+        self._leases_taken = 0
+        self._leases_released = 0
+
+    # ------------------------------------------------------------- reading
+
+    def latest(self) -> StoreSnapshot:
+        """The newest committed snapshot; observation is monotonic.
+
+        Unpinned readers call this per query: the returned version number
+        never decreases across calls, even when interleaved with commits.
+        """
+        snapshot = self.store.head
+        with self._lock:
+            if snapshot.version < self._last_observed:
+                # never hand out an older head than one already observed
+                snapshot = self.store.snapshot(self._last_observed)
+            else:
+                self._last_observed = snapshot.version
+        return snapshot
+
+    def lease(self, version: int | None = None) -> ReaderLease:
+        """Pin and return a lease on ``version`` (the head when ``None``).
+
+        Raises ``KeyError`` if the requested version has already been
+        pruned or never existed.
+        """
+        snapshot = self.store.pin(version)
+        with self._lock:
+            self._leases_taken += 1
+            if snapshot.version > self._last_observed:
+                self._last_observed = snapshot.version
+        return ReaderLease(self, snapshot)
+
+    def _release(self, version: int) -> None:
+        self.store.release(version)
+        with self._lock:
+            self._leases_released += 1
+
+    # ----------------------------------------------------------- staleness
+
+    def head_version(self) -> int:
+        """The writer's newest committed version."""
+        return self.store.version
+
+    def served_version(self) -> int:
+        """The newest version any reader has observed so far.
+
+        Together with :meth:`head_version` this makes staleness computable
+        without reaching into store internals (``ServiceStats`` reports
+        both).
+        """
+        with self._lock:
+            return self._last_observed
+
+    def staleness_of(self, version: int) -> int:
+        """Version lag of ``version`` behind the writer head (>= 0)."""
+        return max(0, self.store.version - int(version))
+
+    # ------------------------------------------------------------------ GC
+
+    def collect(self) -> int:
+        """Prune versions outside the retention window; returns #dropped.
+
+        Pinned versions always survive (the store skips them), so GC can
+        run at any time — even from the writer thread between commits —
+        without invalidating a live lease.
+        """
+        return self.store.prune(keep_last=self.retention_window)
+
+    def stats(self) -> dict:
+        """Router bookkeeping as a JSON-safe dict."""
+        with self._lock:
+            taken, released = self._leases_taken, self._leases_released
+        return {
+            "head_version": self.head_version(),
+            "retained_versions": len(self.store.versions()),
+            "pinned_versions": list(self.store.pinned_versions()),
+            "retention_window": self.retention_window,
+            "leases_taken": taken,
+            "leases_released": released,
+            "leases_live": taken - released,
+        }

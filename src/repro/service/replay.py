@@ -159,6 +159,8 @@ def run_streaming_replay(
         "facts_deleted": stats.facts_deleted,
         "facts_updated": stats.facts_updated,
         "store_versions_committed": stats.store_version,
+        "head_version": stats.head_version,
+        "served_version": stats.served_version,
         "engine_version": stats.engine_version,
         "feed_lag": stats.feed_lag,
         "version_skew": stats.version_skew,

@@ -97,6 +97,17 @@ class ServiceStats:
     """Per-batch apply latencies, for percentile reporting."""
     facts_deleted: int = 0
     facts_updated: int = 0
+    head_version: int = 0
+    """The writer's newest committed store version (== ``store_version``)."""
+    served_version: int = 0
+    """The newest version a reader has observed — through the attached
+    :class:`~repro.serve.router.SnapshotRouter` when one is attached, the
+    head otherwise."""
+
+    @property
+    def staleness_versions(self) -> int:
+        """How many versions readers lag behind the writer head."""
+        return max(0, self.head_version - self.served_version)
 
 
 class EmbeddingService:
@@ -270,7 +281,18 @@ class EmbeddingService:
                 self._arrived.append(self.db.fact(fid))
                 self._arrived_ids.add(fid)
         self._engine_version_at_commit = self._embedder.engine_version
+        self._router = None  # set by attach_router (the serve tier)
         self.set_telemetry(telemetry)
+
+    def attach_router(self, router) -> None:
+        """Register the serve tier's :class:`SnapshotRouter` for stats.
+
+        With a router attached, :meth:`stats` reports ``served_version``
+        from the router's reader observations instead of assuming readers
+        are at the head, making staleness visible without store
+        introspection.
+        """
+        self._router = router
 
     def set_telemetry(self, telemetry: Telemetry | None) -> None:
         """Attach (or detach, with None) a telemetry bundle to every layer.
@@ -485,8 +507,12 @@ class EmbeddingService:
         self._g_ops_per_second.set(
             (self._total_ops / total) if total > 0 else 0.0
         )
+        head_version = self.store.version
+        served_version = (
+            self._router.served_version() if self._router is not None else head_version
+        )
         return ServiceStats(
-            store_version=self.store.version,
+            store_version=head_version,
             engine_version=self._embedder.engine_version,
             batches_applied=self._batches_applied,
             duplicates_skipped=self._duplicates,
@@ -499,6 +525,8 @@ class EmbeddingService:
             apply_seconds=tuple(self._latencies),
             facts_deleted=self._facts_deleted,
             facts_updated=self._facts_updated,
+            head_version=head_version,
+            served_version=served_version,
         )
 
     # ------------------------------------------------------------- queries

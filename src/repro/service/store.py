@@ -29,6 +29,7 @@ batch-id log, so a restarted service resumes at the persisted version
 from __future__ import annotations
 
 import json
+import threading
 import time
 from pathlib import Path
 from typing import Iterable, Mapping
@@ -227,6 +228,18 @@ class EmbeddingStore:
     for facts the store has already seen.  ``deletes`` tombstone facts out
     of every subsequent query; tombstones are compacted automatically once
     they dominate the arrays.
+
+    **Concurrency contract.**  The store supports one writer and any number
+    of readers: ``commit``/``prune`` must come from a single thread, while
+    ``snapshot``/``pin``/``release``/``head`` and every snapshot query are
+    safe from any thread concurrently with a commit.  Snapshots are
+    immutable (read-only arrays), so a reader holding one is never torn;
+    the version map itself is guarded by an internal lock.  :meth:`pin`
+    refcounts a version so neither :meth:`prune` nor a compacting commit
+    can make it unresolvable while a reader (or the serve tier's
+    :class:`~repro.serve.router.SnapshotRouter`) still holds it, and
+    ``retention_window`` is a floor on how many trailing versions prune
+    keeps resolvable for time-travel reads.
     """
 
     #: Tombstone fraction beyond which a commit compacts the arrays.
@@ -244,6 +257,12 @@ class EmbeddingStore:
         self._snapshots: dict[int, StoreSnapshot] = {0: empty}
         self._head = empty
         self._applied: dict[str, int] = {}  # batch id -> version it produced
+        self._lock = threading.RLock()  # guards the version map, not arrays
+        self._pins: dict[int, int] = {}  # version -> reader refcount
+        self.retention_window = 1
+        """Minimum number of trailing versions :meth:`prune` keeps resolvable
+        (beyond any pinned ones).  The serve tier's router raises this so
+        recently committed versions stay addressable for time-travel reads."""
         self.metadata: dict = {}
         """JSON-safe side data persisted with the store (e.g. the service's
         arrival log); survives :meth:`save`/:meth:`load`."""
@@ -259,11 +278,14 @@ class EmbeddingStore:
         self._telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         metrics = self._telemetry.metrics
         self._h_commit = metrics.histogram("store.commit.seconds")
+        self._g_pinned = metrics.gauge("store.pinned_versions")
         self._c_cow_bytes = metrics.counter("store.cow.bytes")
         self._c_compactions = metrics.counter("store.compactions")
         self._g_tombstone_ratio = metrics.gauge("store.tombstone_ratio")
         self._g_version = metrics.gauge("store.version")
-        for snapshot in self._snapshots.values():
+        with self._lock:
+            snapshots = list(self._snapshots.values())
+        for snapshot in snapshots:
             snapshot.set_telemetry(self._telemetry)
 
     # -------------------------------------------------------------- lookup
@@ -277,18 +299,52 @@ class EmbeddingStore:
         return self._head.version
 
     def snapshot(self, version: int) -> StoreSnapshot:
-        return self._snapshots[version]
+        with self._lock:
+            return self._snapshots[version]
 
     def versions(self) -> tuple[int, ...]:
-        return tuple(self._snapshots.keys())
+        with self._lock:
+            return tuple(self._snapshots.keys())
 
     def has_batch(self, batch_id: str) -> bool:
         """Whether a feed batch id has already been committed (idempotence)."""
-        return batch_id in self._applied
+        with self._lock:
+            return batch_id in self._applied
 
     @property
     def applied_batch_ids(self) -> tuple[str, ...]:
-        return tuple(self._applied.keys())
+        with self._lock:
+            return tuple(self._applied.keys())
+
+    # ------------------------------------------------------------- pinning
+
+    def pin(self, version: int | None = None) -> StoreSnapshot:
+        """Pin a version (head when ``None``) against pruning; returns it.
+
+        Pins are refcounted: every ``pin`` must be matched by one
+        :meth:`release`.  A pinned version stays resolvable by number —
+        :meth:`prune` skips it — so a reader (or a router lease) can keep
+        re-fetching it while the writer commits and compacts past it.
+        """
+        with self._lock:
+            snapshot = self._head if version is None else self._snapshots[version]
+            self._pins[snapshot.version] = self._pins.get(snapshot.version, 0) + 1
+            self._g_pinned.set(len(self._pins))
+            return snapshot
+
+    def release(self, version: int) -> None:
+        """Drop one pin refcount of ``version`` (KeyError if not pinned)."""
+        with self._lock:
+            count = self._pins[version]
+            if count <= 1:
+                del self._pins[version]
+            else:
+                self._pins[version] = count - 1
+            self._g_pinned.set(len(self._pins))
+
+    def pinned_versions(self) -> tuple[int, ...]:
+        with self._lock:
+            return tuple(sorted(self._pins))
 
     # -------------------------------------------------------------- commit
 
@@ -308,13 +364,14 @@ class EmbeddingStore:
         snapshot that commit produced (the store applies each batch exactly
         once).
         """
-        if batch_id is not None and batch_id in self._applied:
-            # the producing snapshot may have been pruned (or predate a
-            # restart); the head is then the closest still-resolvable view
-            return self._snapshots.get(self._applied[batch_id], self._head)
+        with self._lock:
+            if batch_id is not None and batch_id in self._applied:
+                # the producing snapshot may have been pruned (or predate a
+                # restart); the head is then the closest still-resolvable view
+                return self._snapshots.get(self._applied[batch_id], self._head)
+            head = self._head
         started = time.perf_counter()
         items = updates.items() if isinstance(updates, Mapping) else updates
-        head = self._head
         vectors = head.vectors.copy()
         alive = head.alive.copy()
         appended_ids: list[int] = []
@@ -369,10 +426,11 @@ class EmbeddingStore:
             head.version + 1, batch_id, fact_ids, relations, vectors, alive
         )
         snapshot.set_telemetry(self._telemetry)
-        self._snapshots[snapshot.version] = snapshot
-        self._head = snapshot
-        if batch_id is not None:
-            self._applied[batch_id] = snapshot.version
+        with self._lock:
+            self._snapshots[snapshot.version] = snapshot
+            self._head = snapshot
+            if batch_id is not None:
+                self._applied[batch_id] = snapshot.version
         self._c_cow_bytes.inc(int(snapshot.vectors.nbytes))
         self._g_tombstone_ratio.set(
             snapshot.num_dead / snapshot.num_rows if snapshot.num_rows else 0.0
@@ -382,18 +440,28 @@ class EmbeddingStore:
         return snapshot
 
     def prune(self, keep_last: int = 1) -> int:
-        """Drop all but the last ``keep_last`` snapshots; returns #dropped.
+        """Drop old unpinned snapshots; returns how many were dropped.
 
-        Readers holding a pruned snapshot keep using it (arrays are theirs);
-        it just can no longer be resolved by version number.
+        Keeps the last ``max(keep_last, retention_window)`` versions plus
+        every pinned one, so a reader that pinned a version — directly or
+        through a router lease — can keep resolving it by number while the
+        writer commits (and compacts tombstones) arbitrarily far past it.
+        Readers holding an already-resolved, unpinned snapshot keep using
+        it (the arrays are theirs); it just can no longer be re-resolved.
         """
         if keep_last < 1:
             raise ValueError("keep_last must be at least 1")
-        versions = sorted(self._snapshots)
-        to_drop = versions[:-keep_last]
-        for version in to_drop:
-            del self._snapshots[version]
-        return len(to_drop)
+        with self._lock:
+            keep_last = max(keep_last, int(self.retention_window))
+            versions = sorted(self._snapshots)
+            to_drop = [
+                version
+                for version in versions[:-keep_last]
+                if version not in self._pins
+            ]
+            for version in to_drop:
+                del self._snapshots[version]
+            return len(to_drop)
 
     # --------------------------------------------------------- persistence
 

@@ -1,0 +1,36 @@
+"""Shared fixtures of the serve-tier tests: a small versioned store stack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import LocalBackend, SnapshotRouter
+from repro.service import EmbeddingStore
+
+
+@pytest.fixture
+def served_store(movies_db):
+    """A 3-version store over the Figure-2 facts (dimension 4)."""
+    store = EmbeddingStore(4)
+    rng = np.random.default_rng(0)
+    movies = list(movies_db.facts("MOVIES"))
+    actors = list(movies_db.facts("ACTORS"))
+    store.commit(
+        {f: rng.standard_normal(4) for f in movies + actors}, batch_id="base"
+    )
+    store.commit({movies[0]: rng.standard_normal(4)}, batch_id="u1")
+    store.commit({actors[0]: rng.standard_normal(4)}, batch_id="u2")
+    store.test_movies = movies  # handy handles for the tests
+    store.test_actors = actors
+    return store
+
+
+@pytest.fixture
+def router(served_store):
+    return SnapshotRouter(served_store, retention_window=4)
+
+
+@pytest.fixture
+def backend(router):
+    return LocalBackend(router)

@@ -1,0 +1,149 @@
+"""ISSUE 9's concurrency property: pinned readers stay bit-identical and
+unpinned readers observe versions monotonically while one writer applies
+random mixed CRUD batches (with compaction and pruning) through the store.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.db.database import Fact
+from repro.serve import LocalBackend, SnapshotRouter
+from repro.service import EmbeddingStore
+
+DIMENSION = 4
+N_WRITES = 160
+
+
+@pytest.fixture
+def stack(movies_db):
+    """Store + router + backend seeded with a base commit of real facts."""
+    schema = next(iter(movies_db.facts("MOVIES"))).schema
+    store = EmbeddingStore(DIMENSION)
+    rng = np.random.default_rng(11)
+    base = [Fact(10_000 + i, "MOVIES", ("m", "g"), schema) for i in range(12)]
+    store.commit({f: rng.standard_normal(DIMENSION) for f in base}, batch_id="base")
+    router = SnapshotRouter(store, retention_window=4)
+    backend = LocalBackend(router)
+    return store, router, backend, base, schema
+
+
+def _writer(store, base, schema, stop: threading.Event, errors: list):
+    """Random mixed CRUD: inserts, deletes, updates, pruning throughout."""
+    rng = np.random.default_rng(23)
+    live: list[Fact] = []
+    try:
+        for i in range(N_WRITES):
+            fact = Fact(20_000 + i, "MOVIES", ("m", "g"), schema)
+            updates = {fact: rng.standard_normal(DIMENSION)}
+            deletes = []
+            if live and rng.random() < 0.5:
+                deletes.append(live.pop(int(rng.integers(len(live)))))
+            if rng.random() < 0.5:  # update a base fact in place
+                target = base[int(rng.integers(len(base)))]
+                updates[target] = rng.standard_normal(DIMENSION)
+            store.commit(updates, deletes=deletes, batch_id=f"w-{i}")
+            live.append(fact)
+            store.prune(keep_last=1)
+    except BaseException as exc:  # noqa: BLE001 - re-raised by the test
+        errors.append(exc)
+    finally:
+        stop.set()
+
+
+def _data(response: dict) -> dict:
+    """A response minus the meta that legitimately advances with the writer
+    (``head_version``/``staleness``); the payload must stay bit-identical."""
+    return {
+        k: v for k, v in response.items()
+        if k not in ("head_version", "staleness")
+    }
+
+
+class TestConcurrentReaders:
+    def test_pinned_bit_identity_and_monotonic_observation(self, stack):
+        store, router, backend, base, schema = stack
+        lease = router.lease()
+        pinned_version = lease.version
+        fact_ids = [f.fact_id for f in base]
+        ref_fetch = _data(backend.fetch(fact_ids, version=pinned_version))
+        ref_knn = _data(backend.knn(fact_ids[0], k=5, version=pinned_version))
+        ref_slice = _data(backend.slice("MOVIES", version=pinned_version))
+
+        stop = threading.Event()
+        writer_errors: list = []
+        reader_errors: list = []
+        violations = [0, 0]  # [monotonic, pinned-mismatch]
+        violations_lock = threading.Lock()
+
+        def pinned_reader():
+            try:
+                while not stop.is_set():
+                    same = (
+                        _data(backend.fetch(fact_ids, version=pinned_version))
+                        == ref_fetch
+                        and _data(
+                            backend.knn(fact_ids[0], k=5, version=pinned_version)
+                        )
+                        == ref_knn
+                        and _data(backend.slice("MOVIES", version=pinned_version))
+                        == ref_slice
+                    )
+                    if not same:
+                        with violations_lock:
+                            violations[1] += 1
+            except BaseException as exc:  # noqa: BLE001
+                reader_errors.append(exc)
+
+        def unpinned_reader():
+            last_seen = 0
+            try:
+                while not stop.is_set():
+                    response = backend.fetch(fact_ids, version=None)
+                    if response["version"] < last_seen:
+                        with violations_lock:
+                            violations[0] += 1
+                    last_seen = max(last_seen, response["version"])
+                    assert response["staleness"] >= 0
+            except BaseException as exc:  # noqa: BLE001
+                reader_errors.append(exc)
+
+        threads = [
+            threading.Thread(target=pinned_reader),
+            threading.Thread(target=pinned_reader),
+            threading.Thread(target=unpinned_reader),
+            threading.Thread(target=unpinned_reader),
+        ]
+        writer = threading.Thread(
+            target=_writer, args=(store, base, schema, stop, writer_errors)
+        )
+        for thread in threads:
+            thread.start()
+        writer.start()
+        writer.join()
+        for thread in threads:
+            thread.join()
+
+        assert not writer_errors, writer_errors
+        assert not reader_errors, reader_errors
+        assert violations == [0, 0]
+        # the writer really committed and pruned underneath the readers
+        assert store.version == 1 + N_WRITES
+        assert len(store.versions()) <= router.retention_window + 1
+        # and the pinned snapshot is still byte-identical after the dust
+        final = _data(backend.fetch(fact_ids, version=pinned_version))
+        assert final == ref_fetch
+        lease.release()
+
+    def test_unpinned_readers_eventually_see_the_final_version(self, stack):
+        store, router, backend, base, schema = stack
+        stop = threading.Event()
+        errors: list = []
+        _writer(store, base, schema, stop, errors)
+        assert not errors
+        response = backend.fetch([base[0].fact_id])
+        assert response["version"] == store.version
+        assert response["staleness"] == 0

@@ -1,0 +1,113 @@
+"""Tests for the snapshot router: leases, monotonicity, retention GC."""
+
+import numpy as np
+import pytest
+
+from repro.serve import SnapshotRouter
+
+
+class TestLease:
+    def test_lease_pins_the_head_by_default(self, router, served_store):
+        lease = router.lease()
+        assert lease.version == served_store.version
+        assert served_store.pinned_versions() == (lease.version,)
+        lease.release()
+        assert served_store.pinned_versions() == ()
+
+    def test_explicit_version_and_missing_version(self, router):
+        lease = router.lease(2)
+        assert lease.version == 2
+        lease.release()
+        with pytest.raises(KeyError):
+            router.lease(99)
+
+    def test_release_is_idempotent(self, router, served_store):
+        lease = router.lease()
+        lease.release()
+        lease.release()  # no KeyError, no double-decrement
+        assert served_store.pinned_versions() == ()
+
+    def test_context_manager_releases(self, router, served_store):
+        with router.lease() as lease:
+            assert not lease.released
+            assert served_store.pinned_versions() == (lease.version,)
+        assert lease.released
+        assert served_store.pinned_versions() == ()
+
+    def test_pinned_snapshot_survives_pruning(self, router, served_store):
+        movies = served_store.test_movies
+        with router.lease(1) as lease:
+            reference = lease.snapshot.fetch(movies)
+            for i in range(10):
+                served_store.commit(
+                    {movies[0]: [float(i)] * 4}, batch_id=f"churn-{i}"
+                )
+                router.collect()
+            # version 1 is far outside the retention window yet resolvable
+            assert served_store.version - 1 > router.retention_window
+            np.testing.assert_array_equal(
+                served_store.snapshot(1).fetch(movies), reference
+            )
+
+
+class TestMonotonicity:
+    def test_latest_advances_with_commits(self, router, served_store):
+        movies = served_store.test_movies
+        before = router.latest().version
+        served_store.commit({movies[0]: [9.0] * 4}, batch_id="adv")
+        after = router.latest().version
+        assert after == before + 1
+        assert router.served_version() == after
+
+    def test_latest_never_goes_backwards(self, router, served_store):
+        head = router.latest().version
+        # white box: simulate a reader having already observed a newer
+        # version than the store head currently reports
+        router._last_observed = head
+        assert router.latest().version >= head
+
+    def test_staleness_accounting(self, router, served_store):
+        movies = served_store.test_movies
+        lease = router.lease()
+        assert lease.staleness() == 0
+        served_store.commit({movies[0]: [1.0] * 4}, batch_id="s1")
+        served_store.commit({movies[1]: [2.0] * 4}, batch_id="s2")
+        assert lease.staleness() == 2
+        assert router.staleness_of(lease.version) == 2
+        assert router.staleness_of(served_store.version) == 0
+        lease.release()
+
+
+class TestRetention:
+    def test_window_must_be_positive(self, served_store):
+        with pytest.raises(ValueError):
+            SnapshotRouter(served_store, retention_window=0)
+
+    def test_router_raises_the_store_floor(self, served_store):
+        assert served_store.retention_window < 6
+        SnapshotRouter(served_store, retention_window=6)
+        assert served_store.retention_window == 6
+
+    def test_collect_respects_the_window(self, router, served_store):
+        movies = served_store.test_movies
+        for i in range(10):
+            served_store.commit({movies[0]: [float(i)] * 4}, batch_id=f"w-{i}")
+        router.collect()
+        versions = served_store.versions()
+        assert len(versions) == router.retention_window
+        assert versions[-1] == served_store.version
+        # any retained version is leasable (time travel within the window)
+        with router.lease(versions[0]) as lease:
+            assert lease.version == versions[0]
+
+    def test_stats_counts_leases(self, router):
+        a = router.lease()
+        b = router.lease(2)
+        a.release()
+        stats = router.stats()
+        assert stats["leases_taken"] == 2
+        assert stats["leases_released"] == 1
+        assert stats["leases_live"] == 1
+        assert stats["pinned_versions"] == [2]
+        assert stats["head_version"] == router.head_version()
+        b.release()

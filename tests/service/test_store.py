@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.db.database import Fact
 from repro.service import EmbeddingStore
 
 
@@ -138,3 +139,75 @@ class TestPersistence:
         assert dropped == 4  # versions 0..3 dropped, head 4 kept
         assert store.versions() == (4,)
         assert store.head.version == 4
+
+
+class TestPinning:
+    def test_pin_refcounts(self, movies_db):
+        store = EmbeddingStore(2)
+        facts = _facts(movies_db)
+        store.commit({facts[0]: [1.0, 0.0]})
+        pinned = store.pin()  # pins the head (version 1)
+        assert pinned.version == 1
+        store.pin(1)
+        assert store.pinned_versions() == (1,)
+        store.release(1)
+        assert store.pinned_versions() == (1,)  # one refcount still held
+        store.release(1)
+        assert store.pinned_versions() == ()
+        with pytest.raises(KeyError):
+            store.release(1)
+
+    def test_retention_window_floors_prune(self, movies_db):
+        store = EmbeddingStore(2)
+        facts = _facts(movies_db)
+        store.retention_window = 3
+        for i in range(5):
+            store.commit({facts[0]: [float(i), 0.0]})
+        dropped = store.prune(keep_last=1)
+        assert dropped == 3  # versions 0..2; the window keeps 3, 4, 5
+        assert store.versions() == (3, 4, 5)
+
+    def test_pinned_version_survives_churn_compaction_and_prune(self, movies_db):
+        """The ISSUE 9 regression: pin v, churn past the compaction
+        threshold with service-style pruning, and v's queries must stay
+        byte-identical (and resolvable) throughout."""
+        schema = _facts(movies_db)[0].schema
+        store = EmbeddingStore(4)
+        rng = np.random.default_rng(7)
+        base = [Fact(10_000 + i, "MOVIES", ("m", "g"), schema) for i in range(8)]
+        store.commit({f: rng.standard_normal(4) for f in base}, batch_id="base")
+
+        pinned = store.pin()
+        v = pinned.version
+        ref_fetch = store.snapshot(v).fetch(base)
+        ref_knn = store.snapshot(v).nearest(base[0], k=5)
+        ref_ids, ref_vecs = store.snapshot(v).relation_slice("MOVIES")
+
+        # Insert+delete well past COMPACT_MIN_DEAD, pruning after every
+        # commit exactly like EmbeddingService's retain policy does.
+        n_churn = EmbeddingStore.COMPACT_MIN_DEAD + 16
+        for i in range(n_churn):
+            fact = Fact(20_000 + i, "MOVIES", ("m", "g"), schema)
+            store.commit({fact: rng.standard_normal(4)}, batch_id=f"ins-{i}")
+            store.commit(deletes=[fact], batch_id=f"del-{i}")
+            store.prune(keep_last=1)
+
+        # compaction really ran: head rows are far below the insert total
+        assert store.head.num_rows < len(base) + n_churn
+        # the pinned version is still resolvable, the same object, and
+        # answers every query kind byte-identically
+        snap = store.snapshot(v)
+        assert snap is pinned
+        np.testing.assert_array_equal(snap.fetch(base), ref_fetch)
+        assert snap.nearest(base[0], k=5) == ref_knn
+        ids, vecs = snap.relation_slice("MOVIES")
+        np.testing.assert_array_equal(ids, ref_ids)
+        np.testing.assert_array_equal(vecs, ref_vecs)
+        # everything unpinned below the head was pruned away
+        assert set(store.versions()) == {v, store.head.version}
+
+        # releasing the pin makes v prunable again
+        store.release(v)
+        store.prune(keep_last=1)
+        with pytest.raises(KeyError):
+            store.snapshot(v)

@@ -26,6 +26,11 @@ Checked for ``--trace`` files (either export flavour):
 * JSONL: one span record per line with ids, timing, depth, and attrs —
   and every non-root ``parent_id`` resolving to another span in the file.
 
+``BENCH_load.json`` artifacts (``kind`` ``"load_test"``) are validated
+against :func:`repro.serve.loadgen.check_load` — schema shape, the qps
+floor, per-kind latency summaries, pinned bit-identity and the
+monotonic-observation bar — plus the stable latency fields per query kind.
+
 ``BENCH_streaming.json`` artifacts are recognised too, in both formats:
 
 * the throughput-ladder payload (``schema_version`` 2, a ``rungs`` list) is
@@ -41,6 +46,7 @@ Run from the repository root (CI does)::
 
     python tools/check_obs_artifacts.py metrics.json trace.json
     python tools/check_obs_artifacts.py benchmarks/results/BENCH_streaming.json
+    python tools/check_obs_artifacts.py benchmarks/results/BENCH_load.json
 
 Exit code 0 when every named artifact is well-formed; 1 with one line per
 violation otherwise.
@@ -197,6 +203,27 @@ def check_ladder_payload(path: Path, payload: dict) -> list[str]:
     return problems
 
 
+def check_load_payload(path: Path, payload: dict) -> list[str]:
+    """Violations of one serve-tier ``BENCH_load.json`` (empty = clean)."""
+    try:
+        from repro.serve.loadgen import check_load
+    except ModuleNotFoundError:  # invoked without PYTHONPATH=src; self-locate
+        sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+        from repro.serve.loadgen import check_load
+
+    problems = [f"{path}: {problem}" for problem in check_load(payload)]
+    for kind, entry in payload.get("per_kind", {}).items():
+        latency = entry.get("latency") if isinstance(entry, dict) else None
+        if not isinstance(latency, dict) or LATENCY_FIELDS - latency.keys():
+            problems.append(
+                f"{path}: query kind {kind!r} latency summary lacks the "
+                "stable fields"
+            )
+    if not _number(payload.get("qps")):
+        problems.append(f"{path}: qps is not numeric")
+    return problems
+
+
 def check_single_run_payload(path: Path, payload: dict) -> list[str]:
     """Violations of one old-format (single-run) ``BENCH_streaming.json``."""
     problems: list[str] = []
@@ -225,6 +252,8 @@ def check_artifact(path: Path) -> list[str]:
     payload = json.loads(path.read_text(encoding="utf-8"))
     if isinstance(payload, dict) and "traceEvents" in payload:
         return check_trace(path)
+    if isinstance(payload, dict) and payload.get("kind") == "load_test":
+        return check_load_payload(path, payload)
     if isinstance(payload, dict) and "rungs" in payload:
         return check_ladder_payload(path, payload)
     if isinstance(payload, dict) and "facts_per_second" in payload:
