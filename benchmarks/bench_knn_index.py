@@ -1,0 +1,74 @@
+"""kNN index benchmark — IVF speedup and recall against the exact oracle.
+
+Runs the :mod:`repro.index.bench` ladder: per Mondial replication rung, an
+IVF-backed store is built and churned (multi-batch inserts, update and
+delete waves), then one seeded query set is answered through the public
+``StoreSnapshot.nearest`` path with ``index="exact"`` and ``index="ivf"``.
+The payload asserts the index-tier acceptance bars:
+
+* IVF recall@10 against exact must clear 0.95 on every rung;
+* every rung's speedup over the exact scan must clear its recorded floor —
+  5x at the 4x-Mondial rung of the full profile.
+
+The reduced profile (default) climbs scales 0.5 and 1.0; the full profile
+(``REPRO_BENCH_SCALE=full``) adds 2.0 and the headline 4.0.  The payload is
+written to ``benchmarks/results/BENCH_knn.json`` (uploaded as a CI artifact
+and validated by ``tools/check_obs_artifacts.py``); a rendered summary goes
+to ``benchmarks/results/knn_index.txt``.
+
+Run under pytest (``python -m pytest benchmarks/bench_knn_index.py``) or
+directly (``python benchmarks/bench_knn_index.py``).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.index.bench import (
+    FULL_RUNGS,
+    REDUCED_RUNGS,
+    check_knn,
+    render_knn,
+    run_knn_bench,
+)
+
+try:  # pytest-style result persistence when run by the harness
+    from conftest import FULL_SCALE, RESULTS_DIR, write_result
+except ImportError:  # direct script execution from the repository root
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).parent))
+    from conftest import FULL_SCALE, RESULTS_DIR, write_result
+
+
+def _run() -> dict:
+    payload = run_knn_bench(FULL_RUNGS if FULL_SCALE else REDUCED_RUNGS)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "BENCH_knn.json").write_text(json.dumps(payload, indent=2))
+    write_result("knn_index", render_knn(payload))
+    return payload
+
+
+def test_knn_index():
+    payload = _run()
+    problems = check_knn(payload)
+    assert not problems, "knn-bench violations:\n" + "\n".join(problems)
+    assert payload["k"] == 10
+    for rung in payload["rungs"]:
+        assert rung["recall"]["mean"] >= rung["recall"]["floor"] >= 0.95
+        assert rung["speedup"] >= rung["speedup_floor"]
+        assert rung["num_dead"] > 0, "the measured snapshot must carry tombstones"
+        assert rung["ivf"]["stats"]["trained"]
+    if FULL_SCALE:
+        headline = payload["rungs"][-1]
+        assert headline["scale"] == 4.0
+        assert headline["speedup_floor"] == 5.0
+
+
+if __name__ == "__main__":
+    result = _run()
+    print(render_knn(result))
+    problems = check_knn(result)
+    if problems:
+        raise SystemExit("knn-bench violations:\n" + "\n".join(problems))

@@ -4,6 +4,7 @@
 
     python -m repro bench streaming --out results/
     python -m repro bench load --transport http --clients 128
+    python -m repro bench knn --out results/
 
 Runs one of the named benchmark suites at a reduced scale and writes its
 ``BENCH_*.json`` artifact (stamped with ``repro.__version__``) into the
@@ -33,6 +34,8 @@ SUITES = {
     "load": "Concurrent serve-tier load test: zipfian readers vs one churn "
     "writer (qps, per-kind p50/p99, staleness, pinned bit-identity) "
     "-> BENCH_load.json",
+    "knn": "kNN index ladder: IVF speedup-vs-exact and recall@10 on churned "
+    "stores across Mondial scales -> BENCH_knn.json",
 }
 
 
@@ -60,6 +63,16 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
                       help="clients pinned to the pre-churn version (bit-identity check)")
     load.add_argument("--qps-floor", type=float, default=200.0,
                       help="asserted queries/second floor, recorded in the payload")
+    load.add_argument("--index", choices=("exact", "ivf"), default="exact",
+                      help="kNN index answering the load test's knn queries")
+    load.add_argument("--nprobe", type=int, default=None,
+                      help="ANN probe width override for --index ivf")
+    knn = parser.add_argument_group("knn suite")
+    knn.add_argument("--full", action="store_true",
+                     help="climb the full ladder (up to 4x Mondial) instead "
+                     "of the reduced rungs")
+    knn.add_argument("--queries", type=int, default=None,
+                     help="measured queries per rung (default: 100)")
     add_observability_options(parser)
     add_standard_options(parser)
 
@@ -74,6 +87,8 @@ def execute(args: argparse.Namespace) -> int:
         return _run_streaming(args)
     if args.suite == "load":
         return _run_load(args)
+    if args.suite == "knn":
+        return _run_knn(args)
     raise CLIError(f"unknown suite {args.suite!r}")  # pragma: no cover - argparse guards
 
 
@@ -127,6 +142,8 @@ def _run_load(args: argparse.Namespace) -> int:
         transport=args.transport,
         pinned_clients=args.pinned_clients,
         qps_floor=args.qps_floor,
+        index=args.index,
+        nprobe=args.nprobe,
     )
     telemetry = telemetry_from_args(args)
     try:
@@ -141,6 +158,37 @@ def _run_load(args: argparse.Namespace) -> int:
     print(render_load(payload))
     print(f"\nReport written to {path}")
     return 0 if not check_load(payload) else 1
+
+
+def _run_knn(args: argparse.Namespace) -> int:
+    from repro.index.bench import (
+        FULL_RUNGS,
+        KNN_QUERIES,
+        REDUCED_RUNGS,
+        check_knn,
+        render_knn,
+        run_knn_bench,
+    )
+
+    telemetry = telemetry_from_args(args)
+    try:
+        payload = run_knn_bench(
+            FULL_RUNGS if args.full else REDUCED_RUNGS,
+            dataset=args.dataset,
+            seed=args.seed,
+            queries=args.queries if args.queries else KNN_QUERIES,
+            telemetry=telemetry,
+        )
+    except KeyError as error:
+        raise CLIError(str(error.args[0])) from None
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / "BENCH_knn.json"
+    path.write_text(json.dumps(payload, indent=2))
+    export_observability(telemetry, args, None)
+    print(render_knn(payload))
+    print(f"\nReport written to {path}")
+    return 0 if not check_knn(payload) else 1
 
 
 run = make_runner(

@@ -62,6 +62,11 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         help="process-pool size for the recompute solve stage (0 = in-process; "
         "embeddings are byte-identical for any value)",
     )
+    parser.add_argument(
+        "--index", choices=("exact", "ivf"), default=None,
+        help="kNN index the store maintains (default: exact; with --attach, "
+        "default is whatever the persisted store used)",
+    )
     parser.add_argument("--out", help="directory to persist the final store into")
     parser.add_argument("--port", type=int, default=None,
                         help="serve the final store over HTTP/JSON on this port "
@@ -151,10 +156,13 @@ def _attach(args: argparse.Namespace) -> int:
             f"{directory} is not a persisted store (no store.json); "
             "create one with `python -m repro serve ... --out DIR`"
         )
-    store = EmbeddingStore.load(directory)
+    store = EmbeddingStore.load(directory, index=args.index)
     telemetry = telemetry_from_args(args)
     store.set_telemetry(telemetry)
-    print(f"attached to store {directory} at version {store.version}")
+    print(
+        f"attached to store {directory} at version {store.version} "
+        f"(index {store.index_kind})"
+    )
     _serve_http(store, args, telemetry)
     export_observability(telemetry, args, None)
     return 0
@@ -199,6 +207,7 @@ def execute(args: argparse.Namespace) -> int:
         service = EmbeddingService(
             embedder, stream.base, policy=args.policy, seed=args.seed,
             telemetry=telemetry, workers=args.workers,
+            index=args.index or "exact",
         )
     except ValueError as error:
         raise CLIError(str(error)) from None

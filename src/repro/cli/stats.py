@@ -14,9 +14,11 @@ aggregated per span name; Chrome traces are recognised and counted.
 
 ``BENCH_*.json`` files are accepted in place of a metrics payload:
 ``BENCH_load.json`` (the serve-tier load test, ``kind`` ``"load_test"``,
-rendered by :func:`repro.serve.loadgen.render_load`) and
-``BENCH_streaming.json`` in both of its formats — the throughput-ladder
-payload (``rungs`` list, rendered as the per-rung floor/speedup table of
+rendered by :func:`repro.serve.loadgen.render_load`), ``BENCH_knn.json``
+(the kNN index ladder, ``kind`` ``"knn_bench"``, rendered by
+:func:`repro.index.bench.render_knn`) and ``BENCH_streaming.json`` in both
+of its formats — the throughput-ladder payload (``rungs`` list, rendered
+as the per-rung floor/speedup table of
 :func:`repro.service.ladder.render_ladder`) and the old single-run replay
 report that ``python -m repro bench`` still writes.
 
@@ -161,6 +163,10 @@ def render_payload(payload: dict) -> str:
         from repro.serve.loadgen import render_load
 
         return render_load(payload)
+    if payload.get("kind") == "knn_bench":
+        from repro.index.bench import render_knn
+
+        return render_knn(payload)
     if "rungs" in payload:
         from repro.service.ladder import render_ladder
 

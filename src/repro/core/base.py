@@ -26,6 +26,30 @@ class TupleEmbedding:
             for fact_id, vector in vectors.items():
                 self.set(fact_id, vector)
 
+    @classmethod
+    def from_rows(
+        cls,
+        dimension: int,
+        fact_ids: Iterable[int],
+        matrix: np.ndarray,
+    ) -> "TupleEmbedding":
+        """Bulk-build from aligned fact ids and a ``(n, dimension)`` matrix.
+
+        The vectorised alternative to ``n`` :meth:`set` calls: the matrix
+        is validated once and its rows are stored directly (the embedding
+        owns ``matrix`` afterwards — pass a freshly allocated one).
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != dimension:
+            raise ValueError(
+                f"expected a (n, {dimension}) matrix, got shape {matrix.shape}"
+            )
+        result = cls(dimension)
+        result._vectors = {
+            int(fid): row for fid, row in zip(fact_ids, matrix, strict=True)
+        }
+        return result
+
     # ------------------------------------------------------------ mutation
 
     def set(self, fact: Fact | int, vector: np.ndarray) -> None:

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.core.base import TupleEmbedding
 from repro.db.database import Fact
+from repro.index import ExactIndex
 
 
 def cosine_similarity(a: np.ndarray, b: np.ndarray, epsilon: float = 1e-12) -> float:
@@ -36,6 +37,12 @@ def most_similar(
     ``candidates`` restricts the search space (default: every embedded fact);
     the query fact itself is excluded from the result.  Returns
     ``(fact_id, similarity)`` pairs, best first.
+
+    A thin adapter over :class:`~repro.index.exact.ExactIndex`: one
+    vectorised scoring pass ranks the pool (stable, so tied candidates
+    keep their pool order), replacing the per-candidate Python loop.  The
+    emitted similarities are recomputed with the scalar formula above, so
+    the output is identical to that loop's.
     """
     if top_k <= 0:
         raise ValueError("top_k must be positive")
@@ -46,14 +53,22 @@ def most_similar(
         query_id = query.fact_id if isinstance(query, Fact) else int(query)
         query_vector = embedding.vector(query_id)
     pool = list(candidates) if candidates is not None else list(embedding.fact_ids)
-    scored: list[tuple[int, float]] = []
+    kept: list[int] = []
     for candidate in pool:
         fact_id = candidate.fact_id if isinstance(candidate, Fact) else int(candidate)
         if fact_id == query_id or fact_id not in embedding:
             continue
-        scored.append((fact_id, cosine_similarity(query_vector, embedding.vector(fact_id))))
-    scored.sort(key=lambda pair: pair[1], reverse=True)
-    return scored[:top_k]
+        kept.append(fact_id)
+    if not kept:
+        return []
+    scores = ExactIndex.over_vectors(embedding.matrix(kept)).scores(query_vector)
+    selected = np.argsort(-scores, kind="stable")[:top_k]
+    scored = [
+        (int(position), cosine_similarity(query_vector, embedding.vector(kept[position])))
+        for position in selected
+    ]
+    scored.sort(key=lambda pair: (-pair[1], pair[0]))
+    return [(kept[position], score) for position, score in scored]
 
 
 def pairwise_cosine_matrix(embedding: TupleEmbedding, facts: Sequence[Fact | int]) -> np.ndarray:

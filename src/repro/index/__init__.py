@@ -1,0 +1,61 @@
+"""Swappable nearest-neighbour indexes behind every kNN query tier.
+
+The :class:`VectorIndex` protocol separates *maintaining* an index under
+the store's insert/delete/update churn from *searching* one immutable,
+per-version view of it.  Two implementations ship:
+
+* :class:`ExactIndex` — brute-force cosine scan, bit-identical to the
+  pre-protocol ``StoreSnapshot.nearest``.  The default everywhere and the
+  recall oracle the ANN index is measured against.
+* :class:`IVFIndex` — k-means-partitioned inverted-file ANN with
+  tombstone-aware posting lists, incremental assignment and lazy
+  drift-triggered partition rebuilds; ``nprobe`` trades recall for speed.
+
+:func:`make_index` is the factory the store (and CLI ``--index`` flags)
+resolve index specs through.  The benchmark harness lives in
+:mod:`repro.index.bench` (imported on demand; it depends on the store).
+"""
+
+from __future__ import annotations
+
+from repro.index.base import IndexSource, VectorIndex, rank_top_k, unit_query
+from repro.index.exact import ExactIndex
+from repro.index.ivf import IVFIndex, IVFView
+
+#: Index kinds the factory (and every ``--index`` flag) accepts.
+INDEX_KINDS = ("exact", "ivf")
+
+
+def make_index(spec, dimension: int, **params):
+    """Resolve an index spec to a writer-side maintainer (or None for exact).
+
+    ``spec`` may be ``None``/``"exact"`` (exact search needs no maintained
+    state — every snapshot answers it from its own arrays, so the factory
+    returns ``None``), ``"ivf"`` (a fresh :class:`IVFIndex` built from
+    ``params``), or an already-constructed :class:`VectorIndex`, which is
+    passed through.
+    """
+    if spec is None or spec == "exact":
+        if params:
+            raise ValueError("exact search takes no index parameters")
+        return None
+    if spec == "ivf":
+        return IVFIndex(dimension, **params)
+    if isinstance(spec, VectorIndex):
+        return spec
+    raise ValueError(
+        f"unknown index kind {spec!r}; expected one of {INDEX_KINDS}"
+    )
+
+
+__all__ = [
+    "ExactIndex",
+    "INDEX_KINDS",
+    "IVFIndex",
+    "IVFView",
+    "IndexSource",
+    "VectorIndex",
+    "make_index",
+    "rank_top_k",
+    "unit_query",
+]

@@ -1,0 +1,221 @@
+"""The ``VectorIndex`` protocol and the immutable rows it searches over.
+
+Nearest-neighbour search is lifted out of :class:`~repro.service.store.
+StoreSnapshot` into small, swappable index objects.  Two pieces make the
+copy-on-write versioning work:
+
+* :class:`IndexSource` — one snapshot's arrays (vectors, relations, alive
+  mask) bundled with the per-snapshot caches every index shares: the
+  row-normalised matrix, the inverted alive mask and one excluded-row mask
+  per relation filter.  The arrays are immutable, so each mask is computed
+  once and reused by every query against that snapshot (the pre-refactor
+  ``nearest`` re-derived both masks per call).
+* :class:`VectorIndex` — the maintenance/search protocol.  A *maintainer*
+  lives on the writer side of the store and absorbs commit deltas
+  (``add``/``update``/``remove``/``rebuild``); ``snapshot(source)`` freezes
+  its state into an immutable view bound to one store version, which
+  readers then ``search`` concurrently.  Exact search keeps no state of its
+  own, so :class:`~repro.index.exact.ExactIndex` is both maintainer and
+  view; the IVF index shares centroid/posting state across versions the
+  same copy-on-write way the store shares rows.
+
+``rank_top_k`` is the one ranking routine both built-in indexes use for
+their final cut.  It replicates the pre-refactor selection *bit for bit*
+(``-inf`` masking through ``np.where``, ``argpartition`` of the negated
+scores, stable sort of the winners), which is what lets ``ExactIndex``
+serve as the recall oracle: its results are byte-identical to the old
+``StoreSnapshot.nearest``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+
+def normalize_rows(vectors: np.ndarray) -> np.ndarray:
+    """Row-normalise a matrix exactly like the snapshot's cached matrix.
+
+    Rows normalise independently (the division is element-wise), so
+    normalising any subset of rows with this batched form produces bytes
+    identical to gathering the same rows from the normalised full matrix —
+    which keeps the IVF posting blocks' scores within an ulp of exact
+    search's (the residual difference is BLAS reduction order, not values).
+    """
+    vectors = np.asarray(vectors, dtype=np.float64)
+    norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+    return vectors / np.maximum(norms, 1e-12)
+
+
+def unit_query(query: np.ndarray) -> np.ndarray:
+    """The query vector scaled to unit norm (zero-norm guarded, as before)."""
+    query = np.asarray(query, dtype=np.float64)
+    norm = float(np.linalg.norm(query))
+    return query / max(norm, 1e-12)
+
+
+class IndexSource:
+    """One snapshot's immutable rows plus the caches every index shares.
+
+    ``vectors`` is the ``(num_rows, dimension)`` embedding matrix,
+    ``relations`` the aligned object array of relation names and ``alive``
+    the tombstone mask — all read-only, exactly as the owning snapshot
+    froze them.  The derived state (normalised matrix, dead mask, one
+    excluded mask and candidate count per relation) is computed lazily and
+    cached forever; concurrent readers may race to fill a cache slot, but
+    they compute identical values, so the race is benign.
+    """
+
+    __slots__ = (
+        "vectors", "relations", "alive",
+        "_normalized", "_dead", "_live", "_relation_masks",
+    )
+
+    def __init__(self, vectors: np.ndarray, relations: np.ndarray, alive: np.ndarray):
+        self.vectors = vectors
+        self.relations = relations
+        self.alive = alive
+        self._normalized: np.ndarray | None = None
+        self._dead: np.ndarray | None = None
+        self._live: int | None = None
+        self._relation_masks: dict[str, tuple[np.ndarray, int]] = {}
+
+    @classmethod
+    def from_rows(
+        cls,
+        vectors: np.ndarray,
+        relations: Sequence[str] | None = None,
+        alive: np.ndarray | None = None,
+    ) -> "IndexSource":
+        """Build a standalone source from raw rows (all alive by default)."""
+        vectors = np.ascontiguousarray(np.asarray(vectors, dtype=np.float64))
+        if vectors.ndim != 2:
+            raise ValueError("vectors must be a (num_rows, dimension) matrix")
+        n = vectors.shape[0]
+        relations_array = np.empty(n, dtype=object)
+        relations_array[:] = tuple(relations) if relations is not None else ("",) * n
+        if alive is None:
+            alive = np.ones(n, dtype=bool)
+        alive = np.asarray(alive, dtype=bool)
+        for array in (vectors, relations_array, alive):
+            array.setflags(write=False)
+        return cls(vectors, relations_array, alive)
+
+    @property
+    def num_rows(self) -> int:
+        return self.vectors.shape[0]
+
+    @property
+    def dimension(self) -> int:
+        return self.vectors.shape[1]
+
+    def normalized(self) -> np.ndarray:
+        """The row-normalised matrix (cached; bit-identical to the old one)."""
+        if self._normalized is None:
+            normalized = normalize_rows(self.vectors)
+            normalized.setflags(write=False)
+            self._normalized = normalized
+        return self._normalized
+
+    def dead(self) -> np.ndarray:
+        """The inverted alive mask (cached; rows every query excludes)."""
+        if self._dead is None:
+            dead = ~self.alive
+            dead.setflags(write=False)
+            self._live = int(dead.size - np.count_nonzero(dead))
+            self._dead = dead
+        return self._dead
+
+    def excluded(self, relation: str | None = None) -> tuple[np.ndarray, int]:
+        """``(excluded_mask, candidate_count)`` for one relation filter.
+
+        The mask is boolean over all rows (True = not a candidate) and the
+        count is how many rows survive it; both are cached per relation so
+        repeated queries pay one mask build total, not one per call.
+        """
+        dead = self.dead()
+        if relation is None:
+            return dead, int(self._live)
+        cached = self._relation_masks.get(relation)
+        if cached is None:
+            mask = dead | (self.relations != relation)
+            mask.setflags(write=False)
+            cached = (mask, int(mask.size - np.count_nonzero(mask)))
+            self._relation_masks[relation] = cached
+        return cached
+
+
+def rank_top_k(
+    scores: np.ndarray,
+    excluded: np.ndarray,
+    exclude_rows: Iterable[int],
+    candidates: int,
+    k: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Bit-exact top-``k`` rows of a masked score vector, best first.
+
+    Replicates the pre-refactor ``StoreSnapshot.nearest`` cut exactly:
+    excluded rows are pushed to ``-inf`` (``np.where`` allocates the fresh
+    masked copy, so the per-row ``exclude_rows`` writes never touch the
+    cached mask), ``k`` is clamped to the surviving candidate count, and
+    the winners of ``argpartition`` are ordered by a stable descending
+    sort.  Returns ``(rows, masked_scores)``.
+    """
+    scores = np.where(excluded, -np.inf, scores)
+    for row in exclude_rows:
+        if not excluded[row]:
+            candidates -= 1
+        scores[row] = -np.inf
+    k = min(k, candidates)
+    if k <= 0:
+        return np.empty(0, dtype=np.int64), scores
+    top = np.argpartition(-scores, k - 1)[:k]
+    top = top[np.argsort(-scores[top], kind="stable")]
+    return top, scores
+
+
+@runtime_checkable
+class VectorIndex(Protocol):
+    """Maintenance-and-search protocol every kNN index implements.
+
+    The writer drives the left half — ``add``/``update``/``remove`` absorb
+    one commit's row deltas, ``rebuild`` re-derives everything from a
+    source (compaction renumbers rows, so incremental state is void) — and
+    ``snapshot`` freezes the current state into an immutable view bound to
+    one store version.  Readers drive the right half: ``search`` answers
+    mask-aware top-``k`` queries (self-exclusion via ``exclude_rows``,
+    relation filtering, tombstones always honoured) and is safe from any
+    thread on a frozen view.
+    """
+
+    kind: str
+
+    def add(self, rows: Sequence[int], vectors: np.ndarray) -> None:
+        """Absorb rows appended by a commit (``vectors`` aligned to ``rows``)."""
+
+    def update(self, rows: Sequence[int], vectors: np.ndarray) -> None:
+        """Absorb in-place vector rewrites of existing rows."""
+
+    def remove(self, rows: Sequence[int]) -> None:
+        """Absorb tombstoned rows (the alive mask stays the ground truth)."""
+
+    def rebuild(self, source: IndexSource) -> None:
+        """Re-derive all index state from one source (e.g. after compaction)."""
+
+    def snapshot(self, source: IndexSource) -> "VectorIndex":
+        """An immutable view of the current state bound to ``source``."""
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        *,
+        exclude_rows: Iterable[int] = (),
+        relation: str | None = None,
+        nprobe: int | None = None,
+    ) -> list[tuple[int, float]]:
+        """The top-``k`` ``(row, score)`` pairs, best first."""
+
+    def stats(self) -> dict:
+        """JSON-safe structural stats (partition counts, pending deltas...)."""

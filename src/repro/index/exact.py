@@ -1,0 +1,115 @@
+"""Exact (brute-force) cosine kNN — the default index and recall oracle.
+
+``ExactIndex`` reproduces the pre-refactor ``StoreSnapshot.nearest``
+*bit for bit*: the same zero-norm-guarded query scaling, one matrix
+product against the snapshot's cached row-normalised matrix, the same
+``-inf`` masking and the same ``argpartition`` + stable-sort cut (see
+:func:`repro.index.base.rank_top_k`).  What changed is purely where the
+masks come from: the alive and per-relation exclusion masks are cached on
+the shared :class:`~repro.index.base.IndexSource` instead of being
+re-allocated per call.
+
+Exact search keeps no state beyond the source it is bound to, so the
+maintenance half of the protocol (``add``/``update``/``remove``) is a
+documented no-op and ``snapshot`` is just a rebind — every store version's
+exact view reads that version's own arrays directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.index.base import IndexSource, rank_top_k, unit_query
+from repro.obs import NULL_TELEMETRY, Telemetry
+
+
+class ExactIndex:
+    """Brute-force cosine top-``k`` over one :class:`IndexSource`."""
+
+    kind = "exact"
+
+    def __init__(
+        self,
+        source: IndexSource | None = None,
+        *,
+        telemetry: Telemetry | None = None,
+    ):
+        self._source = source
+        self.set_telemetry(telemetry)
+
+    @classmethod
+    def over_vectors(
+        cls,
+        vectors: np.ndarray,
+        relations: Sequence[str] | None = None,
+    ) -> "ExactIndex":
+        """A standalone exact index over raw rows (no store required)."""
+        return cls(IndexSource.from_rows(vectors, relations))
+
+    def set_telemetry(self, telemetry: Telemetry | None) -> None:
+        """Bind the ``index.*`` search counter (no-op when disabled)."""
+        bundle = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._c_searches = bundle.metrics.counter("index.searches.exact")
+
+    # -------------------------------------------------- protocol: writer side
+
+    def add(self, rows: Sequence[int], vectors: np.ndarray) -> None:
+        """No-op: exact search reads the bound source's rows directly."""
+
+    def update(self, rows: Sequence[int], vectors: np.ndarray) -> None:
+        """No-op: the snapshot's own arrays already carry the rewrite."""
+
+    def remove(self, rows: Sequence[int]) -> None:
+        """No-op: the source's alive mask is the ground truth."""
+
+    def rebuild(self, source: IndexSource) -> None:
+        self._source = source
+
+    def snapshot(self, source: IndexSource | None = None) -> "ExactIndex":
+        """An exact view over ``source`` (views are just rebound indexes)."""
+        view = ExactIndex(source if source is not None else self._source)
+        view._c_searches = self._c_searches
+        return view
+
+    # -------------------------------------------------- protocol: reader side
+
+    def scores(self, query: np.ndarray) -> np.ndarray:
+        """Raw (unmasked) cosine scores of every row against ``query``."""
+        return self._require_source().normalized() @ unit_query(query)
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        *,
+        exclude_rows: Iterable[int] = (),
+        relation: str | None = None,
+        nprobe: int | None = None,
+    ) -> list[tuple[int, float]]:
+        """Top-``k`` ``(row, score)``, bit-identical to the old ``nearest``.
+
+        ``nprobe`` is accepted for protocol uniformity and ignored — exact
+        search always scans every live row.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        source = self._require_source()
+        scores = source.normalized() @ unit_query(query)
+        excluded, candidates = source.excluded(relation)
+        top, masked = rank_top_k(scores, excluded, exclude_rows, candidates, k)
+        self._c_searches.inc()
+        return [(int(row), float(masked[row])) for row in top]
+
+    def stats(self) -> dict:
+        source = self._source
+        return {
+            "kind": self.kind,
+            "rows": 0 if source is None else source.num_rows,
+        }
+
+    def _require_source(self) -> IndexSource:
+        if self._source is None:
+            raise ValueError("ExactIndex is not bound to a source yet")
+        return self._source

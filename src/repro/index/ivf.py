@@ -1,0 +1,462 @@
+"""Churn-safe IVF (inverted-file) ANN index over normalised vectors.
+
+The classic IVF recipe adapted to the store's copy-on-write versioning:
+
+* **Training** partitions the live rows with spherical k-means (seeded,
+  a few Lloyd iterations over unit vectors, empty clusters reseeded), one
+  unit centroid per partition.
+* **Posting lists** hold each partition's member rows next to a contiguous
+  block of their normalised vectors.  Blocks carry the same normalised
+  values the snapshot's matrix does (row normalisation is element-wise),
+  so a candidate's IVF score agrees with its exact-search score to ulp
+  level — the same dot over the same bytes, modulo BLAS reduction order —
+  and recall@k against :class:`~repro.index.exact.ExactIndex` is in
+  practice a pure *selection* metric.
+* **Search** probes the ``nprobe`` nearest centroids, scores their blocks,
+  filters tombstones/relation mismatches through the source's cached masks
+  and cuts the survivors with the shared top-``k`` ranking.  ``nprobe`` is
+  the recall/speed knob, per-index default, overridable per query.
+* **Maintenance** mirrors the store's tombstone design.  Inserts are
+  assigned incrementally to their nearest centroid; updates re-assign;
+  deletes only bump a per-partition dead counter — the alive mask already
+  hides the rows, so correctness never depends on eager cleanup.  A
+  partition is lazily rebuilt (dead rows dropped, centroid re-averaged)
+  once its drift — appended or dead fraction — crosses a threshold, and
+  the whole index retrains when the store compacts (row numbers change)
+  or the live set outgrows the trained one.
+
+Mutation is copy-on-write at array granularity: maintenance replaces a
+partition's arrays, never writes into them, so the views frozen by
+``snapshot`` — a tuple of member/block references plus the centroids —
+stay internally consistent for readers no matter how far the writer
+advances.  One maintainer lives on the store's writer side; every store
+version gets its own frozen view, sharing unchanged partitions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.index.base import IndexSource, normalize_rows, rank_top_k, unit_query
+from repro.obs import NULL_TELEMETRY, Telemetry
+
+#: Rows scored per chunk during k-means assignment (bounds peak memory).
+_ASSIGN_CHUNK = 8192
+
+
+def _frozen(array: np.ndarray) -> np.ndarray:
+    array.setflags(write=False)
+    return array
+
+
+class IVFView:
+    """One store version's immutable IVF state: centroids + posting lists."""
+
+    kind = "ivf"
+
+    __slots__ = (
+        "source", "centroids", "members", "blocks", "nprobe",
+        "_c_searches", "_c_probes", "_c_candidates", "_c_fallbacks",
+    )
+
+    def __init__(
+        self,
+        source: IndexSource,
+        centroids: np.ndarray | None,
+        members: tuple[np.ndarray, ...],
+        blocks: tuple[np.ndarray, ...],
+        nprobe: int,
+        telemetry: Telemetry | None = None,
+    ):
+        self.source = source
+        self.centroids = centroids
+        self.members = members
+        self.blocks = blocks
+        self.nprobe = nprobe
+        self.set_telemetry(telemetry)
+
+    def set_telemetry(self, telemetry: Telemetry | None) -> None:
+        """Bind the ``index.*`` search counters (no-ops when disabled)."""
+        metrics = (telemetry if telemetry is not None else NULL_TELEMETRY).metrics
+        self._c_searches = metrics.counter("index.searches.ivf")
+        self._c_probes = metrics.counter("index.probes")
+        self._c_candidates = metrics.counter("index.candidates")
+        self._c_fallbacks = metrics.counter("index.fallback_scans")
+
+    @property
+    def trained(self) -> bool:
+        return self.centroids is not None
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        *,
+        exclude_rows: Iterable[int] = (),
+        relation: str | None = None,
+        nprobe: int | None = None,
+    ) -> list[tuple[int, float]]:
+        """ANN top-``k`` ``(row, score)``; scores match exact search to ulp level."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self._c_searches.inc()
+        unit = unit_query(query)
+        excluded, candidates = self.source.excluded(relation)
+        if self.centroids is None:
+            # Below the training floor the view degrades to an exact scan:
+            # small stores are cheap to scan and recall stays 1.0.
+            self._c_fallbacks.inc()
+            scores = self.source.normalized() @ unit
+            top, masked = rank_top_k(scores, excluded, exclude_rows, candidates, k)
+            return [(int(row), float(masked[row])) for row in top]
+        nlist = self.centroids.shape[0]
+        n_probe = self.nprobe if nprobe is None else int(nprobe)
+        if n_probe < 1:
+            raise ValueError("nprobe must be positive")
+        n_probe = min(n_probe, nlist)
+        centroid_scores = self.centroids @ unit
+        if n_probe < nlist:
+            probes = np.argpartition(-centroid_scores, n_probe - 1)[:n_probe]
+        else:
+            probes = np.arange(nlist)
+        self._c_probes.inc(int(n_probe))
+        row_parts: list[np.ndarray] = []
+        score_parts: list[np.ndarray] = []
+        for partition in probes:
+            members = self.members[partition]
+            if members.size:
+                row_parts.append(members)
+                score_parts.append(self.blocks[partition] @ unit)
+        if not row_parts:
+            return []
+        rows = np.concatenate(row_parts)
+        scores = np.concatenate(score_parts)
+        keep = ~excluded[rows]
+        for row in exclude_rows:
+            keep &= rows != row
+        rows = rows[keep]
+        scores = scores[keep]
+        self._c_candidates.inc(int(rows.size))
+        k = min(k, rows.size)
+        if k == 0:
+            return []
+        top = np.argpartition(-scores, k - 1)[:k]
+        top = top[np.argsort(-scores[top], kind="stable")]
+        return [(int(rows[i]), float(scores[i])) for i in top]
+
+    def stats(self) -> dict:
+        return {
+            "kind": self.kind,
+            "trained": self.trained,
+            "partitions": 0 if self.centroids is None else int(self.centroids.shape[0]),
+            "nprobe": self.nprobe,
+        }
+
+
+class IVFIndex:
+    """Writer-side IVF maintainer: absorbs commit deltas, freezes views."""
+
+    kind = "ivf"
+
+    def __init__(
+        self,
+        dimension: int,
+        *,
+        nlist: int | None = None,
+        nprobe: int | None = None,
+        min_train: int = 64,
+        drift_threshold: float = 0.5,
+        retrain_growth: float = 2.0,
+        kmeans_iters: int = 8,
+        seed: int = 0,
+        telemetry: Telemetry | None = None,
+    ):
+        if dimension <= 0:
+            raise ValueError("dimension must be positive")
+        if min_train < 1:
+            raise ValueError("min_train must be at least 1")
+        if drift_threshold <= 0:
+            raise ValueError("drift_threshold must be positive")
+        if retrain_growth <= 1.0:
+            raise ValueError("retrain_growth must exceed 1")
+        if nlist is not None and nlist < 1:
+            raise ValueError("nlist must be positive")
+        if nprobe is not None and nprobe < 1:
+            raise ValueError("nprobe must be positive")
+        self.dimension = int(dimension)
+        self.nlist = nlist
+        self.nprobe = nprobe
+        self.min_train = int(min_train)
+        self.drift_threshold = float(drift_threshold)
+        self.retrain_growth = float(retrain_growth)
+        self.kmeans_iters = int(kmeans_iters)
+        self.seed = int(seed)
+        self._centroids: np.ndarray | None = None
+        self._members: list[np.ndarray] = []
+        self._blocks: list[np.ndarray] = []
+        self._built: list[int] = []
+        self._adds: list[int] = []
+        self._dead: list[int] = []
+        self._assignment = np.full(0, -1, dtype=np.int64)
+        self._trained_rows = 0
+        self._source: IndexSource | None = None
+        self.set_telemetry(telemetry)
+
+    def params(self) -> dict:
+        """The constructor parameters (JSON-safe; persisted by the store)."""
+        return {
+            "nlist": self.nlist,
+            "nprobe": self.nprobe,
+            "min_train": self.min_train,
+            "drift_threshold": self.drift_threshold,
+            "retrain_growth": self.retrain_growth,
+            "kmeans_iters": self.kmeans_iters,
+            "seed": self.seed,
+        }
+
+    def set_telemetry(self, telemetry: Telemetry | None) -> None:
+        """Bind the maintenance counters/gauges (no-ops when disabled)."""
+        self._telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        metrics = self._telemetry.metrics
+        self._c_full_rebuilds = metrics.counter("index.rebuilds.full")
+        self._c_partition_rebuilds = metrics.counter("index.rebuilds.partition")
+        self._g_partitions = metrics.gauge("index.partitions")
+        self._g_trained_rows = metrics.gauge("index.trained_rows")
+
+    @property
+    def trained(self) -> bool:
+        return self._centroids is not None
+
+    @property
+    def num_partitions(self) -> int:
+        return 0 if self._centroids is None else int(self._centroids.shape[0])
+
+    # ------------------------------------------------------------ maintenance
+
+    def rebuild(self, source: IndexSource) -> None:
+        """Retrain from scratch over ``source`` (row numbers may have changed)."""
+        self._source = source
+        self._assignment = np.full(source.num_rows, -1, dtype=np.int64)
+        live_rows = np.nonzero(source.alive)[0]
+        n = int(live_rows.size)
+        if n < self.min_train:
+            self._centroids = None
+            self._members, self._blocks = [], []
+            self._built, self._adds, self._dead = [], [], []
+            self._trained_rows = n
+            self._g_partitions.set(0)
+            self._g_trained_rows.set(n)
+            return
+        vectors = np.ascontiguousarray(source.normalized()[live_rows])
+        nlist = self.nlist if self.nlist is not None else max(1, round(np.sqrt(n)))
+        nlist = min(int(nlist), n)
+        rng = np.random.default_rng(self.seed)
+        centroids = vectors[rng.choice(n, size=nlist, replace=False)]
+        for _ in range(self.kmeans_iters):
+            assign = _assign_chunked(vectors, centroids)
+            counts = np.bincount(assign, minlength=nlist)
+            sums = np.zeros((nlist, vectors.shape[1]))
+            for dim in range(vectors.shape[1]):
+                sums[:, dim] = np.bincount(
+                    assign, weights=vectors[:, dim], minlength=nlist
+                )
+            empty = counts == 0
+            if empty.any():  # reseed dead clusters on random live points
+                sums[empty] = vectors[rng.integers(0, n, size=int(empty.sum()))]
+                counts[empty] = 1
+            centroids = sums / counts[:, None]
+            centroids /= np.maximum(
+                np.linalg.norm(centroids, axis=1, keepdims=True), 1e-12
+            )
+        assign = _assign_chunked(vectors, centroids)
+        order = np.argsort(assign, kind="stable")
+        bounds = np.searchsorted(assign[order], np.arange(nlist + 1))
+        members: list[np.ndarray] = []
+        blocks: list[np.ndarray] = []
+        for partition in range(nlist):
+            sel = order[bounds[partition]:bounds[partition + 1]]
+            members.append(_frozen(live_rows[sel]))
+            blocks.append(_frozen(np.ascontiguousarray(vectors[sel])))
+        self._assignment[live_rows] = assign
+        self._centroids = _frozen(centroids)
+        self._members, self._blocks = members, blocks
+        self._built = [int(m.size) for m in members]
+        self._adds = [0] * nlist
+        self._dead = [0] * nlist
+        self._trained_rows = n
+        self._c_full_rebuilds.inc()
+        self._g_partitions.set(nlist)
+        self._g_trained_rows.set(n)
+
+    def add(self, rows: Sequence[int], vectors: np.ndarray) -> None:
+        """Assign appended rows to their nearest centroid (no-op untrained)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return
+        self._extend_assignment(int(rows.max()) + 1)
+        if self._centroids is None:
+            return
+        normalized = normalize_rows(vectors)
+        assign = _assign_chunked(normalized, self._centroids)
+        for partition in np.unique(assign):
+            sel = assign == partition
+            self._members[partition] = _frozen(
+                np.concatenate([self._members[partition], rows[sel]])
+            )
+            self._blocks[partition] = _frozen(
+                np.vstack([self._blocks[partition], normalized[sel]])
+            )
+            self._adds[partition] += int(np.count_nonzero(sel))
+        self._assignment[rows] = assign
+
+    def update(self, rows: Sequence[int], vectors: np.ndarray) -> None:
+        """Re-assign rewritten rows (move partitions when the vector moved)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0 or self._centroids is None:
+            return
+        normalized = normalize_rows(vectors)
+        targets = _assign_chunked(normalized, self._centroids)
+        for i, row in enumerate(rows):
+            row = int(row)
+            old = int(self._assignment[row]) if row < self._assignment.size else -1
+            new = int(targets[i])
+            if old == new:
+                position = np.nonzero(self._members[old] == row)[0]
+                block = self._blocks[old].copy()
+                block[position] = normalized[i]
+                self._blocks[old] = _frozen(block)
+                continue
+            if old >= 0:
+                keep = self._members[old] != row
+                self._members[old] = _frozen(self._members[old][keep])
+                self._blocks[old] = _frozen(self._blocks[old][keep])
+            self._extend_assignment(row + 1)
+            self._members[new] = _frozen(
+                np.concatenate([self._members[new], [row]])
+            )
+            self._blocks[new] = _frozen(
+                np.vstack([self._blocks[new], normalized[i][None, :]])
+            )
+            self._adds[new] += 1
+            self._assignment[row] = new
+
+    def remove(self, rows: Sequence[int]) -> None:
+        """Count tombstoned rows per partition; lazy rebuild sweeps them."""
+        if self._centroids is None:
+            return
+        for row in rows:
+            row = int(row)
+            if row < self._assignment.size:
+                partition = int(self._assignment[row])
+                if partition >= 0:
+                    self._dead[partition] += 1
+
+    def snapshot(self, source: IndexSource) -> IVFView:
+        """Refresh drifted partitions against ``source``, then freeze a view.
+
+        Called by the store's single writer per commit: auto-trains once
+        the live set reaches ``min_train``, retrains when it has grown (or
+        shrunk) past ``retrain_growth`` since training, else sweeps only
+        the partitions whose drift crossed the threshold.
+        """
+        self._source = source
+        live = int(np.count_nonzero(source.alive))
+        if self._centroids is None:
+            if live >= self.min_train:
+                self.rebuild(source)
+        elif (
+            live >= self.retrain_growth * max(self._trained_rows, 1)
+            or live < self._trained_rows / self.retrain_growth
+        ):
+            self.rebuild(source)
+        else:
+            self._refresh(source)
+        nlist = self.num_partitions
+        nprobe = self.nprobe if self.nprobe is not None else max(1, round(nlist / 4))
+        return IVFView(
+            source,
+            self._centroids,
+            tuple(self._members),
+            tuple(self._blocks),
+            int(nprobe),
+            self._telemetry,
+        )
+
+    def _refresh(self, source: IndexSource) -> None:
+        """Sweep partitions whose appended/dead fraction crossed the threshold."""
+        centroids = None
+        for partition in range(len(self._members)):
+            members = self._members[partition]
+            if members.size == 0:
+                continue
+            drifted = self._adds[partition] > self.drift_threshold * max(
+                self._built[partition], 1
+            )
+            dying = self._dead[partition] > 0.5 * members.size
+            if not (drifted or dying):
+                continue
+            keep = source.alive[members]
+            members = members[keep]
+            block = self._blocks[partition][keep]
+            if members.size:
+                centroid = block.mean(axis=0)
+                norm = float(np.linalg.norm(centroid))
+                if norm > 1e-12:
+                    centroid = centroid / norm
+                if centroids is None:
+                    centroids = self._centroids.copy()
+                centroids[partition] = centroid
+            self._members[partition] = _frozen(members)
+            self._blocks[partition] = _frozen(np.ascontiguousarray(block))
+            self._built[partition] = int(members.size)
+            self._adds[partition] = 0
+            self._dead[partition] = 0
+            self._c_partition_rebuilds.inc()
+        if centroids is not None:
+            self._centroids = _frozen(centroids)
+
+    # ----------------------------------------------------------------- search
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        *,
+        exclude_rows: Iterable[int] = (),
+        relation: str | None = None,
+        nprobe: int | None = None,
+    ) -> list[tuple[int, float]]:
+        """Writer-side convenience: freeze a view of the last source and search."""
+        if self._source is None:
+            raise ValueError("IVFIndex is not bound to a source yet")
+        return self.snapshot(self._source).search(
+            query, k, exclude_rows=exclude_rows, relation=relation, nprobe=nprobe
+        )
+
+    def stats(self) -> dict:
+        return {
+            "kind": self.kind,
+            "trained": self.trained,
+            "partitions": self.num_partitions,
+            "trained_rows": self._trained_rows,
+            "rows": int(self._assignment.size),
+            "pending_adds": int(sum(self._adds)),
+            "pending_dead": int(sum(self._dead)),
+        }
+
+    def _extend_assignment(self, size: int) -> None:
+        if size > self._assignment.size:
+            extended = np.full(size, -1, dtype=np.int64)
+            extended[: self._assignment.size] = self._assignment
+            self._assignment = extended
+
+
+def _assign_chunked(vectors: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Nearest-centroid assignment in bounded-memory chunks."""
+    out = np.empty(vectors.shape[0], dtype=np.int64)
+    for start in range(0, vectors.shape[0], _ASSIGN_CHUNK):
+        chunk = vectors[start:start + _ASSIGN_CHUNK]
+        out[start:start + _ASSIGN_CHUNK] = np.argmax(chunk @ centroids.T, axis=1)
+    return out

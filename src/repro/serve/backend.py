@@ -94,16 +94,28 @@ class LocalBackend:
         k: int = 5,
         relation: str | None = None,
         version: int | None = None,
+        index: str | None = None,
+        nprobe: int | None = None,
     ) -> dict:
-        """Top-``k`` cosine neighbours of a stored fact id or a raw vector."""
+        """Top-``k`` cosine neighbours of a stored fact id or a raw vector.
+
+        ``index`` picks the answering index per query (``"exact"`` default,
+        bit-identical to the pre-index results; ``"ivf"`` when the store
+        maintains one) and ``nprobe`` overrides the ANN probe width; an
+        index the snapshot cannot answer raises ValueError (HTTP 400).
+        """
         started = time.perf_counter()
         snapshot, head, staleness = self._resolve(version)
         if isinstance(query, (list, tuple)):
             query = np.asarray(query, dtype=np.float64)
         elif not isinstance(query, np.ndarray):
             query = int(query)
-        neighbors = snapshot.nearest(query, k=int(k), relation=relation)
+        neighbors = snapshot.nearest(
+            query, k=int(k), relation=relation, index=index,
+            nprobe=None if nprobe is None else int(nprobe),
+        )
         response = self._meta(snapshot, head, staleness)
+        response["index"] = index if index is not None else "exact"
         response["neighbors"] = [[fid, score] for fid, score in neighbors]
         self._c_queries.inc()
         self._h_knn.observe(time.perf_counter() - started)
@@ -174,4 +186,8 @@ class LocalBackend:
         payload["queries"] = int(self._c_queries.value)
         payload["num_facts"] = self.router.store.head.num_facts
         payload["dimension"] = self.router.store.dimension
+        payload["index_kinds"] = list(self.router.store.head.index_kinds)
+        index = self.router.store.index
+        if index is not None:
+            payload["index"] = index.stats()
         return payload

@@ -116,13 +116,23 @@ class ServeClient:
         k: int = 5,
         relation: str | None = None,
         version: int | None = None,
+        index: str | None = None,
+        nprobe: int | None = None,
     ) -> dict:
-        """Top-``k`` cosine neighbours of a fact id or raw vector."""
+        """Top-``k`` cosine neighbours of a fact id or raw vector.
+
+        ``index``/``nprobe`` select and tune the answering index per query
+        (exact default; HTTP 400 when the server cannot answer ``index``).
+        """
         body: dict = {"query": query, "k": int(k)}
         if relation is not None:
             body["relation"] = relation
         if version is not None:
             body["version"] = int(version)
+        if index is not None:
+            body["index"] = index
+        if nprobe is not None:
+            body["nprobe"] = int(nprobe)
         return self._request("POST", "/knn", body)
 
     def slice(self, relation: str, version: int | None = None) -> dict:

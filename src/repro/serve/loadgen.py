@@ -12,7 +12,11 @@ server), then
 * simulates ``clients`` **logical clients** (≥ 64 by default) multiplexed
   over a bounded pool of reader threads, each client issuing a
   deterministic, zipfian-skewed mix of fetch / kNN / relation-slice
-  queries.  Every client completes at least one full plan, and readers
+  queries (a fraction of the kNN ops also carry a ``relation=`` filter,
+  and the profile's ``index``/``nprobe`` select the answering index —
+  ``"exact"`` by default, ``"ivf"`` for an ANN profile that churns the
+  maintainer through every commit).  Every client completes at least one
+  full plan, and readers
   keep cycling extra rounds until the writer drains, so reads and commits
   genuinely overlap;
 * dedicates the first ``pinned_clients`` clients to **pinned verification**:
@@ -98,6 +102,14 @@ class LoadProfile:
     update_fraction: float = 0.2
     group_size: int = 2
     retention_window: int = 8
+    #: Index answering the kNN queries: ``"exact"`` (default) or ``"ivf"``.
+    #: The store is built with this index, so an ANN profile exercises the
+    #: maintainer across every churn commit, not just one frozen view.
+    index: str = "exact"
+    #: Per-query probe-width override for ANN profiles (None = index default).
+    nprobe: int | None = None
+    #: Fraction of kNN queries that carry a ``relation=`` filter.
+    knn_relation_fraction: float = 0.25
 
     def as_dict(self) -> dict:
         return {
@@ -113,6 +125,8 @@ class LoadProfile:
             "update_fraction": self.update_fraction,
             "group_size": self.group_size,
             "retention_window": self.retention_window,
+            "index": self.index, "nprobe": self.nprobe,
+            "knn_relation_fraction": self.knn_relation_fraction,
         }
 
 
@@ -143,7 +157,12 @@ def _client_plan(
             plan.append({"kind": "fetch", "fact_ids": [int(f) for f in chosen]})
         elif kind == "knn":
             fid = int(rng.choice(fact_ids, p=fact_weights))
-            plan.append({"kind": "knn", "query": fid, "k": profile.k})
+            op = {"kind": "knn", "query": fid, "k": profile.k}
+            if rng.random() < profile.knn_relation_fraction:
+                op["relation"] = relations[
+                    int(rng.choice(len(relations), p=relation_weights))
+                ]
+            plan.append(op)
         else:
             rel = relations[int(rng.choice(len(relations), p=relation_weights))]
             plan.append({"kind": "slice", "relation": rel})
@@ -153,7 +172,16 @@ def _client_plan(
 class _Transport:
     """One reader thread's query handle (in-proc backend or HTTP client)."""
 
-    def __init__(self, backend: LocalBackend, server: EmbeddingServer | None):
+    def __init__(
+        self,
+        backend: LocalBackend,
+        server: EmbeddingServer | None,
+        index: str | None = None,
+        nprobe: int | None = None,
+    ):
+        # exact is the wire default — only name the index when it isn't
+        self._index = None if index in (None, "exact") else index
+        self._nprobe = nprobe
         if server is None:
             self._backend = backend
             self._client = None
@@ -166,7 +194,10 @@ class _Transport:
         if op["kind"] == "fetch":
             return target.fetch(op["fact_ids"], version=version)
         if op["kind"] == "knn":
-            return target.knn(op["query"], k=op["k"], version=version)
+            return target.knn(
+                op["query"], k=op["k"], relation=op.get("relation"),
+                version=version, index=self._index, nprobe=self._nprobe,
+            )
         return target.slice(op["relation"], version=version)
 
     def close(self) -> None:
@@ -229,6 +260,8 @@ def run_load_test(
         raise ValueError(f"unknown transport {profile.transport!r}")
     if profile.clients < 1 or profile.worker_threads < 1:
         raise ValueError("clients and worker_threads must be positive")
+    if profile.index not in ("exact", "ivf"):
+        raise ValueError(f"unknown index {profile.index!r}")
     config = config or LOAD_CONFIG
 
     # ------------------------------------------------------------- stack up
@@ -244,7 +277,7 @@ def run_load_test(
     ).fit()
     service = EmbeddingService(
         model, partition.db, engine=engine, policy="recompute",
-        seed=profile.seed, telemetry=telemetry,
+        seed=profile.seed, telemetry=telemetry, index=profile.index,
     )
     feed = churn_feed(
         partition,
@@ -277,7 +310,9 @@ def run_load_test(
     # pinned clients — bit identity against these is the isolation proof
     pin_lease = router.lease()
     pinned_version = pin_lease.version
-    serial = _Transport(LocalBackend(router), None)  # uninstrumented reference
+    serial = _Transport(  # uninstrumented reference, same index parameters
+        LocalBackend(router), None, index=profile.index, nprobe=profile.nprobe
+    )
     references = [
         [serial.query(op, pinned_version) for op in plans[client]]
         for client in range(pinned)
@@ -322,7 +357,9 @@ def run_load_test(
 
     def reader(worker: int) -> None:
         mine = results[worker]
-        transport = _Transport(backend, server)
+        transport = _Transport(
+            backend, server, index=profile.index, nprobe=profile.nprobe
+        )
         last_seen: dict[int, int] = {}  # unpinned client -> last served version
         try:
             while True:
@@ -502,7 +539,8 @@ def render_load(payload: dict) -> str:
     verification = payload["pinned_verification"]
     lines = [
         f"Serve load test — {profile['dataset']} (scale {profile['scale']}, "
-        f"transport {profile['transport']}, {profile['clients']} clients over "
+        f"transport {profile['transport']}, index {profile.get('index', 'exact')}, "
+        f"{profile['clients']} clients over "
         f"{profile['worker_threads']} threads, zipf s={profile['zipf_exponent']})",
         f"{'queries':<26}{payload['queries_total']:>12}",
         f"{'duration seconds':<26}{payload['duration_seconds']:>12.3f}",

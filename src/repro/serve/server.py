@@ -14,7 +14,8 @@ Protocol (all bodies JSON; responses carry ``version``/``head_version``/
 ``GET /stats``         router/backend bookkeeping
 ``GET /versions``      resolvable versions, head, pinned set
 ``POST /fetch``        ``{"fact_ids": [..], "version": v?}``
-``POST /knn``          ``{"query": fid|[floats], "k": 5?, "relation": R?, "version": v?}``
+``POST /knn``          ``{"query": fid|[floats], "k": 5?, "relation": R?,
+                       "version": v?, "index": "exact"|"ivf"?, "nprobe": n?}``
 ``POST /slice``        ``{"relation": R, "version": v?}``
 ``POST /pin``          ``{"version": v?}`` — lease a version (head if absent)
 ``POST /release``      ``{"version": v}`` — drop one lease
@@ -98,6 +99,8 @@ class _Handler(BaseHTTPRequestHandler):
                     k=body.get("k", 5),
                     relation=body.get("relation"),
                     version=body.get("version"),
+                    index=body.get("index"),
+                    nprobe=body.get("nprobe"),
                 )
             elif self.path == "/slice":
                 result = backend.slice(body["relation"], version=body.get("version"))

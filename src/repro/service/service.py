@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -152,6 +152,11 @@ class EmbeddingService:
         ``recompute`` policy (0/1 = in-process, the default).  Results are
         byte-identical to the serial path for any value — see
         :mod:`repro.engine.parallel` for the determinism contract.
+    index, index_params:
+        kNN index choice forwarded to the :class:`EmbeddingStore` the
+        service creates when ``store`` is None (``"exact"`` default;
+        ``"ivf"`` maintains the ANN index described in :mod:`repro.index`).
+        Mutually exclusive with passing a pre-built store.
     """
 
     def __init__(
@@ -166,7 +171,14 @@ class EmbeddingService:
         retain_versions: int | None = 16,
         telemetry: Telemetry | None = None,
         workers: int = 0,
+        index: str = "exact",
+        index_params: Mapping | None = None,
     ):
+        if store is not None and (index != "exact" or index_params):
+            raise ValueError(
+                "pass the index choice either via store= (a pre-built "
+                "EmbeddingStore) or via index=/index_params=, not both"
+            )
         if policy not in POLICIES:
             raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
         if isinstance(model, ForwardModel):
@@ -240,7 +252,9 @@ class EmbeddingService:
         self._total_ops = 0
         self._latencies: list[float] = []
         if store is None:
-            store = EmbeddingStore(embedder.dimension)
+            store = EmbeddingStore(
+                embedder.dimension, index=index, index_params=index_params
+            )
         self.store = store
         if self.store.version == 0:
             # version 1 is the baseline: the trained (and any already

@@ -24,6 +24,17 @@ saved store directory holds the head snapshot's live embedding matrix plus
 a JSON sidecar with the version counter, per-fact relations and the applied
 batch-id log, so a restarted service resumes at the persisted version
 (tombstones are compacted away by the round trip).
+
+kNN queries go through the :mod:`repro.index` protocol.  Every snapshot
+answers exact search — bit-identical to the pre-protocol in-snapshot scan
+— from its own arrays via :class:`~repro.index.exact.ExactIndex`.  A store
+built with ``index="ivf"`` additionally maintains one writer-side
+:class:`~repro.index.ivf.IVFIndex` whose state advances per commit exactly
+like the tombstone state does: each commit's row deltas are absorbed
+incrementally, compaction triggers a full retrain (rows renumber), and the
+resulting immutable view is attached to the new snapshot, so readers pick
+an index per query (``nearest(..., index="ivf", nprobe=...)``) with exact
+as the default.  The index choice is persisted with the store.
 """
 
 from __future__ import annotations
@@ -39,6 +50,7 @@ import numpy as np
 from repro.core.base import TupleEmbedding
 from repro.core.persistence import load_embedding, save_embedding
 from repro.db.database import Fact
+from repro.index import ExactIndex, IndexSource, make_index
 from repro.obs import NULL_TELEMETRY, Telemetry
 
 
@@ -51,7 +63,7 @@ class StoreSnapshot:
 
     __slots__ = (
         "version", "batch_id", "fact_ids", "relations", "vectors", "alive",
-        "row_of", "_normalized", "_relations_array",
+        "row_of", "source", "_exact", "_ann_view",
         "_telemetry", "_h_fetch", "_h_knn", "_h_slice",
     )
 
@@ -84,9 +96,12 @@ class StoreSnapshot:
             for row, fid in enumerate(self.fact_ids)
             if self.alive[row]
         }
-        self._normalized: np.ndarray | None = None
-        self._relations_array = np.empty(len(self.relations), dtype=object)
-        self._relations_array[:] = self.relations
+        relations_array = np.empty(len(self.relations), dtype=object)
+        relations_array[:] = self.relations
+        relations_array.setflags(write=False)
+        self.source = IndexSource(self.vectors, relations_array, self.alive)
+        self._exact: ExactIndex | None = None
+        self._ann_view = None
         self.set_telemetry(None)
 
     def set_telemetry(self, telemetry: Telemetry | None) -> None:
@@ -96,6 +111,10 @@ class StoreSnapshot:
         self._h_fetch = metrics.histogram("store.fetch.seconds")
         self._h_knn = metrics.histogram("store.knn.seconds")
         self._h_slice = metrics.histogram("store.slice.seconds")
+        if self._exact is not None:
+            self._exact.set_telemetry(self._telemetry)
+        if self._ann_view is not None:
+            self._ann_view.set_telemetry(self._telemetry)
 
     # -------------------------------------------------------------- basics
 
@@ -146,67 +165,96 @@ class StoreSnapshot:
     def relation_slice(self, relation: str) -> tuple[np.ndarray, np.ndarray]:
         """``(fact_ids, vectors)`` of every *live* stored fact of one relation."""
         started = time.perf_counter()
-        mask = (self._relations_array == relation) & self.alive
+        mask = (self.source.relations == relation) & self.alive
         result = self.fact_ids[mask].copy(), self.vectors[mask].copy()
         self._h_slice.observe(time.perf_counter() - started)
         return result
 
     def normalized(self) -> np.ndarray:
         """The row-normalised embedding matrix (cached per snapshot)."""
-        if self._normalized is None:
-            norms = np.linalg.norm(self.vectors, axis=1, keepdims=True)
-            normalized = self.vectors / np.maximum(norms, 1e-12)
-            normalized.setflags(write=False)
-            self._normalized = normalized
-        return self._normalized
+        return self.source.normalized()
+
+    # ------------------------------------------------------------- indexes
+
+    @property
+    def index_kinds(self) -> tuple[str, ...]:
+        """Index kinds this snapshot can answer (``"exact"`` always)."""
+        if self._ann_view is not None:
+            return ("exact", self._ann_view.kind)
+        return ("exact",)
+
+    def attach_index(self, view) -> None:
+        """Bind the ANN view frozen for this version (writer-side, pre-publish)."""
+        self._ann_view = view
+
+    def index_view(self, kind: str | None = None):
+        """The search view answering ``kind`` queries (``"exact"`` default).
+
+        The exact view is built lazily — every snapshot can answer it from
+        its own arrays — while ANN views are frozen by the store's writer
+        at commit time.  Unknown (or unmaintained) kinds raise ValueError.
+        """
+        if kind is None or kind == "exact":
+            view = self._exact
+            if view is None:
+                view = ExactIndex(self.source, telemetry=self._telemetry)
+                self._exact = view
+            return view
+        if self._ann_view is not None and kind == self._ann_view.kind:
+            return self._ann_view
+        raise ValueError(
+            f"unknown index {kind!r}; this snapshot answers {self.index_kinds}"
+        )
 
     def nearest(
         self,
         query: Fact | int | np.ndarray,
         k: int = 5,
         relation: str | None = None,
+        *,
+        index: str | None = None,
+        nprobe: int | None = None,
     ) -> list[tuple[int, float]]:
         """The ``k`` live facts most cosine-similar to ``query``, best first.
 
         ``query`` may be a stored fact (excluded from its own result) or a
         raw vector; ``relation`` restricts the candidate pool; tombstoned
-        rows are never candidates.  One matrix product against the cached
-        normalised matrix, then a top-``k`` partial sort — the batched
-        analogue of :func:`repro.core.similarity.most_similar`.
+        rows are never candidates.  ``index`` picks which index answers —
+        ``"exact"`` (default) scans every live row and reproduces the
+        pre-protocol results bit for bit, ``"ivf"`` (when the store
+        maintains one) probes ``nprobe`` partitions and trades recall for
+        speed.  The batched analogue of :func:`repro.core.similarity.
+        most_similar`.
         """
         if k <= 0:
             raise ValueError("k must be positive")
         started = time.perf_counter()
         if isinstance(query, np.ndarray):
             query_vector = np.asarray(query, dtype=np.float64)
-            query_row = None
+            exclude: tuple[int, ...] = ()
         else:
             query_row = self.row_of[_key(query)]
             query_vector = self.vectors[query_row]
-        norm = float(np.linalg.norm(query_vector))
-        scores = self.normalized() @ (query_vector / max(norm, 1e-12))
-        excluded = ~self.alive.copy()
-        if query_row is not None:
-            excluded[query_row] = True
-        if relation is not None:
-            excluded |= self._relations_array != relation
-        scores = np.where(excluded, -np.inf, scores)
-        k = min(k, int(np.sum(~excluded)))
-        if k == 0:
-            result: list[tuple[int, float]] = []
-        else:
-            top = np.argpartition(-scores, k - 1)[:k]
-            top = top[np.argsort(-scores[top], kind="stable")]
-            result = [(int(self.fact_ids[row]), float(scores[row])) for row in top]
+            exclude = (query_row,)
+        view = self.index_view(index)
+        neighbors = view.search(
+            query_vector, int(k), exclude_rows=exclude, relation=relation,
+            nprobe=nprobe,
+        )
+        result = [(int(self.fact_ids[row]), score) for row, score in neighbors]
         self._h_knn.observe(time.perf_counter() - started)
         return result
 
     def embedding(self) -> TupleEmbedding:
         """This snapshot's live facts as a :class:`TupleEmbedding` (mutable copy)."""
-        result = TupleEmbedding(self.dimension)
-        for fid, row in self.row_of.items():
-            result.set(fid, self.vectors[row])
-        return result
+        if not self.row_of:
+            return TupleEmbedding(self.dimension)
+        rows = np.fromiter(
+            self.row_of.values(), dtype=np.int64, count=len(self.row_of)
+        )
+        return TupleEmbedding.from_rows(
+            self.dimension, tuple(self.row_of.keys()), self.vectors[rows]
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -247,13 +295,25 @@ class EmbeddingStore:
     #: Minimum tombstones before compaction is considered at all.
     COMPACT_MIN_DEAD = 64
 
-    def __init__(self, dimension: int, *, telemetry: Telemetry | None = None):
+    def __init__(
+        self,
+        dimension: int,
+        *,
+        telemetry: Telemetry | None = None,
+        index: str = "exact",
+        index_params: Mapping | None = None,
+    ):
         if dimension <= 0:
             raise ValueError("dimension must be positive")
         self.dimension = int(dimension)
+        self._index_params = dict(index_params or {})
+        self._ann = make_index(index, self.dimension, **self._index_params)
         empty = StoreSnapshot(
             0, None, np.zeros(0, dtype=np.int64), (), np.zeros((0, self.dimension))
         )
+        if self._ann is not None:
+            self._ann.rebuild(empty.source)
+            empty.attach_index(self._ann.snapshot(empty.source))
         self._snapshots: dict[int, StoreSnapshot] = {0: empty}
         self._head = empty
         self._applied: dict[str, int] = {}  # batch id -> version it produced
@@ -283,6 +343,8 @@ class EmbeddingStore:
         self._c_compactions = metrics.counter("store.compactions")
         self._g_tombstone_ratio = metrics.gauge("store.tombstone_ratio")
         self._g_version = metrics.gauge("store.version")
+        if self._ann is not None:
+            self._ann.set_telemetry(self._telemetry)
         with self._lock:
             snapshots = list(self._snapshots.values())
         for snapshot in snapshots:
@@ -293,6 +355,16 @@ class EmbeddingStore:
     @property
     def head(self) -> StoreSnapshot:
         return self._head
+
+    @property
+    def index_kind(self) -> str:
+        """The maintained ANN index kind, or ``"exact"`` when none is."""
+        return "exact" if self._ann is None else self._ann.kind
+
+    @property
+    def index(self):
+        """The writer-side index maintainer (None for exact-only stores)."""
+        return self._ann
 
     @property
     def version(self) -> int:
@@ -378,6 +450,8 @@ class EmbeddingStore:
         appended_relations: list[str] = []
         appended_vectors: list[np.ndarray] = []
         appended_row_of: dict[int, int] = {}
+        updated_rows: set[int] = set()
+        deleted_rows: list[int] = []
         for fact, vector in items:
             vector = np.asarray(vector, dtype=np.float64)
             if vector.shape != (self.dimension,):
@@ -388,6 +462,7 @@ class EmbeddingStore:
             row = head.row_of.get(fid)
             if row is not None:
                 vectors[row] = vector
+                updated_rows.add(row)
             elif fid in appended_row_of:
                 appended_vectors[appended_row_of[fid]] = vector
             elif isinstance(fact, Fact):
@@ -413,18 +488,41 @@ class EmbeddingStore:
             row = head.row_of.get(fid)
             if row is not None:
                 alive[row] = False
+                deleted_rows.append(row)
             elif fid in appended_row_of:
-                alive[head.num_rows + appended_row_of[fid]] = False
+                row = head.num_rows + appended_row_of[fid]
+                alive[row] = False
+                deleted_rows.append(row)
         num_dead = int(alive.size - np.count_nonzero(alive))
+        compacted = False
         if num_dead >= self.COMPACT_MIN_DEAD and num_dead > self.COMPACT_FRACTION * alive.size:
             fact_ids = fact_ids[alive]
             relations = tuple(np.asarray(relations, dtype=object)[alive])
             vectors = vectors[alive]
             alive = None  # all-alive after compaction
+            compacted = True
             self._c_compactions.inc()
         snapshot = StoreSnapshot(
             head.version + 1, batch_id, fact_ids, relations, vectors, alive
         )
+        if self._ann is not None:
+            # advance the ANN state exactly like the tombstone state: deltas
+            # while row numbers are stable, full retrain when they are not
+            if compacted:
+                self._ann.rebuild(snapshot.source)
+            else:
+                if appended_ids:
+                    first = head.num_rows
+                    appended_rows = np.arange(
+                        first, first + len(appended_ids), dtype=np.int64
+                    )
+                    self._ann.add(appended_rows, snapshot.vectors[first:])
+                if updated_rows:
+                    rows = sorted(updated_rows)
+                    self._ann.update(rows, snapshot.vectors[rows])
+                if deleted_rows:
+                    self._ann.remove(deleted_rows)
+            snapshot.attach_index(self._ann.snapshot(snapshot.source))
         snapshot.set_telemetry(self._telemetry)
         with self._lock:
             self._snapshots[snapshot.version] = snapshot
@@ -479,14 +577,20 @@ class EmbeddingStore:
             "relations": {
                 int(fid): head.relations[row] for fid, row in head.row_of.items()
             },
+            "index": {"kind": self.index_kind, "params": self._index_params},
             "metadata": self.metadata,
         }
         (directory / "store.json").write_text(json.dumps(metadata, indent=2))
         return directory
 
     @classmethod
-    def load(cls, directory: str | Path) -> "EmbeddingStore":
-        """Restore a store saved by :meth:`save` (history restarts at the head)."""
+    def load(cls, directory: str | Path, *, index: str | None = None) -> "EmbeddingStore":
+        """Restore a store saved by :meth:`save` (history restarts at the head).
+
+        The persisted index choice is restored (and its ANN state rebuilt
+        over the loaded rows) unless ``index`` overrides it — e.g. a
+        replica attaching with ``--index ivf`` to a store saved exact.
+        """
         directory = Path(directory)
         metadata = json.loads((directory / "store.json").read_text())
         embedding = load_embedding(directory / "embedding.npz")
@@ -497,7 +601,12 @@ class EmbeddingStore:
         vectors = embedding.matrix(fact_ids) if fact_ids.size else np.zeros(
             (0, metadata["dimension"])
         )
-        store = cls(metadata["dimension"])
+        spec = metadata.get("index") or {}
+        kind = index if index is not None else spec.get("kind", "exact")
+        params = spec.get("params") or {}
+        if index is not None and index != spec.get("kind"):
+            params = {}  # persisted params only apply to the persisted kind
+        store = cls(metadata["dimension"], index=kind, index_params=params)
         snapshot = StoreSnapshot(
             metadata["version"],
             metadata["batch_id"],
@@ -505,6 +614,9 @@ class EmbeddingStore:
             tuple(relations[int(fid)] for fid in fact_ids),
             vectors,
         )
+        if store._ann is not None:
+            store._ann.rebuild(snapshot.source)
+            snapshot.attach_index(store._ann.snapshot(snapshot.source))
         store._snapshots = {snapshot.version: snapshot}
         store._head = snapshot
         store._applied = dict(metadata["applied"])

@@ -59,6 +59,68 @@ class TestSimilarity:
         assert matrix[0, 1] > matrix[0, 2]
 
 
+def _old_most_similar(embedding, query, top_k=5, candidates=None):
+    """Frozen replica of the pre-index-layer per-candidate Python loop."""
+    if top_k <= 0:
+        raise ValueError("top_k must be positive")
+    if isinstance(query, np.ndarray):
+        query_vector = np.asarray(query, dtype=np.float64)
+        query_id = None
+    else:
+        query_id = int(query)
+        query_vector = embedding.vector(query_id)
+    pool = list(candidates) if candidates is not None else list(embedding.fact_ids)
+    scored = []
+    for candidate in pool:
+        fact_id = int(candidate)
+        if fact_id == query_id or fact_id not in embedding:
+            continue
+        scored.append((fact_id, cosine_similarity(query_vector, embedding.vector(fact_id))))
+    scored.sort(key=lambda pair: pair[1], reverse=True)
+    return scored[:top_k]
+
+
+class TestMostSimilarMatchesOldLoop:
+    """The vectorised ``most_similar`` is output-identical to the old loop."""
+
+    @pytest.fixture
+    def big_embedding(self):
+        rng = np.random.default_rng(23)
+        emb = TupleEmbedding(5)
+        for fact_id in range(60):
+            emb.set(fact_id, rng.normal(size=5))
+        emb.set(60, np.zeros(5))  # a zero vector in the pool
+        return emb
+
+    def test_fact_and_vector_queries(self, big_embedding):
+        rng = np.random.default_rng(29)
+        queries = [0, 17, 60, np.zeros(5)] + [rng.normal(size=5) for _ in range(5)]
+        for query in queries:
+            for top_k in (1, 4, 200):
+                assert most_similar(big_embedding, query, top_k=top_k) == \
+                    _old_most_similar(big_embedding, query, top_k=top_k)
+
+    def test_candidate_pools_with_duplicates_and_unknown_ids(self, big_embedding):
+        pools = [
+            [3, 3, 7, 9, 9, 9],          # duplicates stay duplicated
+            [5, 99999, 11, -4],          # unknown ids silently skipped
+            [0, 1, 2],                   # includes the query itself
+            [99999],                     # nothing embeddable
+            [],
+        ]
+        for pool in pools:
+            assert most_similar(big_embedding, 0, top_k=10, candidates=pool) == \
+                _old_most_similar(big_embedding, 0, top_k=10, candidates=pool)
+
+    def test_ties_keep_pool_order(self):
+        emb = TupleEmbedding(2)
+        emb.set(0, [1.0, 0.0])
+        for fact_id in (1, 2, 3):
+            emb.set(fact_id, [2.0, 0.0])  # all tied at similarity 1.0
+        assert most_similar(emb, 0, top_k=3) == _old_most_similar(emb, 0, top_k=3)
+        assert [fid for fid, _ in most_similar(emb, 0, top_k=3)] == [1, 2, 3]
+
+
 class TestEmbeddingPersistence:
     def test_round_trip(self, embedding, tmp_path):
         path = tmp_path / "embedding.npz"

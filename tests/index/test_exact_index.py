@@ -1,0 +1,182 @@
+"""ExactIndex is the pre-refactor ``nearest`` bit for bit (the recall oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.db.database import Fact
+from repro.index import ExactIndex, IndexSource, rank_top_k
+from repro.service import EmbeddingStore
+
+
+def _old_nearest(snapshot, query, k=5, relation=None):
+    """A frozen verbatim replica of the pre-refactor ``StoreSnapshot.nearest``.
+
+    Kept as the oracle the new index layer must reproduce exactly: same
+    ``np.where`` masking, same ``argpartition``/stable-sort cut, same score
+    floats out of the same gemv.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if isinstance(query, np.ndarray):
+        query_vector = np.asarray(query, dtype=np.float64)
+        query_row = None
+    else:
+        key = query.fact_id if isinstance(query, Fact) else int(query)
+        query_row = snapshot.row_of[key]
+        query_vector = snapshot.vectors[query_row]
+    norm = float(np.linalg.norm(query_vector))
+    scores = snapshot.normalized() @ (query_vector / max(norm, 1e-12))
+    excluded = ~snapshot.alive.copy()
+    if query_row is not None:
+        excluded[query_row] = True
+    if relation is not None:
+        excluded |= np.asarray(snapshot.relations, dtype=object) != relation
+    scores = np.where(excluded, -np.inf, scores)
+    k = min(k, int(np.sum(~excluded)))
+    if k == 0:
+        return []
+    top = np.argpartition(-scores, k - 1)[:k]
+    top = top[np.argsort(-scores[top], kind="stable")]
+    return [(int(snapshot.fact_ids[row]), float(scores[row])) for row in top]
+
+
+@pytest.fixture
+def churned_store(movies_db):
+    """A store with several relations, updates and tombstones."""
+    rng = np.random.default_rng(7)
+    store = EmbeddingStore(6)
+    facts = list(movies_db.facts())
+    store.commit({fact: rng.normal(size=6) for fact in facts})
+    store.commit({facts[0]: rng.normal(size=6), facts[3]: rng.normal(size=6)})
+    store.commit({}, deletes=[facts[1], facts[5]])
+    return store
+
+
+class TestExactMatchesOldNearest:
+    def assert_identical(self, got, want):
+        assert [fid for fid, _ in got] == [fid for fid, _ in want]
+        for (_, a), (_, b) in zip(got, want):
+            assert a == b  # bitwise, not approx
+
+    def test_fact_queries_all_k(self, churned_store, movies_db):
+        head = churned_store.head
+        for fact in movies_db.facts():
+            if fact.fact_id not in head.row_of:
+                continue
+            for k in (1, 3, 5, 100):
+                self.assert_identical(
+                    head.nearest(fact, k=k), _old_nearest(head, fact, k=k)
+                )
+
+    def test_vector_queries(self, churned_store):
+        head = churned_store.head
+        rng = np.random.default_rng(11)
+        for _ in range(10):
+            query = rng.normal(size=6)
+            self.assert_identical(
+                head.nearest(query, k=4), _old_nearest(head, query, k=4)
+            )
+        zero = np.zeros(6)
+        self.assert_identical(
+            head.nearest(zero, k=3), _old_nearest(head, zero, k=3)
+        )
+
+    def test_relation_filters(self, churned_store, movies_db):
+        head = churned_store.head
+        some_fact = next(
+            fact for fact in movies_db.facts() if fact.fact_id in head.row_of
+        )
+        for relation in set(f.relation for f in movies_db.facts()) | {"NOPE"}:
+            self.assert_identical(
+                head.nearest(some_fact, k=5, relation=relation),
+                _old_nearest(head, some_fact, k=5, relation=relation),
+            )
+
+    def test_self_exclusion(self, churned_store, movies_db):
+        head = churned_store.head
+        for fact in movies_db.facts():
+            if fact.fact_id not in head.row_of:
+                continue
+            result = head.nearest(fact, k=1000)
+            assert fact.fact_id not in [fid for fid, _ in result]
+
+    def test_deleted_rows_never_returned(self, churned_store, movies_db):
+        head = churned_store.head
+        facts = list(movies_db.facts())
+        deleted = {facts[1].fact_id, facts[5].fact_id}
+        result = head.nearest(np.ones(6), k=1000)
+        assert not deleted & {fid for fid, _ in result}
+
+    def test_k_validation(self, churned_store):
+        with pytest.raises(ValueError):
+            churned_store.head.nearest(np.ones(6), k=0)
+
+
+class TestExactIndexStandalone:
+    def test_over_vectors_and_scores(self):
+        vectors = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        index = ExactIndex.over_vectors(vectors)
+        result = index.search(np.array([1.0, 0.0]), k=3)
+        assert [row for row, _ in result] == [0, 2, 1]
+        assert result[0][1] == pytest.approx(1.0)
+
+    def test_relation_filter_and_exclude(self):
+        vectors = np.eye(3)
+        index = ExactIndex.over_vectors(vectors, relations=("A", "A", "B"))
+        result = index.search(np.ones(3), k=3, relation="A", exclude_rows=(0,))
+        assert [row for row, _ in result] == [1]
+
+    def test_search_requires_source(self):
+        with pytest.raises(ValueError):
+            ExactIndex().search(np.ones(2), k=1)
+
+    def test_snapshot_shares_nothing_mutable(self):
+        index = ExactIndex.over_vectors(np.eye(2))
+        view = index.snapshot()
+        assert view is not index
+        assert view.kind == "exact"
+        assert view.search(np.array([1.0, 0.0]), k=1)[0][0] == 0
+
+
+class TestRankTopK:
+    def test_excluded_and_exclude_rows_compose(self):
+        scores = np.array([0.9, 0.8, 0.7, 0.6])
+        excluded = np.array([False, True, False, False])
+        top, masked = rank_top_k(scores, excluded, (0,), 3, 10)
+        assert list(top) == [2, 3]
+        assert masked[0] == -np.inf and masked[1] == -np.inf
+
+    def test_empty_candidates(self):
+        scores = np.array([0.5, 0.4])
+        excluded = np.array([True, True])
+        top, _ = rank_top_k(scores, excluded, (), 0, 5)
+        assert top.size == 0
+
+    def test_cached_mask_not_mutated(self):
+        scores = np.array([0.5, 0.4])
+        excluded = np.array([False, False])
+        excluded.setflags(write=False)
+        rank_top_k(scores, excluded, (1,), 2, 1)  # must not write the mask
+        assert not excluded[1]
+
+
+class TestIndexSource:
+    def test_relation_masks_cached(self):
+        source = IndexSource.from_rows(np.eye(3), relations=("A", "B", "A"))
+        mask1, count1 = source.excluded("A")
+        mask2, count2 = source.excluded("A")
+        assert mask1 is mask2 and count1 == count2 == 2
+
+    def test_dead_mask_and_counts(self):
+        alive = np.array([True, False, True])
+        source = IndexSource.from_rows(np.eye(3), alive=alive)
+        mask, count = source.excluded(None)
+        assert count == 2 and bool(mask[1])
+
+    def test_normalized_cached_and_frozen(self):
+        source = IndexSource.from_rows(np.array([[3.0, 4.0]]))
+        normalized = source.normalized()
+        assert normalized is source.normalized()
+        assert np.allclose(normalized, [[0.6, 0.8]])
+        with pytest.raises((ValueError, RuntimeError)):
+            normalized[0, 0] = 9.0

@@ -1,0 +1,243 @@
+"""IVF index: churn-safe maintenance, recall against exact, store wiring."""
+
+import numpy as np
+import pytest
+
+from repro.db.database import Fact, RelationSchema
+from repro.index import IVFIndex, make_index
+from repro.index.base import IndexSource
+from repro.obs import Telemetry
+from repro.service import EmbeddingStore
+
+SCHEMA = RelationSchema("R", ["a"], ["a"])
+
+
+def _fact(fid: int, relation: str = "R") -> Fact:
+    return Fact(fid, relation, (fid,), SCHEMA)
+
+
+def _ivf_store(dimension=8, **params) -> EmbeddingStore:
+    defaults = {"nlist": 4, "min_train": 8, "seed": 0}
+    defaults.update(params)
+    return EmbeddingStore(dimension, index="ivf", index_params=defaults)
+
+
+def _assert_same_ids(approx, exact, tol=1e-12):
+    assert [fid for fid, _ in approx] == [fid for fid, _ in exact]
+    for (_, a), (_, b) in zip(approx, exact):
+        assert abs(a - b) <= tol
+
+
+class TestUntrainedFallback:
+    def test_small_store_falls_back_to_exact_scan(self):
+        rng = np.random.default_rng(0)
+        store = _ivf_store(min_train=64)
+        store.commit({_fact(i): rng.normal(size=8) for i in range(10)})
+        head = store.head
+        assert not head.index_view("ivf").trained
+        query = rng.normal(size=8)
+        _assert_same_ids(
+            head.nearest(query, k=5, index="ivf"),
+            head.nearest(query, k=5, index="exact"),
+            tol=0.0,  # the fallback runs the very same exact scan
+        )
+
+    def test_auto_trains_once_past_the_floor(self):
+        rng = np.random.default_rng(1)
+        store = _ivf_store(min_train=16)
+        store.commit({_fact(i): rng.normal(size=8) for i in range(8)})
+        assert not store.head.index_view("ivf").trained
+        store.commit({_fact(100 + i): rng.normal(size=8) for i in range(20)})
+        assert store.head.index_view("ivf").trained
+
+
+class TestSearchAgainstExact:
+    @pytest.fixture
+    def store(self):
+        rng = np.random.default_rng(2)
+        store = _ivf_store(nlist=6, nprobe=6)
+        store.commit({_fact(i): rng.normal(size=8) for i in range(120)})
+        store.commit({_fact(i): rng.normal(size=8) for i in range(0, 30, 3)})
+        store.commit({}, deletes=[_fact(i) for i in range(0, 20, 2)])
+        return store
+
+    def test_full_probe_matches_exact(self, store):
+        rng = np.random.default_rng(3)
+        head = store.head
+        for _ in range(15):
+            query = rng.normal(size=8)
+            _assert_same_ids(
+                head.nearest(query, k=10, index="ivf", nprobe=6),
+                head.nearest(query, k=10, index="exact"),
+            )
+
+    def test_self_exclusion_and_relation_filter(self, store):
+        head = store.head
+        some_id = next(iter(head.row_of))
+        approx = head.nearest(some_id, k=1000, index="ivf", nprobe=6)
+        assert some_id not in [fid for fid, _ in approx]
+        _assert_same_ids(
+            head.nearest(some_id, k=7, index="ivf", nprobe=6, relation="R"),
+            head.nearest(some_id, k=7, index="exact", relation="R"),
+        )
+        assert head.nearest(some_id, k=5, index="ivf", relation="NOPE") == []
+
+    def test_nprobe_validation(self, store):
+        with pytest.raises(ValueError):
+            store.head.nearest(np.ones(8), k=3, index="ivf", nprobe=0)
+
+    def test_unknown_index_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.head.nearest(np.ones(8), k=3, index="nope")
+
+
+class TestMaintenanceInvariants:
+    def _view(self, store):
+        return store.head.index_view("ivf")
+
+    def test_postings_cover_live_rows_exactly_once(self):
+        rng = np.random.default_rng(4)
+        store = _ivf_store()
+        store.commit({_fact(i): rng.normal(size=8) for i in range(60)})
+        store.commit({_fact(1000 + i): rng.normal(size=8) for i in range(25)})
+        store.commit({_fact(i): rng.normal(size=8) for i in range(0, 40, 5)})
+        store.commit({}, deletes=[_fact(i) for i in range(0, 10)])
+        view = self._view(store)
+        members = np.concatenate([m for m in view.members if m.size])
+        assert members.size == np.unique(members).size  # no duplicates
+        head = store.head
+        live_rows = set(np.flatnonzero(head.alive).tolist())
+        assert live_rows <= set(members.tolist())
+        source = head.source
+        normalized = source.normalized()
+        for part_members, block in zip(view.members, view.blocks):
+            assert block.shape == (part_members.size, 8)
+            alive_in_part = head.alive[part_members]
+            # live posting rows carry exactly the snapshot's normalised vectors
+            assert np.array_equal(
+                block[alive_in_part], normalized[part_members[alive_in_part]]
+            )
+
+    def test_compaction_triggers_full_rebuild(self):
+        rng = np.random.default_rng(5)
+        store = _ivf_store()
+        store.commit({_fact(i): rng.normal(size=8) for i in range(140)})
+        store.commit({}, deletes=[_fact(i) for i in range(80)])  # compacts
+        head = store.head
+        assert head.num_rows == 60 and head.num_dead == 0
+        view = self._view(store)
+        members = np.concatenate([m for m in view.members if m.size])
+        assert sorted(members.tolist()) == list(range(60))
+        query = rng.normal(size=8)
+        _assert_same_ids(
+            head.nearest(query, k=10, index="ivf", nprobe=4),
+            head.nearest(query, k=10, index="exact"),
+        )
+
+    def test_snapshot_isolation_across_commits(self):
+        rng = np.random.default_rng(6)
+        store = _ivf_store()
+        store.commit({_fact(i): rng.normal(size=8) for i in range(50)})
+        old = store.head
+        query = rng.normal(size=8)
+        before = old.nearest(query, k=10, index="ivf", nprobe=4)
+        store.commit({_fact(500 + i): rng.normal(size=8) for i in range(40)})
+        store.commit({}, deletes=[_fact(i) for i in range(5)])
+        after = old.nearest(query, k=10, index="ivf", nprobe=4)
+        assert before == after  # the frozen view never sees later commits
+        assert store.head.nearest(query, k=10, index="ivf", nprobe=4) != before
+
+
+class TestStoreWiring:
+    def test_exact_store_has_no_ann(self, tmp_path):
+        store = EmbeddingStore(4)
+        assert store.index is None and store.index_kind == "exact"
+        rng = np.random.default_rng(0)
+        store.commit({_fact(0): rng.normal(size=4), _fact(1): rng.normal(size=4)})
+        assert store.head.index_kinds == ("exact",)
+        with pytest.raises(ValueError):
+            store.head.index_view("ivf")
+
+    def test_make_index_contract(self):
+        assert make_index(None, 4) is None
+        assert make_index("exact", 4) is None
+        with pytest.raises(ValueError):
+            make_index("exact", 4, nlist=4)
+        assert isinstance(make_index("ivf", 4, nlist=2), IVFIndex)
+        ivf = IVFIndex(4)
+        assert make_index(ivf, 4) is ivf
+        with pytest.raises(ValueError):
+            make_index("annoy", 4)
+
+    def test_save_load_round_trip(self, tmp_path):
+        rng = np.random.default_rng(8)
+        store = _ivf_store(nlist=3)
+        store.commit({_fact(i): rng.normal(size=8) for i in range(30)})
+        store.save(tmp_path / "s")
+
+        loaded = EmbeddingStore.load(tmp_path / "s")
+        assert loaded.index_kind == "ivf"
+        assert loaded.index.params()["nlist"] == 3
+        query = rng.normal(size=8)
+        _assert_same_ids(
+            loaded.head.nearest(query, k=5, index="ivf", nprobe=3),
+            loaded.head.nearest(query, k=5, index="exact"),
+        )
+
+        as_exact = EmbeddingStore.load(tmp_path / "s", index="exact")
+        assert as_exact.index is None
+        with pytest.raises(ValueError):
+            as_exact.head.nearest(query, k=5, index="ivf")
+
+    def test_load_can_promote_exact_store_to_ivf(self, tmp_path):
+        rng = np.random.default_rng(9)
+        store = EmbeddingStore(4)
+        store.commit({_fact(i): rng.normal(size=4) for i in range(20)})
+        store.save(tmp_path / "s")
+        promoted = EmbeddingStore.load(tmp_path / "s", index="ivf")
+        assert promoted.index_kind == "ivf"
+        assert "ivf" in promoted.head.index_kinds
+
+    def test_index_telemetry_counters(self):
+        telemetry = Telemetry()
+        rng = np.random.default_rng(10)
+        store = EmbeddingStore(
+            8, telemetry=telemetry,
+            index="ivf", index_params={"nlist": 4, "min_train": 8, "seed": 0},
+        )
+        store.commit({_fact(i): rng.normal(size=8) for i in range(40)})
+        head = store.head
+        head.nearest(np.ones(8), k=3, index="ivf", nprobe=2)
+        head.nearest(np.ones(8), k=3, index="exact")
+        metrics = telemetry.metrics
+        assert metrics.counter("index.searches.ivf").value == 1
+        assert metrics.counter("index.searches.exact").value == 1
+        assert metrics.counter("index.probes").value == 2
+        assert metrics.counter("index.candidates").value > 0
+
+    def test_stats_shapes(self):
+        rng = np.random.default_rng(11)
+        store = _ivf_store()
+        store.commit({_fact(i): rng.normal(size=8) for i in range(30)})
+        stats = store.index.stats()
+        assert stats["kind"] == "ivf" and stats["trained"]
+        assert stats["partitions"] == 4
+        view_stats = store.head.index_view("ivf").stats()
+        assert view_stats["kind"] == "ivf" and view_stats["trained"]
+
+
+class TestIVFValidation:
+    def test_constructor_guards(self):
+        with pytest.raises(ValueError):
+            IVFIndex(0)
+        with pytest.raises(ValueError):
+            IVFIndex(4, min_train=0)
+
+    def test_search_k_guard(self):
+        rng = np.random.default_rng(12)
+        source = IndexSource.from_rows(rng.normal(size=(20, 4)))
+        index = IVFIndex(4, nlist=2, min_train=4)
+        index.rebuild(source)
+        view = index.snapshot(source)
+        with pytest.raises(ValueError):
+            view.search(np.ones(4), k=0)

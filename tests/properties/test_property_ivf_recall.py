@@ -1,0 +1,180 @@
+"""Property tests for the index layer: exactness under CRUD, IVF recall.
+
+Two guarantees are pinned here:
+
+* **Exact is the old ``nearest``, always.**  Under arbitrary seeded
+  CRUD+compaction histories, the exact index answers every query (with and
+  without relation filters, with self-exclusion) *bit-identically* to a
+  frozen replica of the pre-refactor scan, and IVF at full probe width
+  returns the same ids within 1e-12 of the same scores (the residual is
+  BLAS reduction order across differently-shaped matrices, not values).
+* **IVF recall holds on every bundled dataset.**  For each of the six
+  generators, a churned IVF store must reach recall@10 >= 0.95 against the
+  exact oracle at the bench's operating probe width.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import load_dataset
+from repro.datasets.registry import BUNDLED_DATASETS
+from repro.db.database import Fact, RelationSchema
+from repro.service import EmbeddingStore
+
+DIM = 8
+
+
+def _old_nearest(snapshot, query, k=5, relation=None):
+    """Frozen verbatim replica of the pre-refactor ``StoreSnapshot.nearest``
+    (kept in sync with the copy in ``tests/index/test_exact_index.py``)."""
+    if isinstance(query, np.ndarray):
+        query_vector = np.asarray(query, dtype=np.float64)
+        query_row = None
+    else:
+        key = query.fact_id if isinstance(query, Fact) else int(query)
+        query_row = snapshot.row_of[key]
+        query_vector = snapshot.vectors[query_row]
+    norm = float(np.linalg.norm(query_vector))
+    scores = snapshot.normalized() @ (query_vector / max(norm, 1e-12))
+    excluded = ~snapshot.alive.copy()
+    if query_row is not None:
+        excluded[query_row] = True
+    if relation is not None:
+        excluded |= np.asarray(snapshot.relations, dtype=object) != relation
+    scores = np.where(excluded, -np.inf, scores)
+    k = min(k, int(np.sum(~excluded)))
+    if k == 0:
+        return []
+    top = np.argpartition(-scores, k - 1)[:k]
+    top = top[np.argsort(-scores[top], kind="stable")]
+    return [(int(snapshot.fact_ids[row]), float(scores[row])) for row in top]
+SCHEMAS = {name: RelationSchema(name, ["a"], ["a"]) for name in ("R1", "R2", "R3")}
+
+
+def _fact(fid: int) -> Fact:
+    relation = ("R1", "R2", "R3")[fid % 3]
+    return Fact(fid, relation, (fid,), SCHEMAS[relation])
+
+
+@st.composite
+def crud_histories(draw):
+    """A seeded CRUD history: per-commit insert/update/delete counts."""
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    commits = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=40),  # inserts
+                st.integers(min_value=0, max_value=10),  # updates
+                st.integers(min_value=0, max_value=30),  # deletes
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    return seed, commits
+
+
+def _apply_history(store: EmbeddingStore, seed: int, commits) -> None:
+    rng = np.random.default_rng(seed)
+    next_id = 0
+    live: list[int] = []
+    for inserts, updates, deletes in commits:
+        batch: dict = {}
+        for _ in range(inserts):
+            batch[_fact(next_id)] = rng.normal(size=DIM)
+            live.append(next_id)
+            next_id += 1
+        for fid in rng.choice(live, size=min(updates, len(live)), replace=False) if live else ():
+            batch[_fact(int(fid))] = rng.normal(size=DIM)
+        doomed = (
+            rng.choice(live, size=min(deletes, len(live)), replace=False)
+            if live else np.empty(0, dtype=int)
+        )
+        store.commit(batch, deletes=[_fact(int(fid)) for fid in doomed])
+        live = [fid for fid in live if fid not in set(int(d) for d in doomed)]
+
+
+@given(crud_histories())
+@settings(max_examples=25, deadline=None)
+def test_exact_matches_old_nearest_under_crud(history):
+    seed, commits = history
+    store = EmbeddingStore(DIM)
+    _apply_history(store, seed, commits)
+    head = store.head
+    rng = np.random.default_rng(seed + 1)
+    queries = [rng.normal(size=DIM) for _ in range(3)]
+    queries += list(head.row_of)[:2]  # fact queries exercise self-exclusion
+    for query in queries:
+        for relation in (None, "R1", "R2"):
+            got = head.nearest(query, k=7, relation=relation)
+            want = _old_nearest(head, query, k=7, relation=relation)
+            assert [fid for fid, _ in got] == [fid for fid, _ in want]
+            for (_, a), (_, b) in zip(got, want):
+                assert a == b  # bit-identical scores
+
+
+@given(crud_histories())
+@settings(max_examples=15, deadline=None)
+def test_ivf_full_probe_matches_exact_under_crud(history):
+    seed, commits = history
+    store = EmbeddingStore(
+        DIM, index="ivf", index_params={"nlist": 4, "min_train": 8, "seed": 0}
+    )
+    _apply_history(store, seed, commits)
+    head = store.head
+    rng = np.random.default_rng(seed + 2)
+    for _ in range(3):
+        query = rng.normal(size=DIM)
+        exact = head.nearest(query, k=10, index="exact")
+        approx = head.nearest(query, k=10, index="ivf", nprobe=4)
+        assert [fid for fid, _ in approx] == [fid for fid, _ in exact]
+        for (_, a), (_, b) in zip(approx, exact):
+            assert abs(a - b) <= 1e-12
+
+
+def test_crud_history_can_compact():
+    """Sanity: the generator's delete pressure does reach compaction."""
+    store = EmbeddingStore(DIM)
+    _apply_history(store, 0, [(140, 0, 0), (0, 0, 90)])
+    assert store.head.num_dead == 0 and store.head.num_rows == 50
+
+
+@pytest.mark.parametrize("name", sorted(BUNDLED_DATASETS))
+def test_ivf_recall_on_bundled_dataset(name):
+    """Churned IVF recall@10 >= 0.95 against exact on every bundled dataset."""
+    from repro.index.bench import _synthetic_vectors
+
+    dataset = load_dataset(name, scale=0.3, seed=0)
+    facts = list(dataset.db.facts())
+    if len(facts) > 4000:  # keep the suite fast; geometry is what matters
+        facts = facts[:4000]
+    rng = np.random.default_rng(17)
+    vectors = _synthetic_vectors([f.relation for f in facts], rng)
+    vectors = vectors[:, :16]  # test at a smaller dimension than the bench
+    n = len(facts)
+    nlist = max(2, int(round(np.sqrt(n))))
+    store = EmbeddingStore(
+        16, index="ivf",
+        index_params={"nlist": nlist, "nprobe": max(4, nlist // 4), "seed": 0},
+    )
+    half = n // 2
+    store.commit(zip(facts[:half], vectors[:half]), batch_id="base")
+    store.commit(zip(facts[half:], vectors[half:]), batch_id="grow")
+    touched = rng.choice(n, size=max(1, n // 50), replace=False)
+    store.commit(
+        [(facts[i], vectors[i] + rng.normal(scale=0.05, size=16)) for i in touched],
+        batch_id="update",
+    )
+    doomed = rng.choice(n, size=max(1, n // 50), replace=False)
+    store.commit((), batch_id="del", deletes=[facts[i] for i in doomed])
+
+    head = store.head
+    live = sorted(head.row_of)
+    query_ids = rng.choice(live, size=min(40, len(live)), replace=False)
+    recalls = []
+    for fid in query_ids:
+        exact = {p[0] for p in head.nearest(int(fid), k=10, index="exact")}
+        approx = {p[0] for p in head.nearest(int(fid), k=10, index="ivf")}
+        recalls.append(len(exact & approx) / len(exact) if exact else 1.0)
+    assert np.mean(recalls) >= 0.95, f"{name}: recall {np.mean(recalls):.3f}"

@@ -51,6 +51,28 @@ class TestClientPlans:
         assert len(plan) == 40
         assert {op["kind"] for op in plan} == {"fetch", "knn", "slice"}
 
+    def test_knn_ops_cover_the_relation_filter(self, population):
+        profile = LoadProfile(queries_per_client=60, knn_relation_fraction=0.5)
+        plan = _client_plan(profile, 0, *population)
+        knn_ops = [op for op in plan if op["kind"] == "knn"]
+        filtered = [op for op in knn_ops if "relation" in op]
+        assert filtered and len(filtered) < len(knn_ops)
+        assert {op["relation"] for op in filtered} <= {"A", "B", "C"}
+
+    def test_relation_fraction_bounds(self, population):
+        never = LoadProfile(queries_per_client=40, knn_relation_fraction=0.0)
+        always = LoadProfile(queries_per_client=40, knn_relation_fraction=1.0)
+        for op in _client_plan(never, 0, *population):
+            assert op["kind"] != "knn" or "relation" not in op
+        for op in _client_plan(always, 0, *population):
+            assert op["kind"] != "knn" or "relation" in op
+
+    def test_profile_dict_carries_index_fields(self):
+        profile = LoadProfile(index="ivf", nprobe=4)
+        as_dict = profile.as_dict()
+        assert as_dict["index"] == "ivf" and as_dict["nprobe"] == 4
+        assert "knn_relation_fraction" in as_dict
+
 
 class TestMaxAbsDiff:
     def test_identical_responses_diff_zero(self):

@@ -1,0 +1,80 @@
+"""Per-request index selection through backend, HTTP server and client."""
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    EmbeddingServer,
+    LocalBackend,
+    ServeClient,
+    ServeError,
+    SnapshotRouter,
+)
+from repro.service import EmbeddingStore
+
+
+@pytest.fixture
+def ivf_backend(movies_db):
+    """A backend over an IVF-maintaining store (trains immediately)."""
+    store = EmbeddingStore(
+        4, index="ivf", index_params={"nlist": 3, "min_train": 4, "seed": 0}
+    )
+    rng = np.random.default_rng(1)
+    facts = list(movies_db.facts())
+    store.commit({f: rng.standard_normal(4) for f in facts}, batch_id="base")
+    store.commit({facts[0]: rng.standard_normal(4)}, batch_id="u1")
+    return LocalBackend(SnapshotRouter(store))
+
+
+class TestBackendIndexSelection:
+    def test_default_is_exact(self, backend, served_store):
+        fid = served_store.test_movies[0].fact_id
+        response = backend.knn(fid, k=3)
+        assert response["index"] == "exact"
+
+    def test_exact_store_rejects_ivf(self, backend, served_store):
+        with pytest.raises(ValueError):
+            backend.knn(served_store.test_movies[0].fact_id, k=3, index="ivf")
+
+    def test_ivf_request_answers_and_reports(self, ivf_backend, movies_db):
+        fid = list(movies_db.facts())[0].fact_id
+        exact = ivf_backend.knn(fid, k=5)
+        full_probe = ivf_backend.knn(fid, k=5, index="ivf", nprobe=3)
+        assert full_probe["index"] == "ivf"
+        assert [fid for fid, _ in full_probe["neighbors"]] == [
+            fid for fid, _ in exact["neighbors"]
+        ]
+
+    def test_stats_reports_index(self, ivf_backend, backend):
+        assert ivf_backend.stats()["index_kinds"] == ["exact", "ivf"]
+        assert ivf_backend.stats()["index"]["kind"] == "ivf"
+        assert backend.stats()["index_kinds"] == ["exact"]
+        assert "index" not in backend.stats()
+
+
+class TestHTTPIndexSelection:
+    def test_round_trip_and_errors(self, ivf_backend, movies_db):
+        fid = list(movies_db.facts())[0].fact_id
+        with EmbeddingServer(ivf_backend) as server:
+            with ServeClient(port=server.port) as client:
+                exact = client.knn(fid, k=4)
+                assert exact["index"] == "exact"
+                approx = client.knn(fid, k=4, index="ivf", nprobe=3)
+                assert approx["index"] == "ivf"
+                assert [f for f, _ in approx["neighbors"]] == [
+                    f for f, _ in exact["neighbors"]
+                ]
+                with pytest.raises(ServeError) as error:
+                    client.knn(fid, k=4, index="annoy")
+                assert error.value.status == 400
+                with pytest.raises(ServeError) as error:
+                    client.knn(fid, k=4, index="ivf", nprobe=0)
+                assert error.value.status == 400
+
+    def test_exact_store_ivf_request_is_400(self, backend, served_store):
+        fid = served_store.test_movies[0].fact_id
+        with EmbeddingServer(backend) as server:
+            with ServeClient(port=server.port) as client:
+                with pytest.raises(ServeError) as error:
+                    client.knn(fid, k=3, index="ivf")
+                assert error.value.status == 400

@@ -102,6 +102,29 @@ class TestQueries:
         for (_, a), (_, b) in zip(batched, reference):
             assert a == pytest.approx(b, abs=1e-12)
 
+    def test_embedding_gather_matches_per_fact_vectors(self, movies_db):
+        """The vectorised ``embedding()`` gather equals a per-fact copy,
+        including after updates, deletes and a dead row in the middle."""
+        rng = np.random.default_rng(31)
+        store = EmbeddingStore(4)
+        facts = _facts(movies_db)
+        store.commit({fact: rng.normal(size=4) for fact in facts})
+        store.commit({facts[2]: rng.normal(size=4)})
+        store.commit({}, deletes=[facts[1]])
+        head = store.head
+        emb = head.embedding()
+        assert set(emb.fact_ids) == set(head.row_of)
+        assert facts[1].fact_id not in emb
+        for fid in head.row_of:
+            assert np.array_equal(emb.vector(fid), head.vector(fid))
+        # the copy is mutable and detached from the snapshot
+        emb.set(facts[0].fact_id, np.zeros(4))
+        assert not np.array_equal(head.vector(facts[0]), np.zeros(4))
+
+    def test_embedding_of_empty_store(self):
+        emb = EmbeddingStore(3).head.embedding()
+        assert len(emb) == 0 and emb.dimension == 3
+
     def test_fetch_and_contains(self, store):
         head = store.head
         assert self.movies[0] in head and self.movies[0].fact_id in head

@@ -31,6 +31,10 @@ against :func:`repro.serve.loadgen.check_load` — schema shape, the qps
 floor, per-kind latency summaries, pinned bit-identity and the
 monotonic-observation bar — plus the stable latency fields per query kind.
 
+``BENCH_knn.json`` artifacts (``kind`` ``"knn_bench"``) are validated
+against :func:`repro.index.bench.check_knn` — schema shape, per-rung
+recall@k and speedup floors — plus the stable latency fields per index.
+
 ``BENCH_streaming.json`` artifacts are recognised too, in both formats:
 
 * the throughput-ladder payload (``schema_version`` 2, a ``rungs`` list) is
@@ -224,6 +228,29 @@ def check_load_payload(path: Path, payload: dict) -> list[str]:
     return problems
 
 
+def check_knn_payload(path: Path, payload: dict) -> list[str]:
+    """Violations of one kNN index ladder ``BENCH_knn.json`` (empty = clean)."""
+    try:
+        from repro.index.bench import check_knn
+    except ModuleNotFoundError:  # invoked without PYTHONPATH=src; self-locate
+        sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+        from repro.index.bench import check_knn
+
+    problems = [f"{path}: {problem}" for problem in check_knn(payload)]
+    for rung in payload.get("rungs", ()):
+        label = f"{path}: rung scale={rung.get('scale')}"
+        for index in ("exact", "ivf"):
+            entry = rung.get(index)
+            latency = entry.get("latency") if isinstance(entry, dict) else None
+            if not isinstance(latency, dict) or LATENCY_FIELDS - latency.keys():
+                problems.append(
+                    f"{label}: {index} latency summary lacks the stable fields"
+                )
+        if not _number(rung.get("speedup")):
+            problems.append(f"{label}: speedup is not numeric")
+    return problems
+
+
 def check_single_run_payload(path: Path, payload: dict) -> list[str]:
     """Violations of one old-format (single-run) ``BENCH_streaming.json``."""
     problems: list[str] = []
@@ -254,6 +281,9 @@ def check_artifact(path: Path) -> list[str]:
         return check_trace(path)
     if isinstance(payload, dict) and payload.get("kind") == "load_test":
         return check_load_payload(path, payload)
+    # must precede the ladder check: a knn payload also carries a rungs list
+    if isinstance(payload, dict) and payload.get("kind") == "knn_bench":
+        return check_knn_payload(path, payload)
     if isinstance(payload, dict) and "rungs" in payload:
         return check_ladder_payload(path, payload)
     if isinstance(payload, dict) and "facts_per_second" in payload:
